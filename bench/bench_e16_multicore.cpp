@@ -1,0 +1,87 @@
+/// \file bench_e16_multicore.cpp
+/// E16 (future-work extension) — multicore SoCs: N cores with private L1s
+/// sharing one L2. Compares the mode-oblivious shared baseline, the
+/// single-partition designs applied naively (mode-only: all cores' user
+/// blocks share one segment), and the grouped multicore dynamic design
+/// (shared kernel segment + per-core user segments).
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "core/scheme.hpp"
+#include "exp/report.hpp"
+#include "sim/multicore.hpp"
+#include "workload/suite.hpp"
+
+using namespace mobcache;
+
+namespace {
+
+void run_pairing(const char* label, const std::vector<AppId>& apps,
+                 std::uint64_t len, TablePrinter& t) {
+  std::vector<Trace> traces;
+  for (std::size_t i = 0; i < apps.size(); ++i)
+    traces.push_back(generate_app_trace(apps[i], len, 42 + i));
+
+  struct Entry {
+    std::string name;
+    MulticoreResult r;
+  };
+  std::vector<Entry> entries;
+
+  entries.push_back({"shared SRAM 2MB",
+                     simulate_multicore(traces,
+                                        std::make_unique<ModeOnlyL2Adapter>(
+                                            build_scheme(
+                                                SchemeKind::BaselineSram)))});
+  entries.push_back(
+      {"SP-MRSTT (mode-only)",
+       simulate_multicore(traces, std::make_unique<ModeOnlyL2Adapter>(
+                                      build_scheme(
+                                          SchemeKind::StaticPartMrstt)))});
+  MulticoreL2Config mc;
+  mc.cache.name = "L2";
+  mc.cache.size_bytes = 2ull << 20;
+  mc.cache.assoc = 16;
+  mc.cores = static_cast<std::uint32_t>(apps.size());
+  entries.push_back(
+      {"MC-DP-STT (per-core groups)",
+       simulate_multicore(traces,
+                          std::make_unique<MulticoreDynamicL2>(mc))});
+
+  const MulticoreResult& base = entries[0].r;
+  for (const Entry& e : entries) {
+    t.add_row({label, e.name, format_percent(e.r.l2_miss_rate()),
+               format_bytes(static_cast<std::uint64_t>(
+                   e.r.l2_avg_enabled_bytes)),
+               format_double(e.r.l2_energy.cache_nj() /
+                                 base.l2_energy.cache_nj(), 3),
+               format_double(static_cast<double>(e.r.makespan) /
+                                 static_cast<double>(base.makespan), 3)});
+  }
+}
+
+}  // namespace
+
+int main() {
+  print_banner("E16", "Multicore: per-core user segments + shared kernel");
+  const std::uint64_t len = bench_trace_len(800'000);
+
+  TablePrinter t({"pairing", "L2 design", "L2 miss", "avg enabled",
+                  "cache E vs shared", "makespan vs shared"});
+  run_pairing("browser+game (2 cores)", {AppId::Browser, AppId::Game}, len, t);
+  run_pairing("launcher+audio (2 cores)",
+              {AppId::Launcher, AppId::AudioPlayer}, len, t);
+  run_pairing("4-core mix",
+              {AppId::Browser, AppId::Game, AppId::Email, AppId::AudioPlayer},
+              len / 2, t);
+  emit(t, "e16_multicore.csv");
+
+  std::printf(
+      "\nReading: naively reusing the single-core static partition on a "
+      "multicore makes\nall cores' user blocks fight over one segment; the "
+      "grouped design isolates each\ncore's user working set, keeps the "
+      "shared kernel segment hot for everyone, and\npreserves the "
+      "single-core energy savings at multicore scale — the paper's\n"
+      "partitioning insight generalizes per core.\n");
+  return 0;
+}

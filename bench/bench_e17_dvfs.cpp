@@ -1,0 +1,74 @@
+/// \file bench_e17_dvfs.cpp
+/// E17 (extension) — DVFS interaction. Mobile governors trade clock speed
+/// for energy; leakage burns *wall time*, so slower clocks make the SRAM
+/// baseline leak proportionally more per unit of work — and make the
+/// paper's leakage-free designs comparatively even stronger. Sweeps the
+/// core clock and reports each design's absolute L2 energy per workload
+/// unit plus its saving versus the same-clock baseline.
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "exp/report.hpp"
+#include "exp/runner.hpp"
+
+using namespace mobcache;
+
+int main() {
+  print_banner("E17", "Core-clock (DVFS) sweep");
+  const std::uint64_t len = bench_trace_len(600'000);
+
+  const std::vector<AppId> suite = {AppId::Launcher, AppId::Browser,
+                                    AppId::AudioPlayer, AppId::Maps};
+
+  TablePrinter t({"clock", "design", "L2 miss", "cache energy (uJ)",
+                  "saving vs same-clock base", "exec time vs 1 GHz base"});
+
+  double base_1ghz_cycles_ns = 0.0;
+  for (double ghz : {1.0, 0.5, 1.5}) {  // 1 GHz first: it anchors the last column
+    TechnologyConfig cfg;
+    cfg.cycle_ns = 1.0 / ghz;
+    ScopedTechnology scope(cfg);
+
+    ExperimentRunner runner(suite, len, 42);
+    std::vector<SchemeSuiteResult> r;
+    r.push_back(runner.run_scheme(SchemeKind::BaselineSram));
+    r.push_back(runner.run_scheme(SchemeKind::StaticPartMrstt));
+    r.push_back(runner.run_scheme(SchemeKind::DynamicStt));
+    ExperimentRunner::normalize(r);
+
+    // Wall time of this clock's baseline (ns), for the cross-clock column.
+    double base_ns = 0.0;
+    double base_cache_nj = 0.0;
+    for (const SimResult& s : r[0].per_workload) {
+      base_ns += static_cast<double>(s.cycles) * cfg.cycle_ns;
+      base_cache_nj += s.l2_energy.cache_nj();
+    }
+    if (ghz == 1.0) base_1ghz_cycles_ns = base_ns;
+
+    for (const SchemeSuiteResult& sr : r) {
+      double cache_nj = 0.0;
+      double wall_ns = 0.0;
+      for (const SimResult& s : sr.per_workload) {
+        cache_nj += s.l2_energy.cache_nj();
+        wall_ns += static_cast<double>(s.cycles) * cfg.cycle_ns;
+      }
+      t.add_row({format_double(ghz, 1) + " GHz", sr.name,
+                 format_percent(sr.avg_miss_rate),
+                 format_double(cache_nj / 1e3, 0),
+                 format_percent(1.0 - cache_nj / base_cache_nj),
+                 base_1ghz_cycles_ns > 0
+                     ? format_double(wall_ns / base_1ghz_cycles_ns, 2)
+                     : "-"});
+    }
+  }
+
+  emit(t, "e17_dvfs.csv");
+  std::printf(
+      "\nReading: halving the clock roughly doubles the baseline's leakage "
+      "energy per unit\nof work, while the STT designs' energy barely moves "
+      "— their savings *grow* at the\nlow-frequency operating points "
+      "governors actually prefer, compounding the two\ntechniques. (Note "
+      "the 0.5 GHz rows are computed against their own-clock baseline;\n"
+      "the final column shows wall time relative to the 1 GHz baseline.)\n");
+  return 0;
+}

@@ -1,0 +1,53 @@
+/// \file bench_e18_bypass.cpp
+/// E18 (extension) — stream write-bypass for the STT-RAM designs: skip the
+/// expensive array install for fills predicted dead-on-arrival (streaming
+/// page-cache/network/frame data). Reports the write-energy cut against the
+/// re-miss cost, per design.
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "exp/report.hpp"
+#include "exp/runner.hpp"
+
+using namespace mobcache;
+
+int main() {
+  print_banner("E18", "Stream write-bypass for STT-RAM fills");
+  const std::uint64_t len = bench_trace_len();
+
+  ExperimentRunner runner(interactive_apps(), len, 42);
+  const SchemeSuiteResult base = runner.run_scheme(SchemeKind::BaselineSram);
+
+  TablePrinter t({"design", "bypass", "L2 miss", "write energy (uJ)",
+                  "norm cache energy", "norm exec time"});
+
+  for (SchemeKind k : {SchemeKind::SharedStt, SchemeKind::StaticPartMrstt}) {
+    for (bool bypass : {false, true}) {
+      SchemeParams p;
+      p.stt_write_bypass = bypass;
+      const SchemeSuiteResult r = runner.run_scheme(k, p);
+      std::vector<SchemeSuiteResult> v{base, r};
+      ExperimentRunner::normalize(v);
+      double write_nj = 0.0;
+      for (const SimResult& s : r.per_workload)
+        write_nj += s.l2_energy.write_nj;
+      t.add_row({r.name, bypass ? "on" : "off",
+                 format_percent(r.avg_miss_rate),
+                 format_double(write_nj / 1e3, 1),
+                 format_double(v[1].norm_cache_energy, 3),
+                 format_double(v[1].norm_exec_time, 3)});
+    }
+  }
+
+  emit(t, "e18_bypass.csv");
+  std::printf(
+      "\nReading: an honest negative-leaning result. Bypass trims STT write "
+      "energy a few\npercent and never hurts time (misses it adds were "
+      "DRAM-bound anyway), but in the\nsmall partitioned segments it "
+      "misclassifies sweep-reuse streams and inflates the\nmiss rate "
+      "noticeably — the paper's retention-aware design already makes "
+      "writes\ncheap enough that bypass is not worth its misprediction "
+      "risk there. It remains\na reasonable add-on for the unpartitioned "
+      "STT design only.\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+/// \file bench_e2_interference.cpp
+/// E2 (paper Fig. 2) — user/kernel interference in the shared L2: how many
+/// replacements evict a block of the *other* mode, and how the miss rate
+/// changes when the same total capacity is split into isolated segments.
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "core/static_partitioned_l2.hpp"
+#include "exp/report.hpp"
+#include "sim/simulator.hpp"
+#include "workload/suite.hpp"
+
+using namespace mobcache;
+
+namespace {
+
+std::unique_ptr<L2Interface> shared_2mb() {
+  SharedL2Config c;
+  c.cache.name = "L2";
+  c.cache.size_bytes = 2ull << 20;
+  c.cache.assoc = 16;
+  return std::make_unique<SharedL2>(c);
+}
+
+/// Same 2 MB total, but split (no interference, no shrink yet).
+std::unique_ptr<L2Interface> split_2mb() {
+  StaticPartitionConfig c;
+  c.user = sram_segment(1536ull << 10, 12);
+  c.kernel = sram_segment(512ull << 10, 8);
+  return std::make_unique<StaticPartitionedL2>(c);
+}
+
+}  // namespace
+
+int main() {
+  print_banner("E2",
+               "User/kernel interference in the shared L2 (cross-mode "
+               "evictions and the isolation dividend)");
+  const std::uint64_t len = bench_trace_len();
+
+  TablePrinter t({"app", "cross-mode evictions", "shared miss (user)",
+                  "shared miss (kern)", "split miss (user)",
+                  "split miss (kern)", "miss delta"});
+
+  for (AppId id : interactive_apps()) {
+    const Trace trace = generate_app_trace(id, len, 42);
+    const SimResult shared = simulate(trace, shared_2mb());
+    const SimResult split = simulate(trace, split_2mb());
+
+    const double cross =
+        shared.l2.evictions == 0
+            ? 0.0
+            : static_cast<double>(shared.l2.cross_mode_evictions) /
+                  static_cast<double>(shared.l2.evictions);
+    t.add_row({app_name(id), format_percent(cross),
+               format_percent(shared.l2.miss_rate(Mode::User)),
+               format_percent(shared.l2.miss_rate(Mode::Kernel)),
+               format_percent(split.l2.miss_rate(Mode::User)),
+               format_percent(split.l2.miss_rate(Mode::Kernel)),
+               format_percent(split.l2.miss_rate() - shared.l2.miss_rate(),
+                              2)});
+  }
+
+  emit(t, "e2_interference.csv");
+  std::printf(
+      "\nReading: a large share of shared-L2 replacements evict the other "
+      "mode's blocks.\nIsolating the modes at the SAME total capacity keeps "
+      "the miss rate (delta ~0), so\nthe interference headroom can instead "
+      "be cashed in as capacity shrink (E3).\n");
+  return 0;
+}

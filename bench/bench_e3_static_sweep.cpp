@@ -1,0 +1,68 @@
+/// \file bench_e3_static_sweep.cpp
+/// E3 (paper Fig. 3) — shrinking the statically partitioned L2: miss rate,
+/// energy and execution time of (user+kernel) segment sizings against the
+/// shared 2 MB baseline. Shows the knee the paper's chosen config sits on.
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "exp/report.hpp"
+#include "exp/runner.hpp"
+
+using namespace mobcache;
+
+namespace {
+
+struct Sizing {
+  std::uint64_t user_kb;
+  std::uint32_t user_assoc;
+  std::uint64_t kernel_kb;
+  std::uint32_t kernel_assoc;
+};
+
+}  // namespace
+
+int main() {
+  print_banner("E3",
+               "Static partition size sweep: miss rate vs. total capacity");
+  const std::uint64_t len = bench_trace_len();
+
+  ExperimentRunner runner(interactive_apps(), len, 42);
+  auto base = runner.run_scheme(SchemeKind::BaselineSram);
+
+  const std::vector<Sizing> sweep = {
+      {256, 8, 128, 8},  {512, 8, 128, 8},   {512, 8, 256, 8},
+      {768, 12, 256, 8}, {1024, 8, 256, 8},  {1024, 8, 512, 8},
+      {1536, 12, 512, 8},
+  };
+
+  TablePrinter t({"config (user+kernel)", "total", "vs 2MB", "L2 miss",
+                  "norm cache energy", "norm exec time"});
+  t.add_row({"shared 2MB baseline", "2 MB", "100.0%",
+             format_percent(base.avg_miss_rate), "1.000", "1.000"});
+
+  for (const Sizing& s : sweep) {
+    auto r = runner.run_custom("sp", [&] {
+      StaticPartitionConfig pc;
+      pc.user = sram_segment(s.user_kb << 10, s.user_assoc);
+      pc.kernel = sram_segment(s.kernel_kb << 10, s.kernel_assoc);
+      return std::make_unique<StaticPartitionedL2>(pc);
+    });
+    std::vector<SchemeSuiteResult> v{base, r};
+    ExperimentRunner::normalize(v);
+    const std::uint64_t total = (s.user_kb + s.kernel_kb) << 10;
+    t.add_row({std::to_string(s.user_kb) + "K+" + std::to_string(s.kernel_kb) +
+                   "K",
+               format_bytes(total),
+               format_percent(static_cast<double>(total) / (2ull << 20)),
+               format_percent(r.avg_miss_rate),
+               format_double(v[1].norm_cache_energy, 3),
+               format_double(v[1].norm_exec_time, 3)});
+  }
+
+  emit(t, "e3_static_sweep.csv");
+  std::printf(
+      "\nReading: once each segment covers its mode's reused working set "
+      "(~1 MB+256 KB here),\nfurther capacity buys almost nothing — the "
+      "paper's 'shrink at similar miss rate' claim.\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+/// \file bench_e5_lifetime_cdf.cpp
+/// E5 (paper Fig. 4) — block-lifetime distributions of the separated user
+/// and kernel segments. Kernel blocks die young (short-retention STT-RAM
+/// suffices); user blocks persist (need a longer class). Also prints the
+/// RetentionAdvisor's recommendation, which E6 validates by sweeping.
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "core/multi_retention_l2.hpp"
+#include "exp/report.hpp"
+#include "sim/simulator.hpp"
+#include "workload/suite.hpp"
+
+using namespace mobcache;
+
+namespace {
+
+std::string cycles_as_ms(std::uint64_t cycles) {
+  return format_double(static_cast<double>(cycles) / 1e6, 3) + " ms";
+}
+
+}  // namespace
+
+int main() {
+  print_banner("E5",
+               "Block lifetime CDFs per segment (justifying multi-retention)");
+  // Lifetimes need session-length traces: at short lengths every block
+  // fits inside even the 10 ms LO retention and the asymmetry is invisible.
+  const std::uint64_t len = bench_trace_len(6'000'000);
+
+  // Aggregate lifetimes across the interactive suite on the chosen static
+  // partition (SRAM tech so lifetimes are unaffected by expiry).
+  LifetimeRecorder rec;
+  SimOptions opts;
+  opts.l2_eviction_observer = rec.observer();
+  for (AppId id : interactive_apps()) {
+    const Trace trace = generate_app_trace(id, len, 42);
+    simulate(trace, build_scheme(SchemeKind::StaticPartSram), opts);
+  }
+
+  TablePrinter t({"metric", "mode", "p25", "p50", "p75", "p90", "p99"});
+  auto row = [&](const char* metric, Mode m, const Log2Histogram& h) {
+    t.add_row({metric, std::string(to_string(m)),
+               cycles_as_ms(h.quantile_upper_bound(0.25)),
+               cycles_as_ms(h.quantile_upper_bound(0.50)),
+               cycles_as_ms(h.quantile_upper_bound(0.75)),
+               cycles_as_ms(h.quantile_upper_bound(0.90)),
+               cycles_as_ms(h.quantile_upper_bound(0.99))});
+  };
+  for (Mode m : {Mode::User, Mode::Kernel}) {
+    row("residency (fill→evict)", m, rec.residency(m));
+    row("liveness (fill→last use)", m, rec.liveness(m));
+    row("dead time (last use→evict)", m, rec.dead_time(m));
+  }
+  emit(t, "e5_lifetime_cdf.csv");
+
+  TablePrinter cov({"mode", "blocks", "mean touches",
+                    "covered by LO(10ms)", "covered by MID(1s)",
+                    "advisor recommends"});
+  for (Mode m : {Mode::User, Mode::Kernel}) {
+    const Log2Histogram& live = rec.liveness(m);
+    cov.add_row(
+        {std::string(to_string(m)), format_count(rec.events(m)),
+         format_double(rec.reuse(m).mean(), 1),
+         format_percent(live.fraction_below(
+             tech_constants::kRetentionLoCycles)),
+         format_percent(live.fraction_below(
+             tech_constants::kRetentionMidCycles)),
+         std::string(to_string(RetentionAdvisor::recommend(live)))});
+  }
+  std::printf("\n");
+  emit(cov, "e5_retention_coverage.csv");
+
+  std::printf(
+      "\nReading: kernel blocks live far shorter than user blocks — the "
+      "short-retention\nclass covers (nearly) all kernel lifetimes, while "
+      "the user segment wants a longer\nclass. This is the paper's "
+      "'completely different access behaviors' observation.\n");
+  return 0;
+}

@@ -1,0 +1,96 @@
+/// \file bench_e8_dynamic_trace.cpp
+/// E8 (paper Fig. 7) — the dynamic partition in action: per-epoch way
+/// allocation over time on a phase-rich workload, plus reconfiguration
+/// statistics for every app.
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "core/dynamic_partitioned_l2.hpp"
+#include "exp/report.hpp"
+#include "sim/cpi_model.hpp"
+#include "sim/hierarchy.hpp"
+#include "workload/suite.hpp"
+
+using namespace mobcache;
+
+namespace {
+
+struct RunOut {
+  std::vector<AllocationSample> history;
+  std::uint64_t reconfig_writebacks = 0;
+  Cycle end = 0;
+  WayAllocation final_alloc;
+  double avg_enabled = 0.0;
+};
+
+RunOut run_dp(const Trace& trace) {
+  DynamicL2Config c;
+  c.cache.name = "L2";
+  c.cache.size_bytes = 2ull << 20;
+  c.cache.assoc = 16;
+  c.tech = TechKind::SttRam;
+  c.retention = RetentionClass::Lo;
+  DynamicPartitionedL2 dp(c);
+
+  MemoryHierarchy h({}, dp);
+  CpiModel cpu;
+  Cycle now = 0;
+  for (const Access& a : trace.accesses()) now = cpu.retire(h.access(a, now));
+  h.finalize(now);
+
+  RunOut out;
+  out.history = dp.allocation_history();
+  out.reconfig_writebacks = dp.reconfig_writebacks();
+  out.end = now;
+  out.final_alloc = dp.allocation();
+  out.avg_enabled = dp.avg_enabled_bytes();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  print_banner("E8", "Dynamic partition allocation trace");
+  const std::uint64_t len = bench_trace_len();
+
+  // Detailed time series for the phase-rich browser workload.
+  const Trace browser = generate_app_trace(AppId::Browser, len, 42);
+  const RunOut b = run_dp(browser);
+
+  TablePrinter series({"time (ms)", "user ways", "kernel ways", "off ways",
+                       "enabled"});
+  const std::size_t stride = std::max<std::size_t>(1, b.history.size() / 32);
+  for (std::size_t i = 0; i < b.history.size(); i += stride) {
+    const AllocationSample& s = b.history[i];
+    const std::uint32_t off = 16 - s.user_ways - s.kernel_ways;
+    series.add_row({format_double(static_cast<double>(s.cycle) / 1e6, 2),
+                    std::to_string(s.user_ways), std::to_string(s.kernel_ways),
+                    std::to_string(off),
+                    format_bytes((s.user_ways + s.kernel_ways) * 128ull
+                                 << 10)});
+  }
+  std::printf("browser allocation over time (%zu reconfigurations total):\n",
+              b.history.size());
+  emit(series, "e8_dynamic_trace_browser.csv");
+
+  // Summary across the suite.
+  TablePrinter sum({"app", "reconfigs", "flush writebacks", "final (u/k)",
+                    "avg enabled"});
+  for (AppId id : interactive_apps()) {
+    const Trace trace = generate_app_trace(id, len, 42);
+    const RunOut r = run_dp(trace);
+    sum.add_row({app_name(id), format_count(r.history.size()),
+                 format_count(r.reconfig_writebacks),
+                 std::to_string(r.final_alloc.user_ways) + "/" +
+                     std::to_string(r.final_alloc.kernel_ways),
+                 format_bytes(static_cast<std::uint64_t>(r.avg_enabled))});
+  }
+  std::printf("\n");
+  emit(sum, "e8_dynamic_trace_summary.csv");
+
+  std::printf(
+      "\nReading: the controller tracks phase changes (page-load vs idle "
+      "demand), keeps the\ntwo segments sized to their current working "
+      "sets, and powers the rest off.\n");
+  return 0;
+}

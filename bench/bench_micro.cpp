@@ -1,0 +1,160 @@
+/// \file bench_micro.cpp
+/// google-benchmark microbenchmarks of the simulation substrate itself —
+/// regression guards for the simulator's own throughput (the evaluation
+/// sweeps run hundreds of millions of cache accesses).
+
+#include <benchmark/benchmark.h>
+
+#include "cache/set_assoc_cache.hpp"
+#include "cache/shadow_monitor.hpp"
+#include "common/rng.hpp"
+#include "core/scheme.hpp"
+#include "sim/multicore.hpp"
+#include "sim/simulator.hpp"
+#include "trace/trace_compress.hpp"
+#include "workload/scenario.hpp"
+#include "workload/suite.hpp"
+
+namespace mobcache {
+namespace {
+
+void BM_CacheHit(benchmark::State& state) {
+  CacheConfig cfg;
+  cfg.size_bytes = 2ull << 20;
+  cfg.assoc = static_cast<std::uint32_t>(state.range(0));
+  SetAssocCache c(cfg);
+  c.access(0, AccessType::Read, Mode::User, 0);
+  Cycle now = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(c.access(0, AccessType::Read, Mode::User, now++));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheHit)->Arg(8)->Arg(16);
+
+void BM_CacheMissStream(benchmark::State& state) {
+  CacheConfig cfg;
+  cfg.size_bytes = 2ull << 20;
+  cfg.assoc = 16;
+  SetAssocCache c(cfg);
+  Cycle now = 0;
+  Addr a = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        c.access(a, AccessType::Read, Mode::User, ++now));
+    a += kLineSize;  // pure streaming: every access misses after warmup
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheMissStream);
+
+void BM_CacheRandomMix(benchmark::State& state) {
+  CacheConfig cfg;
+  cfg.size_bytes = 2ull << 20;
+  cfg.assoc = 16;
+  cfg.repl = static_cast<ReplKind>(state.range(0));
+  SetAssocCache c(cfg, 3);
+  Rng rng(5);
+  Cycle now = 0;
+  for (auto _ : state) {
+    const Addr a = rng.below(100'000) * kLineSize;
+    benchmark::DoNotOptimize(c.access(
+        a, rng.chance(0.3) ? AccessType::Write : AccessType::Read, Mode::User,
+        ++now));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheRandomMix)
+    ->Arg(static_cast<int>(ReplKind::Lru))
+    ->Arg(static_cast<int>(ReplKind::Plru))
+    ->Arg(static_cast<int>(ReplKind::Srrip));
+
+void BM_ShadowMonitor(benchmark::State& state) {
+  ShadowTagMonitor m(2048, 4, 16);
+  Rng rng(7);
+  for (auto _ : state) {
+    const Addr line = rng.below(32'768) * kLineSize;
+    m.access(line, static_cast<std::uint32_t>((line / kLineSize) & 2047));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ShadowMonitor);
+
+void BM_TraceGeneration(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        generate_app_trace(AppId::Browser, 100'000, 42));
+  }
+  state.SetItemsProcessed(state.iterations() * 100'000);
+}
+BENCHMARK(BM_TraceGeneration)->Unit(benchmark::kMillisecond);
+
+void BM_EndToEndSimulation(benchmark::State& state) {
+  const Trace trace = generate_app_trace(AppId::Launcher, 200'000, 42);
+  const auto kind = static_cast<SchemeKind>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simulate(trace, build_scheme(kind)));
+  }
+  state.SetItemsProcessed(state.iterations() * trace.size());
+  state.SetLabel(scheme_name(kind));
+}
+BENCHMARK(BM_EndToEndSimulation)
+    ->Arg(static_cast<int>(SchemeKind::BaselineSram))
+    ->Arg(static_cast<int>(SchemeKind::StaticPartMrstt))
+    ->Arg(static_cast<int>(SchemeKind::DynamicStt))
+    ->Unit(benchmark::kMillisecond);
+
+void BM_TraceCompression(benchmark::State& state) {
+  const Trace t = generate_app_trace(AppId::VideoPlayer, 100'000, 42);
+  const std::string path = "/tmp/mobcache_bm.mctz";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(write_trace_compressed(t, path));
+  }
+  state.SetItemsProcessed(state.iterations() * t.size());
+}
+BENCHMARK(BM_TraceCompression)->Unit(benchmark::kMillisecond);
+
+void BM_TraceDecompression(benchmark::State& state) {
+  const Trace t = generate_app_trace(AppId::VideoPlayer, 100'000, 42);
+  const std::string path = "/tmp/mobcache_bm.mctz";
+  write_trace_compressed(t, path);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(read_trace_compressed(path));
+  }
+  state.SetItemsProcessed(state.iterations() * t.size());
+}
+BENCHMARK(BM_TraceDecompression)->Unit(benchmark::kMillisecond);
+
+void BM_MulticoreSimulation(benchmark::State& state) {
+  std::vector<Trace> traces;
+  traces.push_back(generate_app_trace(AppId::Browser, 100'000, 42));
+  traces.push_back(generate_app_trace(AppId::AudioPlayer, 100'000, 43));
+  for (auto _ : state) {
+    MulticoreL2Config c;
+    c.cache.name = "L2";
+    c.cache.size_bytes = 2ull << 20;
+    c.cache.assoc = 16;
+    c.cores = 2;
+    MulticoreDynamicL2 l2(c);
+    benchmark::DoNotOptimize(simulate_multicore(traces, l2));
+  }
+  state.SetItemsProcessed(state.iterations() * 200'000);
+}
+BENCHMARK(BM_MulticoreSimulation)->Unit(benchmark::kMillisecond);
+
+void BM_ScenarioGeneration(benchmark::State& state) {
+  for (auto _ : state) {
+    ScenarioConfig sc;
+    sc.apps = interactive_apps();
+    sc.total_accesses = 100'000;
+    sc.seed = 42;
+    benchmark::DoNotOptimize(generate_scenario(sc));
+  }
+  state.SetItemsProcessed(state.iterations() * 100'000);
+}
+BENCHMARK(BM_ScenarioGeneration)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace mobcache
+
+BENCHMARK_MAIN();

@@ -1,0 +1,94 @@
+/// \file energy_model_tour.cpp
+/// Tour of the analytical technology model: how SRAM and the three
+/// STT-RAM retention classes trade leakage, access energy and latency
+/// across capacities — and where the break-even points that drive the
+/// paper's design choices come from.
+
+#include <cstdio>
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "energy/technology.hpp"
+
+using namespace mobcache;
+
+int main() {
+  std::printf("=== mobcache technology model tour (1 GHz, 64 B lines) ===\n\n");
+
+  // 1. The raw parameter table (the NVSim/CACTI substitute).
+  TablePrinter t({"tech", "capacity", "leakage", "read", "write",
+                  "read lat", "write lat", "retention"});
+  for (std::uint64_t kb : {256ull, 512ull, 1024ull, 2048ull}) {
+    const std::uint64_t bytes = kb << 10;
+    auto add = [&](const char* name, const TechParams& p) {
+      t.add_row({name, format_bytes(bytes),
+                 format_double(p.leakage_mw, 1) + " mW",
+                 format_double(p.read_energy_nj, 3) + " nJ",
+                 format_double(p.write_energy_nj, 3) + " nJ",
+                 std::to_string(p.read_latency) + " cyc",
+                 std::to_string(p.write_latency) + " cyc",
+                 p.retention_cycles == 0
+                     ? "inf"
+                     : format_double(
+                           static_cast<double>(p.retention_cycles) / 1e6, 0) +
+                           " ms"});
+    };
+    add("SRAM", make_sram(bytes));
+    add("STT LO", make_sttram(bytes, RetentionClass::Lo));
+    add("STT MID", make_sttram(bytes, RetentionClass::Mid));
+    add("STT HI", make_sttram(bytes, RetentionClass::Hi));
+  }
+  t.print();
+
+  // 2. Break-even: at what write intensity does STT-RAM stop paying off?
+  // Cache power = leakage + write_rate × E_write. STT wins while its
+  // leakage saving exceeds its extra write cost.
+  std::printf("\nSTT-RAM vs SRAM break-even write rate (writes/s where the "
+              "leakage saving is spent):\n");
+  TablePrinter b({"capacity", "vs STT LO", "vs STT MID", "vs STT HI"});
+  for (std::uint64_t kb : {256ull, 1024ull, 2048ull}) {
+    const std::uint64_t bytes = kb << 10;
+    const TechParams sram = make_sram(bytes);
+    auto breakeven = [&](RetentionClass r) {
+      const TechParams stt = make_sttram(bytes, r);
+      const double leak_saving_mw = sram.leakage_mw - stt.leakage_mw;
+      const double extra_write_nj = stt.write_energy_nj - sram.write_energy_nj;
+      // mW = 1e6 nJ/s.
+      const double rate = leak_saving_mw * 1e6 / extra_write_nj;
+      return format_double(rate / 1e6, 1) + " M/s";
+    };
+    b.add_row({format_bytes(bytes), breakeven(RetentionClass::Lo),
+               breakeven(RetentionClass::Mid), breakeven(RetentionClass::Hi)});
+  }
+  b.print();
+
+  // 3. Refresh overhead of finite retention: steady-state scrub power for a
+  // full segment of dirty blocks.
+  std::printf("\nworst-case scrub power (every block dirty, rewritten once "
+              "per retention period):\n");
+  TablePrinter r({"capacity", "class", "blocks", "scrub power",
+                  "vs its own leakage"});
+  for (RetentionClass rc : {RetentionClass::Lo, RetentionClass::Mid}) {
+    const std::uint64_t bytes = 512ull << 10;
+    const TechParams p = make_sttram(bytes, rc);
+    const double blocks = static_cast<double>(bytes / kLineSize);
+    const double period_s =
+        static_cast<double>(p.retention_cycles) / kClockHz;
+    const double scrub_mw =
+        blocks * p.write_energy_nj / period_s / 1e6;  // nJ/s → mW
+    r.add_row({format_bytes(bytes), std::string(to_string(rc)),
+               format_count(static_cast<unsigned long long>(blocks)),
+               format_double(scrub_mw, 3) + " mW",
+               format_percent(scrub_mw / p.leakage_mw)});
+  }
+  r.print();
+
+  std::printf(
+      "\nTakeaways: (1) SRAM leakage dwarfs everything at L2 sizes — the "
+      "paper's target;\n(2) mobile L2 write rates (well under a million "
+      "lines/s) sit far below the STT\nbreak-even, so STT-RAM wins; (3) "
+      "even LO-retention scrub power is negligible\nagainst the leakage it "
+      "eliminates, which is why short retention is worth it\nwherever block "
+      "lifetimes allow.\n");
+  return 0;
+}

@@ -1,0 +1,150 @@
+#!/usr/bin/env python3
+"""Plot mobcache experiment results.
+
+Reads the CSV/JSON files the bench binaries write under results/ and renders
+the paper-style figures as PNGs (requires matplotlib; degrades to a textual
+summary without it).
+
+Usage:
+  python3 scripts/plot_results.py [results_dir] [out_dir]
+"""
+
+import csv
+import json
+import os
+import sys
+
+
+def load_csv(path):
+    with open(path, newline="") as f:
+        return list(csv.DictReader(f))
+
+
+def pct(s):
+    return float(s.rstrip("%"))
+
+
+def plot_headline(results_dir, out_dir, plt):
+    rows = load_csv(os.path.join(results_dir, "e9_headline.csv"))
+    names = [r["scheme"] for r in rows]
+    energy = [float(r["norm cache energy"]) for r in rows]
+    time = [float(r["norm exec time"]) for r in rows]
+
+    fig, (ax1, ax2) = plt.subplots(1, 2, figsize=(11, 4))
+    ax1.bar(range(len(names)), energy, color="#4878d0")
+    ax1.set_xticks(range(len(names)))
+    ax1.set_xticklabels(names, rotation=30, ha="right", fontsize=8)
+    ax1.set_ylabel("normalized L2 cache energy")
+    ax1.axhline(1.0, color="gray", lw=0.5)
+    ax1.set_title("E9: cache energy vs. baseline")
+
+    ax2.bar(range(len(names)), time, color="#d65f5f")
+    ax2.set_xticks(range(len(names)))
+    ax2.set_xticklabels(names, rotation=30, ha="right", fontsize=8)
+    ax2.set_ylabel("normalized execution time")
+    ax2.axhline(1.0, color="gray", lw=0.5)
+    ax2.set_ylim(bottom=0.9)
+    ax2.set_title("E9: execution time vs. baseline")
+    fig.tight_layout()
+    out = os.path.join(out_dir, "e9_headline.png")
+    fig.savefig(out, dpi=150)
+    print(f"wrote {out}")
+
+
+def plot_kernel_share(results_dir, out_dir, plt):
+    rows = load_csv(os.path.join(results_dir, "e1_kernel_share.csv"))
+    rows = [r for r in rows if r["class"]]
+    names = [r["app"] for r in rows]
+    share = [pct(r["L2 kernel share"]) for r in rows]
+    colors = ["#4878d0" if r["class"] == "interactive" else "#aaaaaa"
+              for r in rows]
+    fig, ax = plt.subplots(figsize=(7, 4))
+    ax.bar(range(len(names)), share, color=colors)
+    ax.axhline(40, color="red", lw=0.8, ls="--", label="paper: 40%")
+    ax.set_xticks(range(len(names)))
+    ax.set_xticklabels(names, rotation=30, ha="right", fontsize=8)
+    ax.set_ylabel("kernel share of L2 accesses (%)")
+    ax.set_title("E1: the motivating observation")
+    ax.legend()
+    fig.tight_layout()
+    out = os.path.join(out_dir, "e1_kernel_share.png")
+    fig.savefig(out, dpi=150)
+    print(f"wrote {out}")
+
+
+def plot_static_sweep(results_dir, out_dir, plt):
+    rows = load_csv(os.path.join(results_dir, "e3_static_sweep.csv"))
+    sized = [r for r in rows if r["config (user+kernel)"] != "shared 2MB baseline"]
+    totals = [pct(r["vs 2MB"]) for r in sized]
+    miss = [pct(r["L2 miss"]) for r in sized]
+    base_miss = pct(rows[0]["L2 miss"])
+    fig, ax = plt.subplots(figsize=(6, 4))
+    ax.plot(totals, miss, "o-", color="#4878d0", label="static partition")
+    ax.axhline(base_miss, color="gray", ls="--", label="shared 2 MB")
+    ax.set_xlabel("total capacity vs. 2 MB baseline (%)")
+    ax.set_ylabel("L2 miss rate (%)")
+    ax.set_title("E3: shrink at similar miss rate")
+    ax.legend()
+    fig.tight_layout()
+    out = os.path.join(out_dir, "e3_static_sweep.png")
+    fig.savefig(out, dpi=150)
+    print(f"wrote {out}")
+
+
+def plot_dynamic_trace(results_dir, out_dir, plt):
+    rows = load_csv(os.path.join(results_dir, "e8_dynamic_trace_browser.csv"))
+    t = [float(r["time (ms)"]) for r in rows]
+    user = [int(r["user ways"]) for r in rows]
+    kern = [int(r["kernel ways"]) for r in rows]
+    fig, ax = plt.subplots(figsize=(7, 3.5))
+    ax.step(t, user, where="post", label="user ways", color="#4878d0")
+    ax.step(t, kern, where="post", label="kernel ways", color="#d65f5f")
+    total = [u + k for u, k in zip(user, kern)]
+    ax.step(t, total, where="post", label="total enabled", color="#555555",
+            ls="--")
+    ax.set_xlabel("time (ms)")
+    ax.set_ylabel("ways")
+    ax.set_title("E8: dynamic partition allocation (browser)")
+    ax.legend(fontsize=8)
+    fig.tight_layout()
+    out = os.path.join(out_dir, "e8_dynamic_trace.png")
+    fig.savefig(out, dpi=150)
+    print(f"wrote {out}")
+
+
+def text_summary(results_dir):
+    path = os.path.join(results_dir, "e9_headline.json")
+    if not os.path.exists(path):
+        print("no e9_headline.json; run build/bench/bench_e9_headline first")
+        return
+    with open(path) as f:
+        doc = json.load(f)
+    print(f"experiment {doc['experiment']}:")
+    for s in doc["schemes"]:
+        print(f"  {s['name']:<20} energy {s['norm_cache_energy']:.3f}  "
+              f"time {s['norm_exec_time']:.3f}  miss {s['avg_miss_rate']:.3f}")
+
+
+def main():
+    results_dir = sys.argv[1] if len(sys.argv) > 1 else "results"
+    out_dir = sys.argv[2] if len(sys.argv) > 2 else results_dir
+    os.makedirs(out_dir, exist_ok=True)
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        print("matplotlib not available; textual summary only\n")
+        text_summary(results_dir)
+        return
+
+    for fn in (plot_headline, plot_kernel_share, plot_static_sweep,
+               plot_dynamic_trace):
+        try:
+            fn(results_dir, out_dir, plt)
+        except FileNotFoundError as e:
+            print(f"skipping {fn.__name__}: {e}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+#include "cache/bypass_predictor.hpp"
+
+namespace mobcache {
+
+StreamBypassPredictor::StreamBypassPredictor(
+    const BypassPredictorConfig& cfg)
+    : cfg_(cfg) {
+  std::uint32_t size = cfg_.table_size;
+  if (size == 0) size = 1;
+  // Round up to a power of two for the mask-index.
+  while ((size & (size - 1)) != 0) ++size;
+  table_.assign(size, 2);  // weakly install: new regions get cached
+}
+
+bool StreamBypassPredictor::should_bypass(Addr line) const {
+  if (!cfg_.enabled) return false;
+  return table_[index(line)] < cfg_.bypass_below;
+}
+
+bool StreamBypassPredictor::decide_bypass(Addr line) {
+  if (!should_bypass(line)) return false;
+  if (++probe_tick_ % kProbePeriod == 0) return false;  // probe install
+  return true;
+}
+
+void StreamBypassPredictor::train_reuse(Addr line) {
+  std::uint8_t& c = table_[index(line)];
+  if (c < kMax) ++c;
+}
+
+void StreamBypassPredictor::train_eviction(Addr line, bool was_reused) {
+  std::uint8_t& c = table_[index(line)];
+  if (was_reused) {
+    if (c < kMax) ++c;
+  } else if (c > 0) {
+    --c;
+  }
+}
+
+}  // namespace mobcache

@@ -1,0 +1,74 @@
+#pragma once
+/// \file cache_config.hpp
+/// Geometry + policy description for one set-associative cache array.
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace mobcache {
+
+/// Replacement policy selector. LRU is the paper's configuration; the rest
+/// exist for the E10 ablation.
+enum class ReplKind : std::uint8_t { Lru, Fifo, Random, Plru, Srrip };
+
+constexpr std::string_view to_string(ReplKind k) {
+  switch (k) {
+    case ReplKind::Lru: return "LRU";
+    case ReplKind::Fifo: return "FIFO";
+    case ReplKind::Random: return "Random";
+    case ReplKind::Plru: return "PLRU";
+    case ReplKind::Srrip: return "SRRIP";
+  }
+  return "?";
+}
+
+/// Bitmask over ways; bit w set ⇔ way w may be used. Supports up to 64 ways.
+using WayMask = std::uint64_t;
+
+constexpr WayMask full_way_mask(std::uint32_t assoc) {
+  return assoc >= 64 ? ~0ull : ((1ull << assoc) - 1);
+}
+
+/// Contiguous way range [first, first+count) as a mask.
+constexpr WayMask way_range_mask(std::uint32_t first, std::uint32_t count) {
+  return count == 0 ? 0 : full_way_mask(count) << first;
+}
+
+struct CacheConfig {
+  std::string name = "cache";
+  std::uint64_t size_bytes = 2ull << 20;
+  std::uint32_t assoc = 16;
+  std::uint64_t line_size = kLineSize;
+  ReplKind repl = ReplKind::Lru;
+  /// XOR-fold the tag bits into the set index (classic conflict-miss
+  /// mitigation; E10 ablates its interaction with partitioning).
+  bool xor_index = false;
+
+  std::uint32_t num_sets() const {
+    return static_cast<std::uint32_t>(size_bytes / (line_size * assoc));
+  }
+
+  std::uint64_t num_lines() const { return size_bytes / line_size; }
+
+  /// Throws std::invalid_argument on inconsistent geometry (non-power-of-two
+  /// sets/line size, zero sizes, assoc > 64).
+  void validate() const {
+    auto pow2 = [](std::uint64_t v) { return v != 0 && (v & (v - 1)) == 0; };
+    if (line_size == 0 || !pow2(line_size))
+      throw std::invalid_argument(name + ": line size must be a power of two");
+    if (assoc == 0 || assoc > 64)
+      throw std::invalid_argument(name + ": associativity must be in [1,64]");
+    if (size_bytes == 0 || size_bytes % (line_size * assoc) != 0)
+      throw std::invalid_argument(name +
+                                  ": size must be a multiple of line*assoc");
+    if (!pow2(num_sets()))
+      throw std::invalid_argument(name + ": set count must be a power of two");
+    if (repl == ReplKind::Plru && !pow2(assoc))
+      throw std::invalid_argument(name + ": PLRU needs power-of-two assoc");
+  }
+};
+
+}  // namespace mobcache

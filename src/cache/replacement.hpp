@@ -1,0 +1,43 @@
+#pragma once
+/// \file replacement.hpp
+/// Pluggable replacement policies, all way-mask aware.
+///
+/// The mask-awareness is essential: the partitioned L2 designs restrict
+/// victim selection to the ways owned by the accessing mode's segment, and
+/// the dynamic design additionally excludes power-gated ways.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cache/cache_config.hpp"
+
+namespace mobcache {
+
+/// Per-array replacement state. One instance per SetAssocCache.
+///
+/// Contract: choose_victim is only called with a non-empty candidate mask
+/// whose ways are all valid (the cache fills invalid ways first); the
+/// returned way is always a set bit of the mask.
+class ReplacementPolicy {
+ public:
+  virtual ~ReplacementPolicy() = default;
+
+  virtual void on_hit(std::uint32_t set, std::uint32_t way) = 0;
+  virtual void on_fill(std::uint32_t set, std::uint32_t way) = 0;
+  virtual std::uint32_t choose_victim(std::uint32_t set,
+                                      WayMask candidates) = 0;
+
+  /// Forget state for a way (used when the dynamic controller flushes a way
+  /// during repartitioning). Default: nothing, policies that age out state
+  /// naturally may ignore it.
+  virtual void on_invalidate(std::uint32_t set, std::uint32_t way);
+};
+
+/// Factory. `seed` feeds the Random policy (other kinds ignore it).
+std::unique_ptr<ReplacementPolicy> make_replacement(ReplKind kind,
+                                                    std::uint32_t num_sets,
+                                                    std::uint32_t assoc,
+                                                    std::uint64_t seed = 1);
+
+}  // namespace mobcache

@@ -1,0 +1,265 @@
+#include "cache/set_assoc_cache.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace mobcache {
+
+SetAssocCache::SetAssocCache(CacheConfig cfg, std::uint64_t seed)
+    : cfg_(std::move(cfg)), num_sets_(0) {
+  cfg_.validate();
+  num_sets_ = cfg_.num_sets();
+  blocks_.resize(static_cast<std::size_t>(num_sets_) * cfg_.assoc);
+  wear_.assign(blocks_.size(), 0);
+  repl_ = make_replacement(cfg_.repl, num_sets_, cfg_.assoc, seed);
+}
+
+void SetAssocCache::notify_eviction(const BlockMeta& b, Cycle now) {
+  if (observers_.empty()) return;
+  EvictionEvent e;
+  e.line = b.line;
+  e.owner = b.owner;
+  e.fill_cycle = b.fill_cycle;
+  e.last_access = b.last_access;
+  e.evict_cycle = now;
+  e.dirty = b.dirty;
+  e.access_count = b.access_count;
+  for (const auto& obs : observers_) obs(e);
+}
+
+bool SetAssocCache::invalidate_line(Addr line, bool* was_dirty) {
+  const std::uint32_t set = set_index(line);
+  for (std::uint32_t way = 0; way < cfg_.assoc; ++way) {
+    BlockMeta& b = block_mut(set, way);
+    if (!b.valid || b.line != line) continue;
+    if (was_dirty != nullptr) *was_dirty = b.dirty;
+    notify_eviction(b, b.last_access);
+    b.valid = false;
+    repl_->on_invalidate(set, way);
+    return true;
+  }
+  return false;
+}
+
+AccessResult SetAssocCache::access(Addr line, AccessType type, Mode mode,
+                                   Cycle now, WayMask allowed, bool prefetch,
+                                   bool no_alloc) {
+  AccessResult r;
+  const std::uint32_t set = set_index(line);
+  if (!prefetch) ++stats_.accesses[static_cast<int>(mode)];
+
+  // Lookup within the allowed ways.
+  for (WayMask m = allowed; m != 0; m &= m - 1) {
+    const auto way = static_cast<std::uint32_t>(std::countr_zero(m));
+    BlockMeta& b = block_mut(set, way);
+    if (!b.valid || b.line != line) continue;
+    if (expired(b, now)) {
+      // Retention ran out before this re-reference: the data is gone. The
+      // scrub hardware wrote dirty data back at expiry; surface that so the
+      // owner design can charge the DRAM write.
+      r.target_expired = true;
+      r.expired_was_dirty = b.dirty;
+      ++stats_.expired_blocks;
+      if (b.dirty) ++stats_.expired_dirty;
+      notify_eviction(b, now);
+      b.valid = false;
+      repl_->on_invalidate(set, way);
+      break;  // fall through to the miss path
+    }
+    // Hit.
+    r.hit = true;
+    r.way = way;
+    if (prefetch) return r;  // line already resident: prefetch is a no-op
+    ++stats_.hits[static_cast<int>(mode)];
+    if (b.prefetched) {
+      ++stats_.useful_prefetches;
+      b.prefetched = false;
+    }
+    b.last_access = now;
+    ++b.access_count;
+    if (type == AccessType::Write) {
+      ++stats_.store_hits;
+      b.dirty = true;
+      b.last_write = now;
+      count_wear(set, way);
+      if (retention_period_ != 0) b.retention_deadline = now + retention_period_;
+    }
+    repl_->on_hit(set, way);
+    return r;
+  }
+
+  if (no_alloc) return r;  // bypassed fill: miss counted, nothing installed
+
+  // Miss: pick a fill way — an invalid/expired allowed way if any, else a
+  // replacement victim among the allowed ways.
+  std::uint32_t fill_way = cfg_.assoc;  // sentinel
+  for (WayMask m = allowed; m != 0; m &= m - 1) {
+    const auto way = static_cast<std::uint32_t>(std::countr_zero(m));
+    BlockMeta& b = block_mut(set, way);
+    if (b.valid && expired(b, now)) {
+      ++stats_.expired_blocks;
+      if (b.dirty) {
+        ++stats_.expired_dirty;
+        r.expired_was_dirty = true;
+      }
+      notify_eviction(b, now);
+      b.valid = false;
+      repl_->on_invalidate(set, way);
+    }
+    if (!b.valid && fill_way == cfg_.assoc) fill_way = way;
+  }
+
+  if (fill_way == cfg_.assoc) {
+    fill_way = repl_->choose_victim(set, allowed);
+    BlockMeta& victim = block_mut(set, fill_way);
+    r.evicted_valid = true;
+    r.victim_dirty = victim.dirty;
+    r.victim_line = victim.line;
+    r.victim_owner = victim.owner;
+    r.victim_access_count = victim.access_count;
+    ++stats_.evictions;
+    if (victim.dirty) ++stats_.writebacks;
+    if (victim.owner != mode) ++stats_.cross_mode_evictions;
+    notify_eviction(victim, now);
+  }
+
+  BlockMeta& b = block_mut(set, fill_way);
+  b.line = line;
+  b.valid = true;
+  b.dirty = type == AccessType::Write;
+  b.owner = mode;
+  b.fill_cycle = now;
+  b.last_access = now;
+  b.last_write = now;
+  b.retention_deadline =
+      retention_period_ == 0 ? 0 : now + retention_period_;
+  b.access_count = 1;
+  b.prefetched = prefetch;
+  count_wear(set, fill_way);
+  repl_->on_fill(set, fill_way);
+
+  r.filled = true;
+  r.way = fill_way;
+  if (prefetch) {
+    ++stats_.prefetch_fills;
+  } else {
+    ++stats_.fills;
+  }
+  return r;
+}
+
+void SetAssocCache::refresh_block(std::uint32_t set, std::uint32_t way,
+                                  Cycle now) {
+  BlockMeta& b = block_mut(set, way);
+  if (!b.valid) return;
+  b.last_write = now;
+  count_wear(set, way);
+  if (retention_period_ != 0) b.retention_deadline = now + retention_period_;
+  ++stats_.refreshes;
+}
+
+std::uint64_t SetAssocCache::rotate_index(std::uint32_t new_xor_key) {
+  const std::uint64_t dirty = invalidate_ways(full_way_mask(cfg_.assoc));
+  index_rotation_ = new_xor_key & (num_sets_ - 1);
+  return dirty;
+}
+
+WearSummary SetAssocCache::wear_summary() const {
+  WearSummary w;
+  std::vector<std::uint32_t> sorted = wear_;
+  std::sort(sorted.begin(), sorted.end());
+  for (std::uint32_t v : sorted) {
+    w.total_writes += v;
+    w.max_writes = std::max(w.max_writes, v);
+  }
+  w.mean_writes =
+      static_cast<double>(w.total_writes) / static_cast<double>(wear_.size());
+  w.p99_writes = sorted[sorted.size() - 1 - sorted.size() / 100];
+  return w;
+}
+
+std::pair<std::uint64_t, std::uint64_t> SetAssocCache::expire_sweep(Cycle now) {
+  std::uint64_t total = 0;
+  std::uint64_t dirty = 0;
+  for (std::uint32_t set = 0; set < num_sets_; ++set) {
+    for (std::uint32_t way = 0; way < cfg_.assoc; ++way) {
+      BlockMeta& b = block_mut(set, way);
+      if (!b.valid || !expired(b, now)) continue;
+      ++total;
+      ++stats_.expired_blocks;
+      if (b.dirty) {
+        ++dirty;
+        ++stats_.expired_dirty;
+      }
+      notify_eviction(b, now);
+      b.valid = false;
+      repl_->on_invalidate(set, way);
+    }
+  }
+  return {total, dirty};
+}
+
+std::uint64_t SetAssocCache::invalidate_ways(WayMask ways) {
+  std::uint64_t dirty_flushed = 0;
+  for (std::uint32_t set = 0; set < num_sets_; ++set) {
+    for (WayMask m = ways; m != 0; m &= m - 1) {
+      const auto way = static_cast<std::uint32_t>(std::countr_zero(m));
+      if (way >= cfg_.assoc) break;
+      BlockMeta& b = block_mut(set, way);
+      if (!b.valid) continue;
+      if (b.dirty) ++dirty_flushed;
+      notify_eviction(b, b.last_access);
+      b.valid = false;
+      repl_->on_invalidate(set, way);
+    }
+  }
+  return dirty_flushed;
+}
+
+std::uint64_t SetAssocCache::occupancy(WayMask ways, Cycle now) const {
+  std::uint64_t count = 0;
+  for (std::uint32_t set = 0; set < num_sets_; ++set) {
+    for (WayMask m = ways; m != 0; m &= m - 1) {
+      const auto way = static_cast<std::uint32_t>(std::countr_zero(m));
+      if (way >= cfg_.assoc) break;
+      const BlockMeta& b = block(set, way);
+      if (b.valid && !expired(b, now)) ++count;
+    }
+  }
+  return count;
+}
+
+std::uint64_t SetAssocCache::dirty_occupancy(WayMask ways, Cycle now) const {
+  std::uint64_t count = 0;
+  for (std::uint32_t set = 0; set < num_sets_; ++set) {
+    for (WayMask m = ways; m != 0; m &= m - 1) {
+      const auto way = static_cast<std::uint32_t>(std::countr_zero(m));
+      if (way >= cfg_.assoc) break;
+      const BlockMeta& b = block(set, way);
+      if (b.valid && b.dirty && !expired(b, now)) ++count;
+    }
+  }
+  return count;
+}
+
+void SetAssocCache::for_each_valid_block(
+    const std::function<void(std::uint32_t, std::uint32_t, const BlockMeta&)>&
+        fn) const {
+  for (std::uint32_t set = 0; set < num_sets_; ++set) {
+    for (std::uint32_t way = 0; way < cfg_.assoc; ++way) {
+      const BlockMeta& b = block(set, way);
+      if (b.valid) fn(set, way, b);
+    }
+  }
+}
+
+bool SetAssocCache::contains(Addr line, Cycle now) const {
+  const std::uint32_t set = set_index(line);
+  for (std::uint32_t way = 0; way < cfg_.assoc; ++way) {
+    const BlockMeta& b = block(set, way);
+    if (b.valid && b.line == line && !expired(b, now)) return true;
+  }
+  return false;
+}
+
+}  // namespace mobcache

@@ -1,0 +1,243 @@
+#pragma once
+/// \file set_assoc_cache.hpp
+/// Way-mask-aware set-associative cache array with write-back/write-allocate
+/// semantics, per-block owner-mode tracking, and optional finite retention
+/// (STT-RAM block expiry).
+///
+/// This one class backs every L2 organization in the paper reproduction:
+///  - the shared baseline uses the full way mask,
+///  - the static partitioned design instantiates two arrays,
+///  - the dynamic design uses one array with per-mode way masks that the
+///    controller rewrites at epoch boundaries,
+///  - the STT-RAM designs additionally set a retention period so blocks not
+///    rewritten in time expire (or are scrubbed by the RefreshController).
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "cache/cache_config.hpp"
+#include "cache/replacement.hpp"
+#include "common/types.hpp"
+
+namespace mobcache {
+
+/// Metadata of one cache block (tags + state bits of the modeled array).
+struct BlockMeta {
+  Addr line = 0;  ///< full line address (tag and index combined)
+  bool valid = false;
+  bool dirty = false;
+  Mode owner = Mode::User;   ///< mode that filled the block
+  Cycle fill_cycle = 0;
+  Cycle last_access = 0;
+  Cycle last_write = 0;          ///< array write: fill, store hit, or refresh
+  Cycle retention_deadline = 0;  ///< 0 = non-volatile
+  std::uint32_t access_count = 0;
+  bool prefetched = false;  ///< filled by a prefetch, not yet demand-hit
+};
+
+/// Per-array counters, split by requester mode where meaningful.
+struct CacheStats {
+  std::uint64_t accesses[kModeCount] = {0, 0};
+  std::uint64_t hits[kModeCount] = {0, 0};
+  std::uint64_t store_hits = 0;
+  std::uint64_t fills = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t writebacks = 0;             ///< dirty evictions
+  std::uint64_t cross_mode_evictions = 0;   ///< victim owner != requester mode
+  std::uint64_t expired_blocks = 0;         ///< retention-expiry invalidations
+  std::uint64_t expired_dirty = 0;          ///< ... of which were dirty
+  std::uint64_t refreshes = 0;              ///< scrub rewrites
+  std::uint64_t prefetch_fills = 0;         ///< lines installed by prefetch
+  std::uint64_t useful_prefetches = 0;      ///< prefetched lines demand-hit
+
+  std::uint64_t total_accesses() const { return accesses[0] + accesses[1]; }
+  std::uint64_t total_hits() const { return hits[0] + hits[1]; }
+  std::uint64_t total_misses() const { return total_accesses() - total_hits(); }
+  std::uint64_t misses(Mode m) const {
+    return accesses[static_cast<int>(m)] - hits[static_cast<int>(m)];
+  }
+
+  double miss_rate() const {
+    const auto a = total_accesses();
+    return a == 0 ? 0.0 : static_cast<double>(total_misses()) /
+                              static_cast<double>(a);
+  }
+  double miss_rate(Mode m) const {
+    const auto a = accesses[static_cast<int>(m)];
+    return a == 0 ? 0.0
+                  : static_cast<double>(misses(m)) / static_cast<double>(a);
+  }
+  double kernel_access_fraction() const {
+    const auto a = total_accesses();
+    return a == 0 ? 0.0 : static_cast<double>(accesses[1]) /
+                              static_cast<double>(a);
+  }
+
+  void reset() { *this = CacheStats{}; }
+};
+
+/// What one access did to the array; the L2 wrappers translate this into
+/// energy events and downstream traffic.
+struct AccessResult {
+  bool hit = false;
+  std::uint32_t way = 0;
+  bool filled = false;          ///< a block was installed (== miss serviced)
+  bool evicted_valid = false;   ///< a live block was displaced for the fill
+  bool victim_dirty = false;    ///< displaced block needed a writeback
+  Addr victim_line = 0;
+  Mode victim_owner = Mode::User;
+  std::uint32_t victim_access_count = 0;  ///< touches the victim had seen
+  bool target_expired = false;       ///< block was present but past deadline
+  bool expired_was_dirty = false;    ///< expired block held dirty data
+};
+
+/// Wear statistics over the physical (set, way) locations of one array —
+/// STT-RAM endurance is finite (~1e12 writes/cell), and partitioning
+/// concentrates the kernel's write traffic into a small segment
+/// (experiment E20).
+struct WearSummary {
+  std::uint64_t total_writes = 0;  ///< array writes: fills, stores, scrubs
+  std::uint32_t max_writes = 0;    ///< hottest location
+  double mean_writes = 0.0;
+  std::uint32_t p99_writes = 0;
+  /// max/mean — 1.0 would be perfectly even wear.
+  double imbalance() const {
+    return mean_writes <= 0.0 ? 0.0 : max_writes / mean_writes;
+  }
+};
+
+/// Block-eviction notification for lifetime studies (experiment E5).
+struct EvictionEvent {
+  Addr line = 0;
+  Mode owner = Mode::User;
+  Cycle fill_cycle = 0;
+  Cycle last_access = 0;
+  Cycle evict_cycle = 0;
+  bool dirty = false;
+  std::uint32_t access_count = 0;
+};
+
+class SetAssocCache {
+ public:
+  explicit SetAssocCache(CacheConfig cfg, std::uint64_t seed = 1);
+
+  const CacheConfig& config() const { return cfg_; }
+
+  /// Probe-and-update. Lookup, victim choice and fill are all restricted to
+  /// `allowed` ways. `now` drives recency, lifetimes and retention.
+  /// `prefetch` requests fill like misses but are accounted separately
+  /// (prefetch_fills) and never perturb the demand hit/miss counters.
+  /// `no_alloc` misses count normally but do not install the line (write
+  /// bypass: the requester is served straight from DRAM).
+  AccessResult access(Addr line, AccessType type, Mode mode, Cycle now,
+                      WayMask allowed, bool prefetch = false,
+                      bool no_alloc = false);
+
+  /// Convenience overload using every way.
+  AccessResult access(Addr line, AccessType type, Mode mode, Cycle now) {
+    return access(line, type, mode, now, full_way_mask(cfg_.assoc));
+  }
+
+  /// Retention period applied to blocks on fill/store/refresh; 0 = infinite
+  /// (SRAM / high-retention STT-RAM).
+  void set_retention_period(Cycle period) { retention_period_ = period; }
+  Cycle retention_period() const { return retention_period_; }
+
+  /// Rewrites a live block in place (scrub), extending its deadline.
+  void refresh_block(std::uint32_t set, std::uint32_t way, Cycle now);
+
+  /// Walks the array invalidating blocks whose deadline has passed.
+  /// Returns {expired_total, expired_dirty}. Dirty expiries are counted so
+  /// the caller can charge the eager writeback the scrub hardware performs.
+  std::pair<std::uint64_t, std::uint64_t> expire_sweep(Cycle now);
+
+  /// Invalidates every block in `ways` (across all sets), e.g. when the
+  /// dynamic controller power-gates or reassigns ways. Returns the number of
+  /// dirty blocks flushed (each one is a writeback the caller must account).
+  std::uint64_t invalidate_ways(WayMask ways);
+
+  /// Valid (non-expired as of `now`) blocks within `ways`.
+  std::uint64_t occupancy(WayMask ways, Cycle now) const;
+  /// Valid + dirty blocks within `ways`.
+  std::uint64_t dirty_occupancy(WayMask ways, Cycle now) const;
+
+  /// Visits every valid block: fn(set, way, meta).
+  void for_each_valid_block(
+      const std::function<void(std::uint32_t, std::uint32_t,
+                               const BlockMeta&)>& fn) const;
+
+  bool contains(Addr line, Cycle now) const;
+
+  std::uint32_t num_sets() const { return num_sets_; }
+  std::uint32_t assoc() const { return cfg_.assoc; }
+  std::uint32_t set_index(Addr line) const {
+    const Addr n = line / cfg_.line_size;
+    const Addr idx = cfg_.xor_index ? n ^ (n / num_sets_) : n;
+    return static_cast<std::uint32_t>((idx ^ index_rotation_) &
+                                      (num_sets_ - 1));
+  }
+
+  /// Wear leveling: re-keys the set mapping (hot lines move to fresh
+  /// physical sets) and flushes the array, since every resident block's
+  /// location would otherwise be wrong. Returns the number of dirty blocks
+  /// flushed (DRAM writebacks the caller must account). See E20.
+  std::uint64_t rotate_index(std::uint32_t new_xor_key);
+  std::uint32_t index_rotation() const { return index_rotation_; }
+  const BlockMeta& block(std::uint32_t set, std::uint32_t way) const {
+    return blocks_[static_cast<std::size_t>(set) * cfg_.assoc + way];
+  }
+
+  const CacheStats& stats() const { return stats_; }
+  void reset_stats() { stats_.reset(); }
+
+  /// Per-location write-wear accounting (always on; one counter per line).
+  WearSummary wear_summary() const;
+  const std::vector<std::uint32_t>& location_writes() const {
+    return wear_;
+  }
+
+  /// Observers invoked whenever a valid block leaves the cache
+  /// (replacement, way flush or expiry). set_ replaces all observers
+  /// (nullptr clears); add_ appends (multicast — e.g. a lifetime recorder
+  /// plus the hierarchy's inclusion back-invalidation).
+  void set_eviction_observer(std::function<void(const EvictionEvent&)> obs) {
+    observers_.clear();
+    if (obs) observers_.push_back(std::move(obs));
+  }
+  void add_eviction_observer(std::function<void(const EvictionEvent&)> obs) {
+    if (obs) observers_.push_back(std::move(obs));
+  }
+
+  /// Invalidates one line if present (inclusion back-invalidation).
+  /// Returns true when a block was dropped; `was_dirty` reports its state.
+  bool invalidate_line(Addr line, bool* was_dirty = nullptr);
+
+ private:
+  BlockMeta& block_mut(std::uint32_t set, std::uint32_t way) {
+    return blocks_[static_cast<std::size_t>(set) * cfg_.assoc + way];
+  }
+
+  bool expired(const BlockMeta& b, Cycle now) const {
+    return b.retention_deadline != 0 && now >= b.retention_deadline;
+  }
+
+  void notify_eviction(const BlockMeta& b, Cycle now);
+
+  void count_wear(std::uint32_t set, std::uint32_t way) {
+    ++wear_[static_cast<std::size_t>(set) * cfg_.assoc + way];
+  }
+
+  CacheConfig cfg_;
+  std::uint32_t num_sets_;
+  std::uint32_t index_rotation_ = 0;
+  Cycle retention_period_ = 0;
+  std::vector<BlockMeta> blocks_;
+  std::vector<std::uint32_t> wear_;
+  std::unique_ptr<ReplacementPolicy> repl_;
+  CacheStats stats_;
+  std::vector<std::function<void(const EvictionEvent&)>> observers_;
+};
+
+}  // namespace mobcache

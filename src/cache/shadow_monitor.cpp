@@ -1,0 +1,45 @@
+#include "cache/shadow_monitor.hpp"
+
+#include <algorithm>
+
+namespace mobcache {
+
+ShadowTagMonitor::ShadowTagMonitor(std::uint32_t num_sets,
+                                   std::uint32_t sample_shift,
+                                   std::uint32_t depth)
+    : sample_shift_(sample_shift),
+      depth_(depth),
+      sampled_sets_(std::max(1u, num_sets >> sample_shift)),
+      stacks_(sampled_sets_),
+      hits_at_depth_(depth, 0) {
+  for (auto& st : stacks_) st.reserve(depth_);
+}
+
+void ShadowTagMonitor::access(Addr line, std::uint32_t set_index) {
+  if (!sampled(set_index)) return;
+  ++accesses_;
+  auto& stack = stacks_[(set_index >> sample_shift_) % sampled_sets_];
+  const auto it = std::find(stack.begin(), stack.end(), line);
+  if (it != stack.end()) {
+    const auto dpth = static_cast<std::size_t>(it - stack.begin());
+    ++hits_at_depth_[dpth];
+    stack.erase(it);
+  } else if (stack.size() == depth_) {
+    stack.pop_back();
+  }
+  stack.insert(stack.begin(), line);
+}
+
+std::uint64_t ShadowTagMonitor::hits_with_ways(std::uint32_t ways) const {
+  std::uint64_t hits = 0;
+  const std::uint32_t limit = std::min(ways, depth_);
+  for (std::uint32_t d = 0; d < limit; ++d) hits += hits_at_depth_[d];
+  return hits * (1ull << sample_shift_);
+}
+
+void ShadowTagMonitor::new_epoch() {
+  std::fill(hits_at_depth_.begin(), hits_at_depth_.end(), 0);
+  accesses_ = 0;
+}
+
+}  // namespace mobcache

@@ -1,0 +1,113 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdio>
+
+namespace mobcache {
+
+void RunningStat::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStat::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+void Log2Histogram::add(std::uint64_t value) {
+  const std::size_t bucket =
+      value == 0 ? 0 : static_cast<std::size_t>(std::bit_width(value) - 1);
+  if (bucket >= buckets_.size()) buckets_.resize(bucket + 1, 0);
+  ++buckets_[bucket];
+  ++total_;
+}
+
+std::uint64_t Log2Histogram::quantile_upper_bound(double q) const {
+  if (total_ == 0) return 0;
+  const auto target = static_cast<std::uint64_t>(
+      q * static_cast<double>(total_));
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < buckets_.size(); ++b) {
+    seen += buckets_[b];
+    if (seen >= target) return (2ull << b) - 1;
+  }
+  return (2ull << (buckets_.size() - 1)) - 1;
+}
+
+double Log2Histogram::fraction_below(std::uint64_t threshold) const {
+  if (total_ == 0 || threshold == 0) return 0.0;
+  double count = 0.0;
+  for (std::size_t b = 0; b < buckets_.size(); ++b) {
+    const std::uint64_t lo = b == 0 ? 0 : (1ull << b);
+    const std::uint64_t hi = 2ull << b;  // exclusive
+    if (hi <= threshold) {
+      count += static_cast<double>(buckets_[b]);
+    } else if (lo < threshold) {
+      const double share = static_cast<double>(threshold - lo) /
+                           static_cast<double>(hi - lo);
+      count += share * static_cast<double>(buckets_[b]);
+    }
+  }
+  return count / static_cast<double>(total_);
+}
+
+std::vector<CdfPoint> build_cdf(std::vector<double> samples,
+                                std::size_t max_points) {
+  std::vector<CdfPoint> out;
+  if (samples.empty() || max_points == 0) return out;
+  std::sort(samples.begin(), samples.end());
+  const std::size_t n = samples.size();
+  const std::size_t points = std::min(max_points, n);
+  out.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    // Last sample of each stride so the final point is the max at cum=1.
+    const std::size_t idx = (i + 1) * n / points - 1;
+    out.push_back({samples[idx],
+                   static_cast<double>(idx + 1) / static_cast<double>(n)});
+  }
+  return out;
+}
+
+double geomean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double log_sum = 0.0;
+  for (double v : values) log_sum += std::log(std::max(v, 1e-300));
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+std::string format_percent(double fraction, int decimals) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.*f%%", decimals, fraction * 100.0);
+  return buf;
+}
+
+std::string format_bytes(std::uint64_t bytes) {
+  char buf[48];
+  if (bytes >= (1ull << 20) && bytes % (1ull << 20) == 0) {
+    std::snprintf(buf, sizeof buf, "%llu MB",
+                  static_cast<unsigned long long>(bytes >> 20));
+  } else if (bytes >= (1ull << 10)) {
+    // Non-exact sizes (e.g. time-averaged enabled capacity) round to KB.
+    std::snprintf(buf, sizeof buf, "%llu KB",
+                  static_cast<unsigned long long>((bytes + 512) >> 10));
+  } else {
+    std::snprintf(buf, sizeof buf, "%llu B",
+                  static_cast<unsigned long long>(bytes));
+  }
+  return buf;
+}
+
+}  // namespace mobcache

@@ -1,0 +1,75 @@
+#pragma once
+/// \file stats.hpp
+/// Lightweight statistics helpers used by monitors, experiments and reports.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mobcache {
+
+/// Online mean / variance / extrema accumulator (Welford's algorithm).
+class RunningStat {
+ public:
+  void add(double x);
+
+  std::uint64_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Unbiased sample variance; 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Power-of-two bucketed histogram for wide-ranging positive quantities
+/// (block lifetimes, inter-access gaps). Bucket b counts values in
+/// [2^b, 2^(b+1)); values of 0 land in bucket 0.
+class Log2Histogram {
+ public:
+  void add(std::uint64_t value);
+
+  std::uint64_t total() const { return total_; }
+  const std::vector<std::uint64_t>& buckets() const { return buckets_; }
+
+  /// Smallest value v such that at least `q` (0..1) of samples are <= upper
+  /// bound of v's bucket. Returns bucket upper bound; 0 when empty.
+  std::uint64_t quantile_upper_bound(double q) const;
+
+  /// Fraction of samples whose value is strictly below `threshold`
+  /// (resolved at bucket granularity, counting whole buckets whose upper
+  /// bound is <= threshold plus a linear share of the straddling bucket).
+  double fraction_below(std::uint64_t threshold) const;
+
+ private:
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t total_ = 0;
+};
+
+/// Builds an empirical CDF from raw samples; used by the lifetime study (E5).
+struct CdfPoint {
+  double value;
+  double cum_fraction;
+};
+
+/// Reduce `samples` (consumed, sorted in place) to at most `max_points`
+/// evenly spaced CDF points.
+std::vector<CdfPoint> build_cdf(std::vector<double> samples,
+                                std::size_t max_points);
+
+/// Geometric mean of strictly positive values; 0 if empty.
+double geomean(const std::vector<double>& values);
+
+/// "12.3%"-style formatting helpers used across reports.
+std::string format_percent(double fraction, int decimals = 1);
+/// Human-readable byte size ("512 KB", "2 MB").
+std::string format_bytes(std::uint64_t bytes);
+
+}  // namespace mobcache

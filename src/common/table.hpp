@@ -1,0 +1,49 @@
+#pragma once
+/// \file table.hpp
+/// Aligned console tables and CSV emission for experiment reports.
+///
+/// Every bench binary renders its paper table/figure through TablePrinter so
+/// that the output of `bench_e*` binaries matches EXPERIMENTS.md verbatim.
+
+#include <string>
+#include <vector>
+
+namespace mobcache {
+
+/// Column-aligned plain-text table. Cells are strings; numeric formatting is
+/// the caller's concern (see format_percent / format_bytes in stats.hpp).
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends a row; short rows are padded with empty cells.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders the table with a header rule. Returned string ends in '\n'.
+  std::string render() const;
+
+  /// Convenience: render() to stdout.
+  void print() const;
+
+  /// Serializes headers + rows as RFC-4180-ish CSV (quotes cells containing
+  /// commas or quotes).
+  std::string to_csv() const;
+
+  /// Writes to_csv() to `path`, creating parent directories if needed.
+  /// Returns false (and leaves no partial file behind) on I/O failure.
+  bool write_csv(const std::string& path) const;
+
+  std::size_t row_count() const { return rows_.size(); }
+  std::size_t column_count() const { return headers_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-decimal double formatting ("3.142").
+std::string format_double(double v, int decimals = 3);
+/// Integer with thousands separators ("1,234,567").
+std::string format_count(unsigned long long v);
+
+}  // namespace mobcache

@@ -1,0 +1,129 @@
+#include "core/drowsy_l2.hpp"
+
+#include <algorithm>
+
+namespace mobcache {
+
+DrowsyL2::DrowsyL2(const DrowsyL2Config& cfg)
+    : cfg_(cfg),
+      cache_(cfg.cache),
+      tech_(make_sram(cfg.cache.size_bytes)),
+      awake_(static_cast<std::size_t>(cache_.num_sets()) * cache_.assoc(),
+             false) {}
+
+void DrowsyL2::roll_windows(Cycle now) {
+  while (now >= window_start_ + cfg_.window) {
+    // Effective leakage fraction of the closing window: woken lines are
+    // awake for roughly half the window (they wake uniformly over it),
+    // the rest stay drowsy throughout.
+    const double total = static_cast<double>(awake_.size());
+    const double awake_frac = static_cast<double>(awake_count_) / total;
+    const double eff = awake_frac * (0.5 + 0.5 * cfg_.drowsy_leak_factor) +
+                       (1.0 - awake_frac) * cfg_.drowsy_leak_factor;
+    acct_.add_leakage(tech_, cfg_.window, eff);
+    leak_fraction_integral_ += static_cast<double>(cfg_.window) * eff;
+
+    std::fill(awake_.begin(), awake_.end(), false);
+    awake_count_ = 0;
+    window_start_ += cfg_.window;
+  }
+}
+
+bool DrowsyL2::wake(std::uint32_t set, std::uint32_t way) {
+  const std::size_t idx =
+      static_cast<std::size_t>(set) * cache_.assoc() + way;
+  if (awake_[idx]) return false;
+  awake_[idx] = true;
+  ++awake_count_;
+  ++wakeups_;
+  return true;
+}
+
+L2Result DrowsyL2::access(Addr line, AccessType type, Mode mode, Cycle now) {
+  roll_windows(now);
+  const AccessResult r = cache_.access(line, type, mode, now);
+
+  L2Result out;
+  out.hit = r.hit;
+  Cycle& busy = bank_busy_until_[(line / kLineSize) & 3];
+  const Cycle stall = now < busy ? busy - now : 0;
+
+  const bool woke = wake(cache_.set_index(line), r.way);
+  const Cycle wake_pen = woke ? cfg_.wake_latency : 0;
+
+  if (r.hit) {
+    if (type == AccessType::Write) {
+      acct_.add_write(tech_);
+      busy = std::max(busy, now) + tech_.write_latency;
+    } else {
+      acct_.add_read(tech_);
+      out.latency = stall + wake_pen + tech_.read_latency;
+    }
+    return out;
+  }
+
+  acct_.add_read(tech_);
+  acct_.add_dram(1);
+  acct_.add_write(tech_);
+  if (r.victim_dirty) acct_.add_dram(1);
+  out.latency = type == AccessType::Write
+                    ? 0
+                    : stall + wake_pen + tech_.read_latency +
+                          dram_visible_stall_cycles();
+  return out;
+}
+
+void DrowsyL2::writeback(Addr line, Mode owner, Cycle now) {
+  roll_windows(now);
+  const AccessResult r = cache_.access(line, AccessType::Write, owner, now);
+  wake(cache_.set_index(line), r.way);
+  acct_.add_write(tech_);
+  if (!r.hit && r.victim_dirty) acct_.add_dram(1);
+  Cycle& busy = bank_busy_until_[(line / kLineSize) & 3];
+  busy = std::max(busy, now) + tech_.write_latency;
+}
+
+void DrowsyL2::prefetch(Addr line, Mode mode, Cycle now) {
+  roll_windows(now);
+  const AccessResult r = cache_.access(line, AccessType::Read, mode, now,
+                                       full_way_mask(cache_.assoc()),
+                                       /*prefetch=*/true);
+  acct_.add_read(tech_);
+  if (r.filled) {
+    wake(cache_.set_index(line), r.way);
+    acct_.add_dram(1);
+    acct_.add_write(tech_);
+    if (r.victim_dirty) acct_.add_dram(1);
+  }
+}
+
+void DrowsyL2::finalize(Cycle end) {
+  if (finalized_) return;
+  finalized_ = true;
+  roll_windows(end);
+  // Partial tail window.
+  if (end > window_start_) {
+    const Cycle span = end - window_start_;
+    const double total = static_cast<double>(awake_.size());
+    const double awake_frac = static_cast<double>(awake_count_) / total;
+    const double eff = awake_frac * (0.5 + 0.5 * cfg_.drowsy_leak_factor) +
+                       (1.0 - awake_frac) * cfg_.drowsy_leak_factor;
+    acct_.add_leakage(tech_, span, eff);
+    leak_fraction_integral_ += static_cast<double>(span) * eff;
+  }
+  acct_.add_dram(cache_.dirty_occupancy(full_way_mask(cache_.assoc()), end));
+  final_cycle_ = end;
+}
+
+double DrowsyL2::avg_leak_fraction() const {
+  if (final_cycle_ == 0) return 1.0;
+  return leak_fraction_integral_ / static_cast<double>(final_cycle_);
+}
+
+std::string DrowsyL2::describe() const {
+  return "drowsy " + std::to_string(cache_.config().size_bytes >> 10) +
+         "KB " + std::to_string(cache_.assoc()) + "-way SRAM (window " +
+         std::to_string(cfg_.window) + " cyc)";
+}
+
+}  // namespace mobcache

@@ -1,0 +1,242 @@
+#include "core/dynamic_partitioned_l2.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mobcache {
+
+namespace {
+
+Cycle clamp_interval(Cycle requested, Cycle retention) {
+  if (retention == 0) return requested;
+  return std::min(requested, retention / 2);
+}
+
+ControllerConfig tuned_controller(const DynamicL2Config& cfg,
+                                  const TechParams& tech) {
+  ControllerConfig c = cfg.controller;
+  c.total_ways = cfg.cache.assoc;
+  // Energy criterion: one way's static power; the controller multiplies by
+  // the measured epoch span to decide whether a way's hits pay its leakage.
+  c.way_leak_mw = tech.leakage_mw / static_cast<double>(cfg.cache.assoc);
+  c.dram_nj_per_miss = tech_constants::kDramAccessNj;
+  return c;
+}
+
+}  // namespace
+
+DynamicPartitionedL2::DynamicPartitionedL2(const DynamicL2Config& cfg)
+    : cfg_(cfg),
+      cache_(cfg.cache),
+      tech_(cfg.tech == TechKind::Sram
+                ? make_sram(cfg.cache.size_bytes)
+                : make_sttram(cfg.cache.size_bytes, cfg.retention)),
+      refresher_(cfg.refresh, clamp_interval(cfg.refresh_check_interval,
+                                             tech_.retention_cycles)),
+      controller_(tuned_controller(cfg, tech_)),
+      alloc_(controller_.current()),
+      user_monitor_(cfg.cache.num_sets(), cfg.monitor_sample_shift,
+                    cfg.cache.assoc),
+      kernel_monitor_(cfg.cache.num_sets(), cfg.monitor_sample_shift,
+                      cfg.cache.assoc) {
+  cache_.set_retention_period(tech_.retention_cycles);
+  rescale_active_tech();
+}
+
+void DynamicPartitionedL2::rescale_active_tech() {
+  // Power-gated ways neither precharge bitlines nor fire sense amps, and an
+  // access only probes the ways of its own segment, so per-access dynamic
+  // energy follows the same ~sqrt(capacity) law as a standalone array of
+  // the segment's size. Leakage keeps using the full-array params scaled by
+  // enabled_fraction (see settle_leakage).
+  const std::uint32_t ways[kModeCount] = {alloc_.user_ways,
+                                          alloc_.kernel_ways};
+  for (int m = 0; m < kModeCount; ++m) {
+    seg_tech_[m] = tech_;
+    const double frac = static_cast<double>(ways[m]) /
+                        static_cast<double>(cache_.assoc());
+    const double s = std::sqrt(std::max(frac, 1e-9));
+    seg_tech_[m].read_energy_nj *= s;
+    seg_tech_[m].write_energy_nj *= s;
+  }
+}
+
+void DynamicPartitionedL2::settle_leakage(Cycle now) {
+  if (now <= last_change_) return;
+  const auto span = static_cast<double>(now - last_change_);
+  enabled_byte_cycles_ +=
+      span * enabled_fraction() *
+      static_cast<double>(cache_.config().size_bytes);
+  acct_.add_leakage(tech_, now - last_change_, enabled_fraction());
+  last_change_ = now;
+}
+
+void DynamicPartitionedL2::apply_allocation(WayAllocation next, Cycle now) {
+  if (next.user_ways == alloc_.user_ways &&
+      next.kernel_ways == alloc_.kernel_ways) {
+    return;
+  }
+  settle_leakage(now);
+
+  // Only ways that power off must be written back and invalidated. A way
+  // transferred between segments keeps its contents: user and kernel
+  // address spaces are disjoint, so the new owner can never falsely hit a
+  // stale block — it just evicts them on demand (lazy handover, far cheaper
+  // than a bulk flush on every phase change).
+  const WayMask old_on =
+      way_range_mask(0, alloc_.user_ways) |
+      way_range_mask(cache_.assoc() - alloc_.kernel_ways, alloc_.kernel_ways);
+  const WayMask new_on =
+      way_range_mask(0, next.user_ways) |
+      way_range_mask(cache_.assoc() - next.kernel_ways, next.kernel_ways);
+  const WayMask to_flush = old_on & ~new_on;
+  if (to_flush != 0) {
+    const std::uint64_t dirty = cache_.invalidate_ways(to_flush);
+    reconfig_writebacks_ += dirty;
+    acct_.add_dram(dirty);
+  }
+
+  alloc_ = next;
+  rescale_active_tech();
+  history_.push_back({now, alloc_.user_ways, alloc_.kernel_ways});
+}
+
+void DynamicPartitionedL2::maybe_epoch(Cycle now) {
+  if (epoch_access_count_ < cfg_.epoch_accesses) return;
+
+  auto demand_of = [&](ShadowTagMonitor& mon, int mode_idx) {
+    ModeDemand d;
+    d.hits_with.resize(cache_.assoc() + 1, 0);
+    for (std::uint32_t w = 1; w <= cache_.assoc(); ++w)
+      d.hits_with[w] = mon.hits_with_ways(w);
+    d.monitor_accesses = mon.observed_accesses();
+    d.accesses = epoch_accesses_[mode_idx];
+    d.misses = epoch_misses_[mode_idx];
+    d.epoch_cycles = now > epoch_start_cycle_ ? now - epoch_start_cycle_ : 0;
+    return d;
+  };
+
+  const ModeDemand user = demand_of(user_monitor_, 0);
+  const ModeDemand kernel = demand_of(kernel_monitor_, 1);
+  apply_allocation(controller_.decide(user, kernel), now);
+
+  user_monitor_.new_epoch();
+  kernel_monitor_.new_epoch();
+  epoch_access_count_ = 0;
+  epoch_misses_[0] = epoch_misses_[1] = 0;
+  epoch_accesses_[0] = epoch_accesses_[1] = 0;
+  epoch_start_cycle_ = now;
+}
+
+L2Result DynamicPartitionedL2::do_access(Addr line, AccessType type,
+                                         Mode mode, Cycle now, bool demand,
+                                         bool prefetch) {
+  if (tech_.retention_cycles != 0 && refresher_.due(now)) {
+    refresher_.tick(cache_, now, refresh_tech(), acct_);
+  }
+
+  if (demand) {
+    (mode == Mode::User ? user_monitor_ : kernel_monitor_)
+        .access(line, cache_.set_index(line));
+    ++epoch_access_count_;
+    ++epoch_accesses_[static_cast<int>(mode)];
+  }
+
+  const AccessResult r =
+      cache_.access(line, type, mode, now, mask_of(mode), prefetch);
+
+  L2Result out;
+  out.hit = r.hit;
+  const Cycle stall = banks_.read_stall(line, now, tech_.write_latency);
+
+  const TechParams& seg = seg_tech_[static_cast<int>(mode)];
+  if (prefetch) {
+    acct_.add_read(seg);  // tag probe
+    if (r.filled) {
+      acct_.add_dram(1);
+      acct_.add_write(seg);
+      if (r.victim_dirty) acct_.add_dram(1);
+      if (r.expired_was_dirty) acct_.add_dram(1);
+    }
+    return out;
+  }
+  if (r.hit) {
+    if (type == AccessType::Write) {
+      acct_.add_write(seg);
+      banks_.write_enqueue(line, now, tech_.write_latency);
+    } else {
+      acct_.add_read(seg);
+      out.latency = stall + tech_.read_latency;
+    }
+  } else {
+    if (demand) ++epoch_misses_[static_cast<int>(mode)];
+    acct_.add_read(seg);
+    acct_.add_dram(1);
+    acct_.add_write(seg);
+    if (r.victim_dirty) acct_.add_dram(1);
+    if (r.expired_was_dirty) acct_.add_dram(1);
+    // Fill writes drain through the fill buffer, overlapped with DRAM.
+    out.latency = type == AccessType::Write
+                      ? 0
+                      : stall + tech_.read_latency +
+                            dram_visible_stall_cycles();
+  }
+
+  if (demand) maybe_epoch(now);
+  return out;
+}
+
+L2Result DynamicPartitionedL2::access(Addr line, AccessType type, Mode mode,
+                                      Cycle now) {
+  return do_access(line, type, mode, now, /*demand=*/true);
+}
+
+void DynamicPartitionedL2::writeback(Addr line, Mode owner, Cycle now) {
+  do_access(line, AccessType::Write, owner, now, /*demand=*/false);
+}
+
+void DynamicPartitionedL2::prefetch(Addr line, Mode mode, Cycle now) {
+  do_access(line, AccessType::Read, mode, now, /*demand=*/false,
+            /*prefetch=*/true);
+}
+
+void DynamicPartitionedL2::finalize(Cycle end) {
+  if (finalized_) return;
+  finalized_ = true;
+  if (tech_.retention_cycles != 0)
+    refresher_.tick(cache_, end, refresh_tech(), acct_);
+  acct_.add_dram(
+      cache_.dirty_occupancy(full_way_mask(cache_.assoc()), end));
+  settle_leakage(end);
+  final_cycle_ = end;
+}
+
+double DynamicPartitionedL2::avg_enabled_bytes() const {
+  if (final_cycle_ == 0) return static_cast<double>(capacity_bytes());
+  return enabled_byte_cycles_ / static_cast<double>(final_cycle_);
+}
+
+const TechParams& DynamicPartitionedL2::refresh_tech() const {
+  // Scrub rewrites happen inside whichever segment holds the block; charge
+  // the larger segment's (costlier) write energy as a conservative bound.
+  return seg_tech_[alloc_.user_ways >= alloc_.kernel_ways ? 0 : 1];
+}
+
+std::string DynamicPartitionedL2::describe() const {
+  std::string d = "dynamic-partitioned ";
+  d += std::to_string(cache_.config().size_bytes >> 10);
+  d += "KB ";
+  d += std::to_string(cache_.assoc());
+  d += "-way ";
+  d += to_string(tech_.kind);
+  if (tech_.kind == TechKind::SttRam) {
+    d += " ";
+    d += to_string(tech_.retention);
+  }
+  d += " (";
+  d += to_string(controller_.config().monitor);
+  d += ")";
+  return d;
+}
+
+}  // namespace mobcache

@@ -1,0 +1,3 @@
+#include "core/l2_interface.hpp"
+
+// Interface anchor TU (keyed virtual table emission).

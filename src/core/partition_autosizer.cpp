@@ -1,0 +1,110 @@
+#include "core/partition_autosizer.hpp"
+
+#include <algorithm>
+
+#include "common/stats.hpp"
+#include "core/shared_l2.hpp"
+
+namespace mobcache {
+
+std::vector<PartitionCandidate> PartitionAutosizer::candidates() {
+  // Sizes paired with associativities that keep the set count a power of
+  // two at 64 B lines (size / (64·assoc) ∈ 2^k).
+  struct Leg {
+    std::uint64_t kb;
+    std::uint32_t assoc;
+  };
+  const std::vector<Leg> user_legs = {{256, 8},  {384, 12}, {512, 8},
+                                      {768, 12}, {1024, 8}, {1536, 12}};
+  const std::vector<Leg> kernel_legs = {{128, 8}, {192, 12}, {256, 8},
+                                        {384, 12}, {512, 8}};
+  std::vector<PartitionCandidate> out;
+  out.reserve(user_legs.size() * kernel_legs.size());
+  for (const Leg& u : user_legs) {
+    for (const Leg& k : kernel_legs) {
+      out.push_back({u.kb << 10, u.assoc, k.kb << 10, k.assoc});
+    }
+  }
+  return out;
+}
+
+std::unique_ptr<L2Interface> PartitionAutosizer::build(
+    const PartitionCandidate& c) const {
+  StaticPartitionConfig pc;
+  if (cfg_.tech == TechKind::Sram) {
+    pc.user = sram_segment(c.user_bytes, c.user_assoc);
+    pc.kernel = sram_segment(c.kernel_bytes, c.kernel_assoc);
+  } else {
+    pc.user = sttram_segment(c.user_bytes, c.user_assoc, cfg_.user_retention);
+    pc.kernel =
+        sttram_segment(c.kernel_bytes, c.kernel_assoc, cfg_.kernel_retention);
+  }
+  return std::make_unique<StaticPartitionedL2>(pc);
+}
+
+std::vector<CandidateScore> PartitionAutosizer::score_all(
+    const std::vector<Trace>& traces,
+    const std::vector<PartitionCandidate>& grid) const {
+  // Baseline reference, simulated once per trace.
+  std::vector<SimResult> base;
+  base.reserve(traces.size());
+  for (const Trace& t : traces) {
+    SharedL2Config bc;
+    bc.cache.name = "L2";
+    bc.cache.size_bytes = cfg_.baseline_bytes;
+    bc.cache.assoc = cfg_.baseline_assoc;
+    base.push_back(simulate(t, std::make_unique<SharedL2>(bc), cfg_.sim));
+  }
+
+  std::vector<CandidateScore> scores;
+  scores.reserve(grid.size());
+  for (const PartitionCandidate& c : grid) {
+    CandidateScore s;
+    s.candidate = c;
+    std::vector<double> e_ratios;
+    std::vector<double> t_ratios;
+    double miss_sum = 0.0;
+    for (std::size_t i = 0; i < traces.size(); ++i) {
+      const SimResult r = simulate(traces[i], build(c), cfg_.sim);
+      e_ratios.push_back(r.l2_energy.cache_nj() /
+                         base[i].l2_energy.cache_nj());
+      t_ratios.push_back(static_cast<double>(r.cycles) /
+                         static_cast<double>(base[i].cycles));
+      miss_sum += r.l2_miss_rate();
+    }
+    s.norm_cache_energy = geomean(e_ratios);
+    s.norm_exec_time = geomean(t_ratios);
+    s.avg_miss_rate = miss_sum / static_cast<double>(traces.size());
+    s.feasible = s.norm_exec_time <= cfg_.max_slowdown;
+    scores.push_back(s);
+  }
+
+  std::sort(scores.begin(), scores.end(),
+            [](const CandidateScore& a, const CandidateScore& b) {
+              if (a.candidate.total_bytes() != b.candidate.total_bytes())
+                return a.candidate.total_bytes() < b.candidate.total_bytes();
+              return a.norm_cache_energy < b.norm_cache_energy;
+            });
+  return scores;
+}
+
+CandidateScore PartitionAutosizer::best(
+    const std::vector<Trace>& traces) const {
+  const std::vector<CandidateScore> scores = score_all(traces);
+  const CandidateScore* best = nullptr;
+  for (const CandidateScore& s : scores) {
+    if (!s.feasible) continue;
+    if (best == nullptr || s.norm_cache_energy < best->norm_cache_energy)
+      best = &s;
+  }
+  if (best == nullptr) {
+    // Nothing meets the budget: return the least-bad slowdown.
+    for (const CandidateScore& s : scores) {
+      if (best == nullptr || s.norm_exec_time < best->norm_exec_time)
+        best = &s;
+    }
+  }
+  return *best;
+}
+
+}  // namespace mobcache

@@ -1,0 +1,79 @@
+#pragma once
+/// \file partition_autosizer.hpp
+/// Offline static-partition design-space search.
+///
+/// The paper picks its static (user, kernel) segment sizes by sweeping the
+/// design space against a workload suite. This component automates that
+/// step: given traces, it evaluates a geometry grid under a chosen
+/// technology and returns the cheapest configuration whose execution time
+/// stays within a budget of the 2 MB-baseline — i.e. it *derives* the
+/// SchemeParams defaults instead of hand-tuning them (used by experiment
+/// E3's "chosen point" and the partition_explorer example).
+
+#include <functional>
+#include <vector>
+
+#include "core/static_partitioned_l2.hpp"
+#include "sim/simulator.hpp"
+#include "trace/trace.hpp"
+
+namespace mobcache {
+
+/// One candidate geometry (sizes must satisfy power-of-two set counts;
+/// candidates() only generates legal ones).
+struct PartitionCandidate {
+  std::uint64_t user_bytes = 0;
+  std::uint32_t user_assoc = 0;
+  std::uint64_t kernel_bytes = 0;
+  std::uint32_t kernel_assoc = 0;
+
+  std::uint64_t total_bytes() const { return user_bytes + kernel_bytes; }
+};
+
+/// Search result for one candidate.
+struct CandidateScore {
+  PartitionCandidate candidate;
+  double norm_cache_energy = 0.0;  ///< geomean vs the baseline
+  double norm_exec_time = 0.0;
+  double avg_miss_rate = 0.0;
+  bool feasible = false;  ///< meets the time budget
+};
+
+struct AutosizerConfig {
+  /// Allowed slowdown vs the shared 2 MB SRAM baseline (paper: ~2%).
+  double max_slowdown = 1.05;
+  /// Segment technology used for the scored design.
+  TechKind tech = TechKind::Sram;
+  RetentionClass user_retention = RetentionClass::Mid;
+  RetentionClass kernel_retention = RetentionClass::Lo;
+  /// Baseline geometry.
+  std::uint64_t baseline_bytes = 2ull << 20;
+  std::uint32_t baseline_assoc = 16;
+  SimOptions sim;
+};
+
+class PartitionAutosizer {
+ public:
+  explicit PartitionAutosizer(AutosizerConfig cfg) : cfg_(std::move(cfg)) {}
+
+  /// The default geometry grid: user segments 256 KB–1.5 MB, kernel
+  /// segments 128 KB–512 KB, all with legal power-of-two set counts.
+  static std::vector<PartitionCandidate> candidates();
+
+  /// Scores every candidate against the traces (shared baseline simulated
+  /// once). Results are sorted by total size, then energy.
+  std::vector<CandidateScore> score_all(
+      const std::vector<Trace>& traces,
+      const std::vector<PartitionCandidate>& grid = candidates()) const;
+
+  /// The cheapest-energy feasible candidate; falls back to the
+  /// lowest-slowdown candidate when none meets the budget.
+  CandidateScore best(const std::vector<Trace>& traces) const;
+
+ private:
+  std::unique_ptr<L2Interface> build(const PartitionCandidate& c) const;
+
+  AutosizerConfig cfg_;
+};
+
+}  // namespace mobcache

@@ -1,0 +1,161 @@
+#include "core/shared_l2.hpp"
+
+#include <algorithm>
+
+namespace mobcache {
+
+namespace {
+
+Cycle clamp_interval(Cycle requested, Cycle retention) {
+  if (retention == 0) return requested;
+  return std::min(requested, retention / 2);
+}
+
+}  // namespace
+
+SharedL2::SharedL2(const SharedL2Config& cfg)
+    : cache_(cfg.cache),
+      tech_(cfg.tech == TechKind::Sram
+                ? make_sram(cfg.cache.size_bytes)
+                : make_sttram(cfg.cache.size_bytes, cfg.retention)),
+      refresher_(cfg.refresh,
+                 clamp_interval(cfg.refresh_check_interval,
+                                tech_.retention_cycles)),
+      bypass_(cfg.bypass),
+      wear_rotate_writes_(cfg.wear_rotate_writes) {
+  cache_.set_retention_period(tech_.retention_cycles);
+}
+
+void SharedL2::count_array_write() {
+  if (wear_rotate_writes_ == 0) return;
+  if (++writes_since_rotation_ < wear_rotate_writes_) return;
+  writes_since_rotation_ = 0;
+  ++rotations_;
+  // Golden-ratio key spreads hot indices across the whole array.
+  const auto key = static_cast<std::uint32_t>(rotations_ * 0x9E3779B1u);
+  const std::uint64_t dirty = cache_.rotate_index(key);
+  acct_.add_dram(dirty);
+}
+
+void SharedL2::maybe_refresh(Cycle now) {
+  if (tech_.retention_cycles != 0 && refresher_.due(now)) {
+    refresher_.tick(cache_, now, tech_, acct_);
+  }
+}
+
+L2Result SharedL2::access(Addr line, AccessType type, Mode mode, Cycle now) {
+  maybe_refresh(now);
+  // Bypass decision must precede the array update: a fill predicted dead is
+  // not installed at all.
+  const bool bypass_fill =
+      type == AccessType::Read && bypass_.decide_bypass(line);
+  const AccessResult r =
+      cache_.access(line, type, mode, now, full_way_mask(cache_.assoc()),
+                    /*prefetch=*/false, /*no_alloc=*/bypass_fill);
+
+  L2Result out;
+  out.hit = r.hit;
+  // Bank-occupancy stall: a read waits out at most the write currently
+  // committed to its bank's array (queued writes yield to reads).
+  const Cycle stall = banks_.read_stall(line, now, tech_.write_latency);
+
+  if (r.hit) {
+    bypass_.train_reuse(line);
+    if (type == AccessType::Write) {
+      acct_.add_write(tech_);
+      count_array_write();
+      banks_.write_enqueue(line, now, tech_.write_latency);
+      out.latency = 0;  // posted through the write queue
+    } else {
+      acct_.add_read(tech_);
+      out.latency = stall + tech_.read_latency;
+    }
+    return out;
+  }
+
+  if (bypass_fill && !r.filled) {
+    // Predicted-dead fill skipped: serve straight from DRAM, save the
+    // array write entirely.
+    bypass_.count_bypass();
+    acct_.add_read(tech_);  // tag probe still happened
+    acct_.add_dram(1);
+    out.latency = type == AccessType::Write
+                      ? 0
+                      : stall + tech_.read_latency +
+                            dram_visible_stall_cycles();
+    return out;
+  }
+
+  // Miss: tag probe read, DRAM fetch (unless the block decayed dirty — the
+  // scrub logic already streamed it out, charged below), fill write, and a
+  // victim writeback when a dirty block was displaced.
+  acct_.add_read(tech_);
+  acct_.add_dram(1);                    // line fetch
+  acct_.add_write(tech_);               // fill
+  count_array_write();
+  if (r.evicted_valid) {
+    bypass_.train_eviction(r.victim_line, r.victim_access_count > 1);
+  }
+  if (r.victim_dirty) acct_.add_dram(1);
+  if (r.expired_was_dirty) acct_.add_dram(1);  // expiry writeback (lazy discovery)
+  // The fill write is overlapped with the DRAM fetch through the fill
+  // buffer, so it does not occupy the bank for later reads.
+  out.latency = type == AccessType::Write
+                    ? 0
+                    : stall + tech_.read_latency + dram_visible_stall_cycles();
+  return out;
+}
+
+void SharedL2::writeback(Addr line, Mode owner, Cycle now) {
+  // An L1 castout is an array write; it allocates on (rare) miss.
+  maybe_refresh(now);
+  const AccessResult r = cache_.access(line, AccessType::Write, owner, now);
+  acct_.add_write(tech_);
+  count_array_write();
+  if (!r.hit) {
+    if (r.victim_dirty) acct_.add_dram(1);
+    if (r.expired_was_dirty) acct_.add_dram(1);
+  }
+  banks_.write_enqueue(line, now, tech_.write_latency);
+}
+
+void SharedL2::prefetch(Addr line, Mode mode, Cycle now) {
+  maybe_refresh(now);
+  const AccessResult r =
+      cache_.access(line, AccessType::Read, mode, now,
+                    full_way_mask(cache_.assoc()), /*prefetch=*/true);
+  acct_.add_read(tech_);  // tag probe
+  if (r.filled) {
+    acct_.add_dram(1);
+    acct_.add_write(tech_);
+    count_array_write();
+    if (r.victim_dirty) acct_.add_dram(1);
+    if (r.expired_was_dirty) acct_.add_dram(1);
+  }
+}
+
+void SharedL2::finalize(Cycle end) {
+  if (finalized_) return;
+  finalized_ = true;
+  maybe_refresh(end);
+  // Dirty blocks still resident flush to DRAM at program end so schemes with
+  // different residual dirty state compare fairly.
+  acct_.add_dram(cache_.dirty_occupancy(full_way_mask(cache_.assoc()), end));
+  acct_.add_leakage(tech_, end);
+}
+
+std::string SharedL2::describe() const {
+  std::string d = "shared ";
+  d += std::to_string(cache_.config().size_bytes >> 10);
+  d += "KB ";
+  d += std::to_string(cache_.assoc());
+  d += "-way ";
+  d += to_string(tech_.kind);
+  if (tech_.kind == TechKind::SttRam) {
+    d += " ";
+    d += to_string(tech_.retention);
+  }
+  return d;
+}
+
+}  // namespace mobcache

@@ -1,0 +1,78 @@
+#pragma once
+/// \file shared_l2.hpp
+/// Conventional mode-oblivious L2: the paper's baseline (SRAM, any size) and
+/// the unpartitioned-STT-RAM comparison point.
+
+#include "cache/bank_model.hpp"
+#include "cache/bypass_predictor.hpp"
+#include "core/l2_interface.hpp"
+#include "energy/refresh.hpp"
+#include "energy/technology.hpp"
+
+namespace mobcache {
+
+struct SharedL2Config {
+  CacheConfig cache;                     ///< geometry + replacement
+  TechKind tech = TechKind::Sram;
+  RetentionClass retention = RetentionClass::Hi;  ///< STT-RAM only
+  RefreshPolicy refresh = RefreshPolicy::ScrubDirty;
+  /// Maintenance cadence; clamped to t_ret/2 when retention is finite.
+  Cycle refresh_check_interval = 2'000'000;
+  /// Optional stream write-bypass (meaningful for STT-RAM: skips the
+  /// expensive install for predicted-dead fills; experiment E18).
+  BypassPredictorConfig bypass;
+  /// Wear leveling: rotate the set mapping after this many array writes
+  /// (0 = off). Production values are billions of writes (days apart);
+  /// experiment E20 uses small values to demonstrate the flattening.
+  std::uint64_t wear_rotate_writes = 0;
+};
+
+class SharedL2 final : public L2Interface {
+ public:
+  explicit SharedL2(const SharedL2Config& cfg);
+
+  L2Result access(Addr line, AccessType type, Mode mode, Cycle now) override;
+  void writeback(Addr line, Mode owner, Cycle now) override;
+  void prefetch(Addr line, Mode mode, Cycle now) override;
+  void finalize(Cycle end) override;
+  const EnergyBreakdown& energy() const override { return acct_.breakdown(); }
+  CacheStats aggregate_stats() const override { return cache_.stats(); }
+  std::uint64_t capacity_bytes() const override {
+    return cache_.config().size_bytes;
+  }
+  std::string describe() const override;
+  void set_eviction_observer(
+      std::function<void(const EvictionEvent&)> obs) override {
+    cache_.set_eviction_observer(std::move(obs));
+  }
+  void add_eviction_observer(
+      std::function<void(const EvictionEvent&)> obs) override {
+    cache_.add_eviction_observer(std::move(obs));
+  }
+
+  const SetAssocCache& array() const { return cache_; }
+  const TechParams& tech() const { return tech_; }
+  /// Fills skipped by the stream write-bypass predictor.
+  std::uint64_t bypassed_fills() const { return bypass_.bypasses(); }
+  /// Wear-leveling rotations performed so far.
+  std::uint64_t rotations() const { return rotations_; }
+
+ private:
+  void maybe_refresh(Cycle now);
+
+  SetAssocCache cache_;
+  TechParams tech_;
+  RefreshController refresher_;
+  EnergyAccountant acct_;
+  /// Banked write-queue timing: reads wait out at most the in-flight write.
+  void count_array_write();
+
+  BankModel banks_;
+  StreamBypassPredictor bypass_;
+  std::uint64_t wear_rotate_writes_ = 0;
+  std::uint64_t writes_since_rotation_ = 0;
+  std::uint64_t rotations_ = 0;
+  bool finalized_ = false;
+};
+
+}  // namespace mobcache

@@ -1,0 +1,4 @@
+#include "energy/energy_accountant.hpp"
+
+// EnergyAccountant is header-only today; this TU anchors the module and
+// keeps the build graph stable if out-of-line members are added.

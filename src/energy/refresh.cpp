@@ -1,0 +1,51 @@
+#include "energy/refresh.hpp"
+
+#include <vector>
+
+namespace mobcache {
+
+RefreshTickResult RefreshController::tick(SetAssocCache& cache, Cycle now,
+                                          const TechParams& tech,
+                                          EnergyAccountant& acct) {
+  RefreshTickResult r;
+  last_tick_ = now;
+  if (cache.retention_period() == 0) return r;  // nothing decays
+
+  if (policy_ != RefreshPolicy::InvalidateOnExpiry) {
+    // The scrub engine is autonomous hardware; this simulation only
+    // observes it at tick time. Rewrite every protected block that would
+    // expire before the next pass — including blocks whose deadline already
+    // passed (under sparse traffic the observation is late, but the real
+    // scrubber kept them alive; charge one refresh per elapsed period).
+    const Cycle horizon = now + interval_;
+    const Cycle period = cache.retention_period();
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> to_refresh;
+    std::uint64_t refresh_writes = 0;
+    const bool dirty_only = policy_ == RefreshPolicy::ScrubDirty;
+    cache.for_each_valid_block([&](std::uint32_t set, std::uint32_t way,
+                                   const BlockMeta& b) {
+      if (b.retention_deadline == 0) return;
+      if (dirty_only && !b.dirty) return;
+      if (b.retention_deadline > horizon) return;
+      to_refresh.emplace_back(set, way);
+      refresh_writes += b.retention_deadline <= now
+                            ? 1 + (now - b.retention_deadline) / period
+                            : 1;
+    });
+    for (auto [set, way] : to_refresh) cache.refresh_block(set, way, now);
+    r.refreshed = refresh_writes;
+    acct.add_refresh(tech, refresh_writes);
+  }
+
+  // Invalidate anything already past its deadline (under ScrubDirty these
+  // are clean blocks; under ScrubAll only blocks that decayed between
+  // passes, which a conforming interval makes impossible).
+  const auto [expired, dirty] = cache.expire_sweep(now);
+  r.expired_dirty = dirty;
+  r.expired_clean = expired - dirty;
+  // The expiry logic streams dirty victims to DRAM before the data decays.
+  acct.add_dram(dirty);
+  return r;
+}
+
+}  // namespace mobcache

@@ -1,0 +1,75 @@
+#pragma once
+/// \file refresh.hpp
+/// Scrub/refresh schemes for finite-retention STT-RAM segments.
+///
+/// Low-retention STT-RAM trades cheap writes for data that decays after
+/// t_ret. Something must handle blocks that outlive their retention:
+///  - InvalidateOnExpiry: let blocks die; dirty ones are written back to
+///    DRAM by the expiry logic (energy charged), clean ones just vanish and
+///    may cost a future miss.
+///  - ScrubDirty: rewrite only dirty blocks nearing expiry (no data loss,
+///    no DRAM traffic); clean blocks are allowed to expire. This is the
+///    paper-style compromise and the default.
+///  - ScrubAll: DRAM-style refresh of every live block nearing expiry;
+///    misses are never caused by retention, at maximal refresh energy.
+
+#include <cstdint>
+#include <string_view>
+
+#include "cache/set_assoc_cache.hpp"
+#include "energy/energy_accountant.hpp"
+#include "energy/technology.hpp"
+
+namespace mobcache {
+
+enum class RefreshPolicy : std::uint8_t {
+  InvalidateOnExpiry,
+  ScrubDirty,
+  ScrubAll,
+};
+
+constexpr std::string_view to_string(RefreshPolicy p) {
+  switch (p) {
+    case RefreshPolicy::InvalidateOnExpiry: return "invalidate";
+    case RefreshPolicy::ScrubDirty: return "scrub-dirty";
+    case RefreshPolicy::ScrubAll: return "scrub-all";
+  }
+  return "?";
+}
+
+/// Outcome of one maintenance pass (for stats/tests).
+struct RefreshTickResult {
+  std::uint64_t refreshed = 0;
+  std::uint64_t expired_clean = 0;
+  std::uint64_t expired_dirty = 0;
+};
+
+/// Periodic maintenance engine for one finite-retention cache array.
+///
+/// The owning L2 design calls tick() at least every check_interval cycles
+/// (epoch boundaries); the controller guarantees that with
+/// check_interval <= t_ret / 2, scrubbed blocks never expire.
+class RefreshController {
+ public:
+  RefreshController(RefreshPolicy policy, Cycle check_interval)
+      : policy_(policy), interval_(check_interval) {}
+
+  RefreshPolicy policy() const { return policy_; }
+  Cycle interval() const { return interval_; }
+
+  /// Runs one maintenance pass over `cache` at time `now`, charging scrub
+  /// writes and expiry DRAM writebacks to `acct` using `tech`.
+  RefreshTickResult tick(SetAssocCache& cache, Cycle now,
+                         const TechParams& tech, EnergyAccountant& acct);
+
+  /// True when it is time for another pass.
+  bool due(Cycle now) const { return now >= last_tick_ + interval_; }
+  void mark_ticked(Cycle now) { last_tick_ = now; }
+
+ private:
+  RefreshPolicy policy_;
+  Cycle interval_;
+  Cycle last_tick_ = 0;
+};
+
+}  // namespace mobcache

@@ -1,0 +1,186 @@
+#pragma once
+/// \file technology.hpp
+/// Analytical SRAM / STT-RAM technology model.
+///
+/// Replaces the NVSim/CACTI tables the paper used. All constants live in
+/// this header, are documented, and follow the functional forms that matter
+/// for the paper's conclusions:
+///   * SRAM leakage power is linear in capacity and dominates L2 energy in a
+///     mobile SoC — the source of the static technique's 75% saving.
+///   * Dynamic access energy grows ~sqrt(capacity) (bitline/wordline length).
+///   * STT-RAM cells do not leak (only peripheral logic does); reads cost
+///     about as much as SRAM reads; writes are expensive, and their
+///     energy/latency grow with the thermal stability factor Δ, which sets
+///     the retention time t_ret ≈ t0 · e^Δ.
+///
+/// The platform clock is 1 GHz, so 1 cycle == 1 ns throughout.
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace mobcache {
+
+/// Simulated core frequency; cycles ↔ seconds conversions assume this.
+inline constexpr double kClockHz = 1e9;
+
+/// Storage technology of a cache segment.
+enum class TechKind : std::uint8_t { Sram, SttRam };
+
+/// STT-RAM retention classes explored by the paper's multi-retention design.
+/// Retention times follow t_ret = t0 · e^Δ with t0 = 1 ns:
+///   Lo  : Δ ≈ 16.1 → ~10 ms   (needs scrubbing, cheapest writes)
+///   Mid : Δ ≈ 20.7 → ~1 s     (mild scrubbing)
+///   Hi  : Δ ≈ 40.3 → ~10 yr   (effectively non-volatile, costliest writes)
+enum class RetentionClass : std::uint8_t { Lo = 0, Mid = 1, Hi = 2 };
+
+inline constexpr int kRetentionClassCount = 3;
+
+constexpr std::string_view to_string(TechKind k) {
+  return k == TechKind::Sram ? "SRAM" : "STT-RAM";
+}
+
+constexpr std::string_view to_string(RetentionClass r) {
+  switch (r) {
+    case RetentionClass::Lo: return "LO(10ms)";
+    case RetentionClass::Mid: return "MID(1s)";
+    case RetentionClass::Hi: return "HI(10yr)";
+  }
+  return "?";
+}
+
+/// Everything the energy accountant and timing model need to know about one
+/// cache segment's array technology, already specialized to its capacity.
+struct TechParams {
+  TechKind kind = TechKind::Sram;
+  RetentionClass retention = RetentionClass::Hi;  // meaningful for SttRam only
+
+  double read_energy_nj = 0.0;    ///< per 64 B line read
+  double write_energy_nj = 0.0;   ///< per 64 B line write (fill/store/scrub)
+  double leakage_mw = 0.0;        ///< static power of the whole segment
+  Cycle read_latency = 0;         ///< cycles
+  Cycle write_latency = 0;        ///< cycles
+  Cycle retention_cycles = 0;     ///< 0 = effectively infinite
+  double cycle_ns = 1.0;          ///< wall time per core cycle (DVFS)
+
+  /// Leakage energy (nJ) over `cycles` cycles for a fraction `enabled`
+  /// (0..1) of the segment being powered (way gating). Static power burns
+  /// wall time, so slower clocks leak more per cycle.
+  double leakage_nj(Cycle cycles, double enabled = 1.0) const {
+    // mW · ns = pJ; /1e3 → nJ.
+    return leakage_mw * static_cast<double>(cycles) * cycle_ns * enabled /
+           1e3;
+  }
+};
+
+/// Reference constants (documented, 45 nm class, per 64 B line access).
+/// These are representative of the NVSim numbers used across the
+/// multi-retention STT-RAM literature; the paper's results are reported as
+/// ratios, which these preserve.
+namespace tech_constants {
+/// SRAM leakage power density. 2 MB → ~330 mW, the regime in which L2
+/// leakage dominates a mobile SoC's cache energy.
+inline constexpr double kSramLeakMwPerKb = 0.16;
+/// SRAM dynamic energy at the 2 MB reference point.
+inline constexpr double kSramReadNj2Mb = 0.28;
+inline constexpr double kSramWriteNj2Mb = 0.30;
+/// STT-RAM peripheral leakage relative to SRAM of equal capacity.
+inline constexpr double kSttLeakFactor = 0.22;
+/// STT-RAM read energy relative to SRAM read of equal capacity.
+inline constexpr double kSttReadFactor = 0.85;
+/// STT-RAM write energy at the 2 MB / Δ=40.3 (Hi) reference point.
+inline constexpr double kSttWriteNjHi2Mb = 1.95;
+/// Write energy scaling with Δ: E(Δ) = E_hi · (floor + (1-floor)·(Δ/Δ_hi)²).
+/// Quadratic: lowering Δ reduces both the switching current and the pulse
+/// width, so relaxing retention 10 yr → 10 ms cuts write energy ~4× (the
+/// trend reported by the multi-retention STT-RAM literature).
+inline constexpr double kWriteEnergyFloor = 0.12;
+/// Latencies at the 2 MB reference point (1 GHz cycles).
+inline constexpr Cycle kSramLat2Mb = 20;
+inline constexpr Cycle kSttReadLat2Mb = 21;
+inline constexpr Cycle kSttWriteLatHi2Mb = 42;
+inline constexpr Cycle kSttWriteLatMid2Mb = 26;
+inline constexpr Cycle kSttWriteLatLo2Mb = 22;
+/// Thermal stability factors for the three classes.
+inline constexpr double kDeltaLo = 16.1;
+inline constexpr double kDeltaMid = 20.7;
+inline constexpr double kDeltaHi = 40.3;
+/// Retention periods in cycles (1 GHz): 10 ms, 1 s, "infinite".
+inline constexpr Cycle kRetentionLoCycles = 10'000'000;        // 10 ms
+inline constexpr Cycle kRetentionMidCycles = 1'000'000'000;    // 1 s
+inline constexpr Cycle kRetentionHiCycles = 0;                 // non-volatile
+/// Off-chip access energy per 64 B line (LPDDR-class), and latency. This is
+/// what punishes shrinking the cache too far.
+inline constexpr double kDramAccessNj = 18.0;
+inline constexpr Cycle kDramLatency = 200;
+/// Visible per-miss stall after memory-level parallelism: MSHRs and DRAM
+/// banking overlap a large part of kDramLatency with other work, so the
+/// core observes ~kDramLatency/2.5 cycles of stall per L2 miss on average.
+inline constexpr Cycle kDramVisibleStall = 80;
+}  // namespace tech_constants
+
+/// Runtime-overridable copy of the technology constants, for sensitivity
+/// studies (experiment E13): "would the paper's conclusions survive a 2x
+/// error in any single constant?". Defaults mirror tech_constants.
+struct TechnologyConfig {
+  double sram_leak_mw_per_kb = tech_constants::kSramLeakMwPerKb;
+  double sram_read_nj_2mb = tech_constants::kSramReadNj2Mb;
+  double sram_write_nj_2mb = tech_constants::kSramWriteNj2Mb;
+  double stt_leak_factor = tech_constants::kSttLeakFactor;
+  double stt_read_factor = tech_constants::kSttReadFactor;
+  double stt_write_nj_hi_2mb = tech_constants::kSttWriteNjHi2Mb;
+  double write_energy_floor = tech_constants::kWriteEnergyFloor;
+  double dram_access_nj = tech_constants::kDramAccessNj;
+  /// Core clock period in ns (1.0 = the nominal 1 GHz). DVFS experiment
+  /// E17: DRAM wall time is fixed, so its visible stall in cycles scales
+  /// with the clock; leakage energy scales with wall time.
+  double cycle_ns = 1.0;
+  /// Junction temperature in kelvin. The thermal stability factor is
+  /// Δ = E_b/(k_B·T), so Δ(T) = Δ(T0)·T0/T with T0 = 318 K (45 °C, the
+  /// temperature the class Δ values are specified at). Hotter silicon
+  /// shortens retention exponentially (experiment E19).
+  double temperature_k = 318.0;
+};
+
+/// Reference temperature the retention classes are specified at (45 °C).
+inline constexpr double kNominalTempK = 318.0;
+
+/// Effective Δ of a class at the active temperature.
+double delta_at_temperature(RetentionClass r);
+
+/// Visible DRAM stall at the active clock (kDramVisibleStall is specified
+/// at 1 GHz; a faster clock waits more cycles for the same wall time).
+Cycle dram_visible_stall_cycles();
+
+/// The active technology configuration (process-global; simulations are
+/// single-threaded). Prefer ScopedTechnology over mutating directly.
+const TechnologyConfig& technology();
+
+/// RAII override of the active configuration; restores on destruction.
+class ScopedTechnology {
+ public:
+  explicit ScopedTechnology(const TechnologyConfig& cfg);
+  ~ScopedTechnology();
+  ScopedTechnology(const ScopedTechnology&) = delete;
+  ScopedTechnology& operator=(const ScopedTechnology&) = delete;
+
+ private:
+  TechnologyConfig prev_;
+};
+
+/// SRAM segment of the given capacity (uses the active configuration).
+TechParams make_sram(std::uint64_t capacity_bytes);
+
+/// STT-RAM segment of the given capacity and retention class.
+TechParams make_sttram(std::uint64_t capacity_bytes, RetentionClass r);
+
+/// Δ for a retention class (exposed for reports/tests).
+double delta_of(RetentionClass r);
+
+/// Retention period in cycles for a class at the active temperature and
+/// clock (0 = infinite). At the nominal 318 K this returns the documented
+/// 10 ms / 1 s / ∞ values.
+Cycle retention_cycles_of(RetentionClass r);
+
+}  // namespace mobcache

@@ -1,0 +1,220 @@
+#include "exp/json_export.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "exp/report.hpp"
+
+namespace mobcache {
+
+void JsonWriter::comma_if_needed() {
+  if (expecting_value_) return;  // after a key, no comma
+  if (!stack_.empty() && stack_.back().second) out_ += ',';
+  if (!stack_.empty()) stack_.back().second = true;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  comma_if_needed();
+  expecting_value_ = false;
+  out_ += '{';
+  stack_.emplace_back('o', false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  assert(!stack_.empty() && stack_.back().first == 'o');
+  stack_.pop_back();
+  out_ += '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  comma_if_needed();
+  expecting_value_ = false;
+  out_ += '[';
+  stack_.emplace_back('a', false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  assert(!stack_.empty() && stack_.back().first == 'a');
+  stack_.pop_back();
+  out_ += ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(const std::string& k) {
+  assert(!stack_.empty() && stack_.back().first == 'o');
+  comma_if_needed();
+  out_ += '"';
+  out_ += json_escape(k);
+  out_ += "\":";
+  expecting_value_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& v) {
+  comma_if_needed();
+  expecting_value_ = false;
+  out_ += '"';
+  out_ += json_escape(v);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const char* v) { return value(std::string(v)); }
+
+JsonWriter& JsonWriter::value(double v) {
+  comma_if_needed();
+  expecting_value_ = false;
+  if (!std::isfinite(v)) {
+    out_ += "null";
+    return *this;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  comma_if_needed();
+  expecting_value_ = false;
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  comma_if_needed();
+  expecting_value_ = false;
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  comma_if_needed();
+  expecting_value_ = false;
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+const std::string& JsonWriter::str() const {
+  assert(stack_.empty());
+  return out_;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void write_cache_stats(JsonWriter& w, const CacheStats& s) {
+  w.begin_object();
+  w.key("accesses").value(s.total_accesses());
+  w.key("hits").value(s.total_hits());
+  w.key("miss_rate").value(s.miss_rate());
+  w.key("kernel_fraction").value(s.kernel_access_fraction());
+  w.key("writebacks").value(s.writebacks);
+  w.key("cross_mode_evictions").value(s.cross_mode_evictions);
+  w.key("expired_blocks").value(s.expired_blocks);
+  w.key("refreshes").value(s.refreshes);
+  w.key("prefetch_fills").value(s.prefetch_fills);
+  w.key("useful_prefetches").value(s.useful_prefetches);
+  w.end_object();
+}
+
+}  // namespace
+
+void write_sim_result(JsonWriter& w, const SimResult& r) {
+  w.begin_object();
+  w.key("workload").value(r.workload);
+  w.key("scheme").value(r.scheme);
+  w.key("records").value(r.records);
+  w.key("cycles").value(r.cycles);
+  w.key("cpi").value(r.cpi);
+  w.key("stall_l2_hit_cycles").value(r.stall_l2_hit_cycles);
+  w.key("stall_l2_miss_cycles").value(r.stall_l2_miss_cycles);
+  w.key("l2_capacity_bytes").value(r.l2_capacity_bytes);
+  w.key("l2_avg_enabled_bytes").value(r.l2_avg_enabled_bytes);
+  w.key("edp").value(r.edp());
+  w.key("energy_nj");
+  w.begin_object();
+  w.key("leakage").value(r.l2_energy.leakage_nj);
+  w.key("read").value(r.l2_energy.read_nj);
+  w.key("write").value(r.l2_energy.write_nj);
+  w.key("refresh").value(r.l2_energy.refresh_nj);
+  w.key("dram").value(r.l2_energy.dram_nj);
+  w.key("cache_total").value(r.l2_energy.cache_nj());
+  w.key("l1").value(r.l1_energy_nj);
+  w.end_object();
+  w.key("l2");
+  write_cache_stats(w, r.l2);
+  w.key("l1i");
+  write_cache_stats(w, r.l1i);
+  w.key("l1d");
+  write_cache_stats(w, r.l1d);
+  w.end_object();
+}
+
+std::string experiment_to_json(const std::string& experiment_id,
+                               const std::vector<SchemeSuiteResult>& results) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("experiment").value(experiment_id);
+  w.key("schemes");
+  w.begin_array();
+  for (const SchemeSuiteResult& r : results) {
+    w.begin_object();
+    w.key("name").value(r.name);
+    w.key("norm_cache_energy").value(r.norm_cache_energy);
+    w.key("norm_total_energy").value(r.norm_total_energy);
+    w.key("norm_exec_time").value(r.norm_exec_time);
+    w.key("avg_miss_rate").value(r.avg_miss_rate);
+    w.key("per_workload");
+    w.begin_array();
+    for (const SimResult& s : r.per_workload) write_sim_result(w, s);
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+bool write_experiment_json(const std::string& experiment_id,
+                           const std::vector<SchemeSuiteResult>& results,
+                           const std::string& filename) {
+  const std::string path = results_path(filename);
+  std::error_code ec;
+  const auto parent = std::filesystem::path(path).parent_path();
+  if (!parent.empty()) std::filesystem::create_directories(parent, ec);
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) return false;
+  f << experiment_to_json(experiment_id, results);
+  return static_cast<bool>(f);
+}
+
+}  // namespace mobcache

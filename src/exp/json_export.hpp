@@ -1,0 +1,61 @@
+#pragma once
+/// \file json_export.hpp
+/// JSON serialization of simulation results — the machine-readable
+/// counterpart of the console tables, for plotting scripts and downstream
+/// analysis (scripts/plot_results.py consumes this).
+///
+/// Hand-rolled writer (no third-party dependency): emits a strict subset of
+/// JSON — objects, arrays, strings, finite doubles, integers, booleans.
+
+#include <string>
+#include <vector>
+
+#include "exp/runner.hpp"
+
+namespace mobcache {
+
+/// Minimal JSON value builder. Values are appended in document order;
+/// the writer validates nesting (object keys, array elements).
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+  /// Starts a key inside an object; follow with exactly one value.
+  JsonWriter& key(const std::string& k);
+  JsonWriter& value(const std::string& v);
+  JsonWriter& value(const char* v);
+  JsonWriter& value(double v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(bool v);
+
+  /// The finished document. Must be called at nesting depth zero.
+  const std::string& str() const;
+
+ private:
+  void comma_if_needed();
+  std::string out_;
+  /// Stack of 'o' (object) / 'a' (array) with a "has elements" flag.
+  std::vector<std::pair<char, bool>> stack_;
+  bool expecting_value_ = false;
+};
+
+/// Escapes a string per RFC 8259 (quotes, backslashes, control chars).
+std::string json_escape(const std::string& s);
+
+/// Serializes one workload's SimResult.
+void write_sim_result(JsonWriter& w, const SimResult& r);
+
+/// Serializes a full scheme-comparison experiment (per-workload results +
+/// normalized aggregates).
+std::string experiment_to_json(const std::string& experiment_id,
+                               const std::vector<SchemeSuiteResult>& results);
+
+/// Writes experiment_to_json() to results_path(filename); returns success.
+bool write_experiment_json(const std::string& experiment_id,
+                           const std::vector<SchemeSuiteResult>& results,
+                           const std::string& filename);
+
+}  // namespace mobcache

@@ -1,0 +1,110 @@
+#include "exp/runner.hpp"
+
+#include "common/stats.hpp"
+
+namespace mobcache {
+
+ExperimentRunner::ExperimentRunner(std::vector<AppId> apps,
+                                   std::uint64_t accesses, std::uint64_t seed)
+    : apps_(std::move(apps)),
+      traces_(generate_suite(apps_, accesses, seed)) {}
+
+SchemeSuiteResult ExperimentRunner::run_scheme(SchemeKind kind,
+                                               const SchemeParams& params) {
+  SchemeSuiteResult r = run_custom(
+      scheme_name(kind), [&] { return build_scheme(kind, params); });
+  r.kind = kind;
+  return r;
+}
+
+SchemeSuiteResult ExperimentRunner::run_custom(
+    const std::string& name,
+    const std::function<std::unique_ptr<L2Interface>()>& builder) {
+  SchemeSuiteResult out;
+  out.name = name;
+  out.per_workload.reserve(traces_.size());
+  double miss_sum = 0.0;
+  for (const Trace& t : traces_) {
+    SimResult res = simulate(t, builder(), sim_options);
+    miss_sum += res.l2_miss_rate();
+    out.per_workload.push_back(std::move(res));
+  }
+  if (!traces_.empty())
+    out.avg_miss_rate = miss_sum / static_cast<double>(traces_.size());
+  return out;
+}
+
+std::vector<SchemeSuiteResult> ExperimentRunner::run_headline(
+    const SchemeParams& params) {
+  std::vector<SchemeSuiteResult> all;
+  for (SchemeKind k : headline_schemes()) all.push_back(run_scheme(k, params));
+  normalize(all);
+  return all;
+}
+
+void ExperimentRunner::normalize(std::vector<SchemeSuiteResult>& results) {
+  if (results.empty()) return;
+  const SchemeSuiteResult& base = results[0];
+  for (SchemeSuiteResult& r : results) {
+    std::vector<double> e_cache, e_total, t_exec;
+    for (std::size_t w = 0; w < r.per_workload.size(); ++w) {
+      const SimResult& s = r.per_workload[w];
+      const SimResult& b = base.per_workload[w];
+      const double base_cache = b.l2_energy.cache_nj();
+      const double base_total = b.l2_energy.total_nj();
+      const double base_cycles = static_cast<double>(b.cycles);
+      if (base_cache > 0) e_cache.push_back(s.l2_energy.cache_nj() / base_cache);
+      if (base_total > 0) e_total.push_back(s.l2_energy.total_nj() / base_total);
+      if (base_cycles > 0)
+        t_exec.push_back(static_cast<double>(s.cycles) / base_cycles);
+    }
+    r.norm_cache_energy = geomean(e_cache);
+    r.norm_total_energy = geomean(e_total);
+    r.norm_exec_time = geomean(t_exec);
+  }
+}
+
+namespace {
+
+SeedStat to_stat(const RunningStat& r) {
+  return {r.mean(), r.stddev(), r.min(), r.max()};
+}
+
+}  // namespace
+
+std::vector<MultiSeedResult> run_multi_seed(
+    const std::vector<AppId>& apps, std::uint64_t accesses,
+    const std::vector<std::uint64_t>& seeds,
+    const std::vector<SchemeKind>& schemes, const SchemeParams& params) {
+  std::vector<RunningStat> energy(schemes.size());
+  std::vector<RunningStat> time(schemes.size());
+  std::vector<RunningStat> miss(schemes.size());
+
+  for (std::uint64_t seed : seeds) {
+    ExperimentRunner runner(apps, accesses, seed);
+    std::vector<SchemeSuiteResult> results;
+    results.reserve(schemes.size());
+    for (SchemeKind k : schemes) results.push_back(runner.run_scheme(k, params));
+    ExperimentRunner::normalize(results);
+    for (std::size_t i = 0; i < schemes.size(); ++i) {
+      energy[i].add(results[i].norm_cache_energy);
+      time[i].add(results[i].norm_exec_time);
+      miss[i].add(results[i].avg_miss_rate);
+    }
+  }
+
+  std::vector<MultiSeedResult> out;
+  out.reserve(schemes.size());
+  for (std::size_t i = 0; i < schemes.size(); ++i) {
+    MultiSeedResult r;
+    r.kind = schemes[i];
+    r.name = scheme_name(schemes[i]);
+    r.cache_energy = to_stat(energy[i]);
+    r.exec_time = to_stat(time[i]);
+    r.miss_rate = to_stat(miss[i]);
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+}  // namespace mobcache

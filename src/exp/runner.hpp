@@ -1,0 +1,89 @@
+#pragma once
+/// \file runner.hpp
+/// Workload-suite × scheme experiment driver with baseline normalization —
+/// the engine behind every bench binary.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/scheme.hpp"
+#include "sim/simulator.hpp"
+#include "workload/suite.hpp"
+
+namespace mobcache {
+
+/// One scheme evaluated over a suite.
+struct SchemeSuiteResult {
+  SchemeKind kind = SchemeKind::BaselineSram;
+  std::string name;
+  std::vector<SimResult> per_workload;  ///< aligned with the suite order
+
+  /// Normalized-to-baseline aggregates (geomean over workloads); filled by
+  /// ExperimentRunner when a baseline is present.
+  double norm_cache_energy = 1.0;
+  double norm_total_energy = 1.0;
+  double norm_exec_time = 1.0;
+  double avg_miss_rate = 0.0;
+};
+
+class ExperimentRunner {
+ public:
+  /// `apps` defines the suite; traces are generated once and shared by all
+  /// schemes. `accesses` is records per app.
+  ExperimentRunner(std::vector<AppId> apps, std::uint64_t accesses,
+                   std::uint64_t seed = 1);
+
+  /// Runs one scheme (fresh L2 per workload via the factory).
+  SchemeSuiteResult run_scheme(SchemeKind kind, const SchemeParams& params = {});
+
+  /// Runs a custom design (the builder is invoked once per workload).
+  SchemeSuiteResult run_custom(
+      const std::string& name,
+      const std::function<std::unique_ptr<L2Interface>()>& builder);
+
+  /// Runs all headline schemes and normalizes against the first (baseline).
+  std::vector<SchemeSuiteResult> run_headline(const SchemeParams& params = {});
+
+  /// Normalizes `results` in place against `results[0]` per workload, then
+  /// geomeans across workloads.
+  static void normalize(std::vector<SchemeSuiteResult>& results);
+
+  const std::vector<Trace>& traces() const { return traces_; }
+  const std::vector<AppId>& apps() const { return apps_; }
+
+  SimOptions sim_options;  ///< shared hierarchy/timing configuration
+
+ private:
+  std::vector<AppId> apps_;
+  std::vector<Trace> traces_;
+};
+
+/// Mean and sample standard deviation of a normalized metric across seeds.
+struct SeedStat {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// One scheme's cross-seed statistics.
+struct MultiSeedResult {
+  SchemeKind kind = SchemeKind::BaselineSram;
+  std::string name;
+  SeedStat cache_energy;
+  SeedStat exec_time;
+  SeedStat miss_rate;
+};
+
+/// Runs `schemes` over fresh suites generated from each seed, normalizing
+/// against schemes.front() per seed, and aggregates across seeds. This is
+/// the statistical-rigor pass: a conclusion that does not survive the seed
+/// noise band is not a conclusion (bench E14).
+std::vector<MultiSeedResult> run_multi_seed(
+    const std::vector<AppId>& apps, std::uint64_t accesses,
+    const std::vector<std::uint64_t>& seeds,
+    const std::vector<SchemeKind>& schemes,
+    const SchemeParams& params = {});
+
+}  // namespace mobcache

@@ -1,0 +1,3 @@
+#include "sim/cpi_model.hpp"
+
+// Header-only today; anchor TU.

@@ -1,0 +1,61 @@
+#pragma once
+/// \file cpi_model.hpp
+/// In-order-core timing model.
+///
+/// The simulated core is a single-issue in-order mobile core (Cortex-A15 /
+/// Krait class for 2015). Every trace record — an instruction fetch or the
+/// memory op of an instruction — costs one base cycle; memory stalls from
+/// the hierarchy add on top:
+///
+///   cycles = records · base_cpi + Σ stalls
+///
+/// Execution-time comparisons between schemes are ratios of these cycle
+/// counts, which is exactly how the paper reports "performance loss".
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace mobcache {
+
+struct TimingParams {
+  /// Cycles per record before memory stalls. 2.0 models an in-order mobile
+  /// core (IPC ≈ 0.5 on interactive code: branches, dependences, front-end
+  /// bubbles) — the regime in which L2 leakage dominates L2 energy.
+  double base_cpi = 2.0;
+};
+
+class CpiModel {
+ public:
+  explicit CpiModel(const TimingParams& p = {}) : params_(p) {}
+
+  /// Advances time by one record plus its stall; returns the new now.
+  Cycle retire(Cycle stall) {
+    ++records_;
+    stall_cycles_ += stall;
+    return now();
+  }
+
+  Cycle now() const {
+    return static_cast<Cycle>(static_cast<double>(records_) *
+                              params_.base_cpi) +
+           stall_cycles_;
+  }
+
+  std::uint64_t records() const { return records_; }
+  Cycle stall_cycles() const { return stall_cycles_; }
+
+  /// Cycles per record; degenerate (0) before any retire.
+  double cpi() const {
+    return records_ == 0 ? 0.0
+                         : static_cast<double>(now()) /
+                               static_cast<double>(records_);
+  }
+
+ private:
+  TimingParams params_;
+  std::uint64_t records_ = 0;
+  Cycle stall_cycles_ = 0;
+};
+
+}  // namespace mobcache

@@ -1,0 +1,46 @@
+#include "sim/simulator.hpp"
+
+namespace mobcache {
+
+SimResult simulate(const Trace& trace, L2Interface& l2,
+                   const SimOptions& opts) {
+  SimResult res;
+  res.workload = trace.name();
+  res.scheme = l2.describe();
+  res.l2_capacity_bytes = l2.capacity_bytes();
+
+  if (opts.l2_eviction_observer) {
+    l2.set_eviction_observer(opts.l2_eviction_observer);
+  }
+
+  MemoryHierarchy hier(opts.hierarchy, l2);
+  CpiModel cpu(opts.timing);
+
+  Cycle now = 0;
+  for (const Access& a : trace.accesses()) {
+    const Cycle stall = hier.access(a, now);
+    now = cpu.retire(stall);
+  }
+  hier.finalize(now);
+
+  res.records = cpu.records();
+  res.cycles = cpu.now();
+  res.cpi = cpu.cpi();
+  res.l1i = hier.l1i_stats();
+  res.l1d = hier.l1d_stats();
+  res.l2 = hier.l2().aggregate_stats();
+  res.l2_energy = hier.l2().energy();
+  res.l1_energy_nj = hier.l1_energy_nj();
+  res.l2_avg_enabled_bytes = hier.l2().avg_enabled_bytes();
+  res.stall_l2_hit_cycles = hier.stall_l2_hit_cycles();
+  res.stall_l2_miss_cycles = hier.stall_l2_miss_cycles();
+  res.prefetches_issued = hier.prefetches_issued();
+  return res;
+}
+
+SimResult simulate(const Trace& trace, std::unique_ptr<L2Interface> l2,
+                   const SimOptions& opts) {
+  return simulate(trace, *l2, opts);
+}
+
+}  // namespace mobcache

@@ -1,0 +1,64 @@
+#pragma once
+/// \file simulator.hpp
+/// Drives one trace through one hierarchy and collects everything the
+/// evaluation needs.
+
+#include <memory>
+#include <string>
+
+#include "energy/energy_accountant.hpp"
+#include "sim/cpi_model.hpp"
+#include "sim/hierarchy.hpp"
+#include "trace/trace.hpp"
+
+namespace mobcache {
+
+struct SimResult {
+  std::string workload;
+  std::string scheme;
+
+  std::uint64_t records = 0;
+  Cycle cycles = 0;
+  double cpi = 0.0;
+
+  CacheStats l1i;
+  CacheStats l1d;
+  CacheStats l2;
+  EnergyBreakdown l2_energy;
+  double l1_energy_nj = 0.0;
+
+  std::uint64_t l2_capacity_bytes = 0;
+  double l2_avg_enabled_bytes = 0.0;
+
+  /// CPI stack: stall cycles split by where the data came from.
+  Cycle stall_l2_hit_cycles = 0;
+  Cycle stall_l2_miss_cycles = 0;
+  std::uint64_t prefetches_issued = 0;
+
+  /// Energy-delay product of the L2 subsystem (nJ · cycles); compare as
+  /// ratios between schemes.
+  double edp() const {
+    return l2_energy.cache_nj() * static_cast<double>(cycles);
+  }
+
+  double l2_miss_rate() const { return l2.miss_rate(); }
+  double l2_kernel_fraction() const { return l2.kernel_access_fraction(); }
+};
+
+struct SimOptions {
+  HierarchyConfig hierarchy;
+  TimingParams timing;
+  /// Optional eviction observer installed on the L2 before the run.
+  std::function<void(const EvictionEvent&)> l2_eviction_observer;
+};
+
+/// Runs `trace` against the given L2 design (non-owning: the caller keeps
+/// the design and can inspect it after the run).
+SimResult simulate(const Trace& trace, L2Interface& l2,
+                   const SimOptions& opts = {});
+
+/// Owning convenience overload; the design is destroyed on return.
+SimResult simulate(const Trace& trace, std::unique_ptr<L2Interface> l2,
+                   const SimOptions& opts = {});
+
+}  // namespace mobcache

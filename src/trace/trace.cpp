@@ -1,0 +1,34 @@
+#include "trace/trace.hpp"
+
+#include <unordered_set>
+
+namespace mobcache {
+
+TraceSummary Trace::summarize() const {
+  TraceSummary s;
+  std::unordered_set<Addr> user_lines;
+  std::unordered_set<Addr> kernel_lines;
+  for (const Access& a : accesses_) {
+    ++s.total;
+    ++s.by_mode[static_cast<int>(a.mode)];
+    if (a.is_write()) ++s.writes;
+    if (a.is_ifetch()) ++s.ifetches;
+    if (a.mode == Mode::User) {
+      user_lines.insert(line_addr(a.addr));
+    } else {
+      kernel_lines.insert(line_addr(a.addr));
+    }
+  }
+  s.distinct_lines_user = user_lines.size();
+  s.distinct_lines_kernel = kernel_lines.size();
+  return s;
+}
+
+bool Trace::modes_consistent_with_addresses() const {
+  for (const Access& a : accesses_) {
+    if (is_kernel_addr(a.addr) != (a.mode == Mode::Kernel)) return false;
+  }
+  return true;
+}
+
+}  // namespace mobcache

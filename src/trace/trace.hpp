@@ -1,0 +1,74 @@
+#pragma once
+/// \file trace.hpp
+/// Memory-access trace representation.
+///
+/// A Trace is the interface between the workload generator (or an external
+/// trace file) and the simulated memory hierarchy. Records carry the
+/// privilege mode explicitly — the property the whole paper is built on.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace mobcache {
+
+/// One dynamic memory reference.
+struct Access {
+  Addr addr = 0;        ///< virtual byte address (kernel half ⇔ Mode::Kernel)
+  AccessType type = AccessType::Read;
+  Mode mode = Mode::User;
+  std::uint16_t thread = 0;  ///< simulated thread/context id
+
+  bool is_ifetch() const { return type == AccessType::InstFetch; }
+  bool is_write() const { return type == AccessType::Write; }
+};
+
+/// Aggregate counts over a trace, split by mode.
+struct TraceSummary {
+  std::uint64_t total = 0;
+  std::uint64_t by_mode[kModeCount] = {0, 0};
+  std::uint64_t writes = 0;
+  std::uint64_t ifetches = 0;
+  std::uint64_t distinct_lines_user = 0;
+  std::uint64_t distinct_lines_kernel = 0;
+
+  double kernel_fraction() const {
+    return total == 0 ? 0.0
+                      : static_cast<double>(by_mode[1]) /
+                            static_cast<double>(total);
+  }
+};
+
+/// In-memory access trace with provenance metadata.
+class Trace {
+ public:
+  Trace() = default;
+  explicit Trace(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string n) { name_ = std::move(n); }
+
+  void reserve(std::size_t n) { accesses_.reserve(n); }
+  void push(const Access& a) { accesses_.push_back(a); }
+
+  const std::vector<Access>& accesses() const { return accesses_; }
+  std::size_t size() const { return accesses_.size(); }
+  bool empty() const { return accesses_.empty(); }
+  const Access& operator[](std::size_t i) const { return accesses_[i]; }
+
+  /// Full scan computing mode/type mix and distinct-footprint counts.
+  TraceSummary summarize() const;
+
+  /// Sanity invariant: every record's mode matches its address-space half.
+  /// The generator maintains this by construction; trace files are checked
+  /// on load.
+  bool modes_consistent_with_addresses() const;
+
+ private:
+  std::string name_;
+  std::vector<Access> accesses_;
+};
+
+}  // namespace mobcache

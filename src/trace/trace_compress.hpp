@@ -1,0 +1,31 @@
+#pragma once
+/// \file trace_compress.hpp
+/// Compressed on-disk trace format (".mctz").
+///
+/// The flat .mct format spends 24 bytes per record; memory traces are
+/// extremely delta-compressible (streams, loops, fixed strides). The .mctz
+/// encoding stores per record:
+///   meta byte  : type (2 b) | mode (1 b) | thread-changed (1 b) | reserved
+///   addr delta : zigzag varint of (addr - previous addr of the same mode)
+///   [thread]   : varint, only when thread-changed
+/// Typical synthetic mobile traces compress 4–6× (pinned by tests), which
+/// matters once traces reach hundreds of millions of records.
+
+#include <optional>
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace mobcache {
+
+/// Writes the compressed trace; returns false on I/O failure.
+bool write_trace_compressed(const Trace& trace, const std::string& path);
+
+/// Loads a compressed trace; std::nullopt on missing/corrupt input or a
+/// record whose mode contradicts its address half.
+std::optional<Trace> read_trace_compressed(const std::string& path);
+
+/// Convenience: picks the reader by file magic (.mct or .mctz).
+std::optional<Trace> read_trace_any(const std::string& path);
+
+}  // namespace mobcache

@@ -1,0 +1,87 @@
+#include "trace/trace_io.hpp"
+
+#include <array>
+#include <cstring>
+#include <fstream>
+
+namespace mobcache {
+namespace {
+
+constexpr std::uint64_t kMagic = 0x3148434143424f4dull;  // "MOBCAC H1"
+
+struct RawRecord {
+  std::uint64_t addr;
+  std::uint64_t reserved;
+  std::uint8_t type;
+  std::uint8_t mode;
+  std::uint16_t thread;
+  std::uint32_t pad;
+};
+static_assert(sizeof(RawRecord) == 24);
+
+template <typename T>
+void put(std::ofstream& f, const T& v) {
+  f.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+template <typename T>
+bool get(std::ifstream& f, T& v) {
+  f.read(reinterpret_cast<char*>(&v), sizeof v);
+  return static_cast<bool>(f);
+}
+
+}  // namespace
+
+bool write_trace(const Trace& trace, const std::string& path) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) return false;
+  put(f, kMagic);
+  const auto name_len = static_cast<std::uint32_t>(trace.name().size());
+  put(f, name_len);
+  f.write(trace.name().data(), name_len);
+  const std::uint64_t count = trace.size();
+  put(f, count);
+  for (const Access& a : trace.accesses()) {
+    RawRecord r{};
+    r.addr = a.addr;
+    r.reserved = 0;
+    r.type = static_cast<std::uint8_t>(a.type);
+    r.mode = static_cast<std::uint8_t>(a.mode);
+    r.thread = a.thread;
+    r.pad = 0;
+    f.write(reinterpret_cast<const char*>(&r), sizeof r);
+  }
+  return static_cast<bool>(f);
+}
+
+std::optional<Trace> read_trace(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return std::nullopt;
+  std::uint64_t magic = 0;
+  if (!get(f, magic) || magic != kMagic) return std::nullopt;
+  std::uint32_t name_len = 0;
+  if (!get(f, name_len) || name_len > (1u << 20)) return std::nullopt;
+  std::string name(name_len, '\0');
+  f.read(name.data(), name_len);
+  if (!f) return std::nullopt;
+  std::uint64_t count = 0;
+  if (!get(f, count)) return std::nullopt;
+
+  Trace trace(std::move(name));
+  trace.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    RawRecord r{};
+    if (!get(f, r)) return std::nullopt;
+    if (r.type > 2 || r.mode > 1) return std::nullopt;
+    Access a;
+    a.addr = r.addr;
+    a.type = static_cast<AccessType>(r.type);
+    a.mode = static_cast<Mode>(r.mode);
+    a.thread = r.thread;
+    trace.push(a);
+  }
+  if (!trace.modes_consistent_with_addresses()) return std::nullopt;
+  return trace;
+}
+
+}  // namespace mobcache

@@ -1,0 +1,30 @@
+#pragma once
+/// \file trace_io.hpp
+/// Compact binary on-disk trace format (".mct" — mobcache trace).
+///
+/// Layout (little endian):
+///   magic   u64  'MOBCACH1'
+///   name_len u32, name bytes
+///   count   u64
+///   count × { addr u64, pc-reserved u64=0, type u8, mode u8, thread u16,
+///             pad u32 }
+///
+/// The fixed 24-byte record keeps reads/writes trivially seekable; traces at
+/// the scales used here (≤ tens of millions of records) load in well under a
+/// second.
+
+#include <optional>
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace mobcache {
+
+/// Writes the trace; returns false on I/O failure.
+bool write_trace(const Trace& trace, const std::string& path);
+
+/// Loads a trace; returns std::nullopt on missing file, bad magic,
+/// truncation, or a record whose mode contradicts its address half.
+std::optional<Trace> read_trace(const std::string& path);
+
+}  // namespace mobcache

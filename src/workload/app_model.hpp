@@ -1,0 +1,101 @@
+#pragma once
+/// \file app_model.hpp
+/// Parameterized models of mobile applications.
+///
+/// Each app is a small phase machine. A phase describes the user-mode
+/// behavior (hot code, data working set and access pattern) plus the rates
+/// at which it invokes kernel services. Interactive apps alternate
+/// bursty user computation with dense kernel activity (input, binder, I/O,
+/// vsync); compute apps grind through large working sets with few syscalls.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "workload/kernel_model.hpp"
+
+namespace mobcache {
+
+/// The modeled application suite. The first eight are the interactive
+/// smartphone apps of the paper's motivation; the last two are
+/// compute-bound controls with low kernel share.
+enum class AppId : std::uint8_t {
+  Launcher,
+  Browser,
+  Game,
+  VideoPlayer,
+  AudioPlayer,
+  Email,
+  Maps,
+  Social,
+  ComputeFft,
+  ComputeMatmul,
+  Camera,     ///< viewfinder + burst capture: DMA-heavy, page-fault bursts
+  Messenger,  ///< chat: long idle, notification-driven kernel activity
+};
+
+inline constexpr int kAppCount = 12;
+
+const char* app_name(AppId id);
+
+/// How a phase walks its data working set.
+enum class AccessPattern : std::uint8_t {
+  ZipfReuse,     ///< skewed reuse: hot subset pinned, long tail
+  Stream,        ///< sequential, no reuse beyond spatial
+  Stride,        ///< fixed-stride sweep (image rows, audio frames)
+  PointerChase,  ///< dependent random walk (DOM/JS objects, maps tiles)
+};
+
+/// Kernel invocation rate: expected episodes per 1000 user-mode accesses.
+struct ServiceRate {
+  KernelService service;
+  double per_kilo_user;
+};
+
+struct PhaseSpec {
+  std::string name;
+  /// User code: number of hot text lines and zipf skew (small + skewed =>
+  /// excellent L1I locality, the opposite of kernel paths).
+  std::uint32_t hot_code_lines = 192;
+  double code_zipf_alpha = 1.1;
+  /// Instruction fetches emitted per data access.
+  double ifetch_per_data = 2.0;
+  /// Data working set.
+  std::uint64_t ws_bytes = 512ull << 10;
+  AccessPattern pattern = AccessPattern::ZipfReuse;
+  double data_zipf_alpha = 0.95;  ///< for ZipfReuse
+  std::uint32_t stride_lines = 4;  ///< for Stride
+  double store_fraction = 0.25;
+  /// Mean user-mode accesses spent in the phase per visit.
+  std::uint64_t mean_phase_len = 150'000;
+  /// Kernel services this phase triggers.
+  std::vector<ServiceRate> services;
+};
+
+struct AppSpec {
+  AppId id = AppId::Launcher;
+  std::string name;
+  bool interactive = true;
+  std::vector<PhaseSpec> phases;
+  /// Phase selection weights (row = current phase, col = next). Empty =>
+  /// uniform random next phase.
+  std::vector<std::vector<double>> transitions;
+  /// Scheduler tick every this many user accesses (models the periodic
+  /// timer interrupt, present in every app).
+  std::uint64_t sched_tick_interval = 4000;
+};
+
+/// Builds the calibrated spec for one app.
+AppSpec make_app(AppId id);
+
+/// All twelve apps.
+std::vector<AppId> all_apps();
+/// The eight interactive apps (paper's primary suite, frozen so headline
+/// numbers stay comparable across versions).
+std::vector<AppId> interactive_apps();
+/// Additional interactive apps beyond the primary suite (camera,
+/// messenger) — used by the robustness experiments.
+std::vector<AppId> extra_apps();
+
+}  // namespace mobcache

@@ -1,0 +1,158 @@
+#include "workload/generator.hpp"
+
+#include <memory>
+
+#include "common/rng.hpp"
+
+namespace mobcache {
+namespace {
+
+/// User-space address plan: one text slice and one data arena per phase, so
+/// phases have disjoint footprints (as different activity in a real app
+/// does) while revisits to a phase re-touch the same lines.
+constexpr Addr kUserTextBase = 0x0000'0000'0040'0000ull;
+constexpr Addr kUserDataBase = 0x0000'7000'0000'0000ull;
+constexpr std::uint64_t kPhaseTextSlice = 1ull << 20;
+constexpr std::uint64_t kPhaseDataSlice = 1ull << 32;
+
+/// Runtime cursor state for one phase.
+struct PhaseState {
+  std::unique_ptr<ZipfSampler> code;
+  std::unique_ptr<ZipfSampler> data_zipf;
+  std::uint64_t ws_lines = 0;
+  std::uint64_t stream_cursor = 0;
+  std::uint64_t stride_cursor = 0;
+  std::uint64_t chase_cursor = 1;
+};
+
+Addr phase_text_base(std::size_t phase) {
+  return kUserTextBase + phase * kPhaseTextSlice;
+}
+Addr phase_data_base(std::size_t phase) {
+  return kUserDataBase + phase * kPhaseDataSlice;
+}
+
+}  // namespace
+
+Trace generate_trace(const AppSpec& spec, const GeneratorConfig& cfg) {
+  Trace trace(spec.name);
+  trace.reserve(cfg.target_accesses + 4096);
+  Rng rng(cfg.seed * 0x9e37'79b9'7f4a'7c15ull + static_cast<int>(spec.id));
+  KernelModel kernel(cfg.seed);
+
+  std::vector<PhaseState> states(spec.phases.size());
+  for (std::size_t i = 0; i < spec.phases.size(); ++i) {
+    const PhaseSpec& p = spec.phases[i];
+    states[i].ws_lines = std::max<std::uint64_t>(1, p.ws_bytes / kLineSize);
+    states[i].code = std::make_unique<ZipfSampler>(p.hot_code_lines,
+                                                   p.code_zipf_alpha);
+    if (p.pattern == AccessPattern::ZipfReuse) {
+      states[i].data_zipf =
+          std::make_unique<ZipfSampler>(states[i].ws_lines, p.data_zipf_alpha);
+    }
+  }
+
+  std::size_t phase_idx = 0;
+  std::uint64_t phase_remaining = 0;
+  std::uint64_t user_accesses = 0;
+  std::uint64_t next_tick = spec.sched_tick_interval;
+  double ifetch_debt = 0.0;
+
+  auto emit_user = [&](Addr addr, AccessType type) {
+    Access a;
+    a.addr = addr;
+    a.type = type;
+    a.mode = Mode::User;
+    a.thread = 0;
+    trace.push(a);
+    ++user_accesses;
+  };
+
+  auto next_data_addr = [&](const PhaseSpec& p, PhaseState& st) -> Addr {
+    const Addr base = phase_data_base(phase_idx);
+    std::uint64_t line = 0;
+    switch (p.pattern) {
+      case AccessPattern::ZipfReuse:
+        line = st.data_zipf->sample(rng);
+        break;
+      case AccessPattern::Stream:
+        line = st.stream_cursor++ % st.ws_lines;
+        break;
+      case AccessPattern::Stride: {
+        line = st.stride_cursor % st.ws_lines;
+        st.stride_cursor += p.stride_lines;
+        if (st.stride_cursor >= st.ws_lines &&
+            st.stride_cursor % st.ws_lines < p.stride_lines) {
+          ++st.stride_cursor;  // phase-shift each sweep to cover all lines
+        }
+        break;
+      }
+      case AccessPattern::PointerChase:
+        st.chase_cursor =
+            st.chase_cursor * 2862933555777941757ull + 3037000493ull;
+        line = st.chase_cursor % st.ws_lines;
+        break;
+    }
+    return base + line * kLineSize;
+  };
+
+  while (trace.size() < cfg.target_accesses) {
+    if (phase_remaining == 0) {
+      // Enter next phase.
+      if (!spec.transitions.empty()) {
+        phase_idx = rng.weighted(spec.transitions[phase_idx]);
+      } else {
+        phase_idx = rng.below(spec.phases.size());
+      }
+      const PhaseSpec& p = spec.phases[phase_idx];
+      phase_remaining =
+          rng.geometric(1.0 / static_cast<double>(p.mean_phase_len));
+    }
+    const PhaseSpec& p = spec.phases[phase_idx];
+    PhaseState& st = states[phase_idx];
+
+    // One user-mode chunk.
+    const std::uint64_t chunk =
+        std::min<std::uint64_t>(phase_remaining, rng.range(128, 512));
+    for (std::uint64_t i = 0;
+         i < chunk && trace.size() < cfg.target_accesses; ++i) {
+      ifetch_debt += p.ifetch_per_data;
+      while (ifetch_debt >= 1.0) {
+        emit_user(phase_text_base(phase_idx) +
+                      st.code->sample(rng) * kLineSize,
+                  AccessType::InstFetch);
+        ifetch_debt -= 1.0;
+      }
+      emit_user(next_data_addr(p, st), rng.chance(p.store_fraction)
+                                           ? AccessType::Write
+                                           : AccessType::Read);
+    }
+    phase_remaining -= std::min(chunk, phase_remaining);
+
+    // Periodic timer interrupt.
+    while (user_accesses >= next_tick) {
+      kernel.emit_episode(KernelService::SchedTick, /*thread=*/1, trace, rng);
+      next_tick += spec.sched_tick_interval;
+    }
+
+    // Phase-driven kernel services.
+    for (const ServiceRate& sr : p.services) {
+      if (sr.per_kilo_user <= 0.0) continue;
+      const double expected =
+          sr.per_kilo_user * static_cast<double>(chunk) / 1000.0;
+      std::uint64_t episodes = static_cast<std::uint64_t>(expected);
+      if (rng.chance(expected - static_cast<double>(episodes))) ++episodes;
+      const bool irq_context = sr.service == KernelService::InputEvent ||
+                               sr.service == KernelService::AudioDma ||
+                               sr.service == KernelService::FrameFlip;
+      for (std::uint64_t e = 0;
+           e < episodes && trace.size() < cfg.target_accesses; ++e) {
+        kernel.emit_episode(sr.service, irq_context ? 1 : 0, trace, rng);
+      }
+    }
+  }
+
+  return trace;
+}
+
+}  // namespace mobcache

@@ -1,0 +1,22 @@
+#pragma once
+/// \file generator.hpp
+/// Turns an AppSpec into a concrete interleaved user/kernel access trace.
+
+#include <cstdint>
+
+#include "trace/trace.hpp"
+#include "workload/app_model.hpp"
+
+namespace mobcache {
+
+struct GeneratorConfig {
+  /// Total records to emit (user + kernel combined).
+  std::uint64_t target_accesses = 2'000'000;
+  std::uint64_t seed = 1;
+};
+
+/// Generates the trace for one app. Deterministic in (spec, cfg.seed).
+/// The result satisfies Trace::modes_consistent_with_addresses().
+Trace generate_trace(const AppSpec& spec, const GeneratorConfig& cfg);
+
+}  // namespace mobcache

@@ -1,0 +1,69 @@
+#include "workload/scenario.hpp"
+
+#include <string>
+
+#include "common/rng.hpp"
+#include "workload/generator.hpp"
+#include "workload/kernel_model.hpp"
+
+namespace mobcache {
+
+Trace generate_scenario(const ScenarioConfig& cfg) {
+  std::string name = "mix";
+  for (AppId id : cfg.apps) {
+    name += "-";
+    name += app_name(id);
+  }
+  Trace out(std::move(name));
+  if (cfg.apps.empty() || cfg.total_accesses == 0) return out;
+  out.reserve(cfg.total_accesses + 8192);
+
+  // Per-app source streams. Each app gets enough records that wrap-around
+  // (which would replay its trace verbatim) is rare but harmless: phase
+  // machines repeat anyway.
+  std::vector<Trace> sources;
+  sources.reserve(cfg.apps.size());
+  const std::uint64_t per_app =
+      cfg.total_accesses / cfg.apps.size() + cfg.slice_mean + 4096;
+  for (std::size_t i = 0; i < cfg.apps.size(); ++i) {
+    GeneratorConfig gc;
+    gc.target_accesses = per_app;
+    gc.seed = cfg.seed + i * 1000003;
+    sources.push_back(generate_trace(make_app(cfg.apps[i]), gc));
+  }
+  std::vector<std::size_t> cursor(cfg.apps.size(), 0);
+
+  Rng rng(cfg.seed ^ 0xabcdef12345ull);
+  KernelModel switcher(cfg.seed);
+  std::size_t foreground = 0;
+
+  while (out.size() < cfg.total_accesses) {
+    // Context switch into the next foreground app: the scheduler picks the
+    // task, binder delivers the focus event, and a few pages fault back in.
+    switcher.emit_episode(KernelService::SchedTick, 1, out, rng);
+    switcher.emit_episode(KernelService::BinderIpc, 0, out, rng);
+    if (rng.chance(0.5))
+      switcher.emit_episode(KernelService::PageFault, 0, out, rng);
+
+    const std::uint64_t slice = rng.geometric(
+        1.0 / static_cast<double>(cfg.slice_mean));
+    const Trace& src = sources[foreground];
+    const Addr slot = kAppSlotStride * foreground;
+    const auto tbase = static_cast<std::uint16_t>(foreground * 4);
+
+    for (std::uint64_t i = 0;
+         i < slice && out.size() < cfg.total_accesses; ++i) {
+      Access a = src[cursor[foreground]];
+      cursor[foreground] = (cursor[foreground] + 1) % src.size();
+      if (a.mode == Mode::User) {
+        a.addr += slot;  // processes have disjoint user address spaces
+        a.thread = static_cast<std::uint16_t>(a.thread + tbase);
+      }
+      out.push(a);
+    }
+    foreground = (foreground + 1) % cfg.apps.size();
+  }
+  return out;
+}
+
+}  // namespace mobcache

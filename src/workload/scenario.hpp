@@ -1,0 +1,39 @@
+#pragma once
+/// \file scenario.hpp
+/// Multitasking scenarios: several apps time-sliced on one core with
+/// context-switch kernel activity between slices.
+///
+/// Phones run a foreground app plus rotating background work (music, sync,
+/// notifications). A scenario trace interleaves per-app traces in random
+/// foreground slices; each switch emits the kernel's scheduler/binder/fault
+/// work. App user address spaces are disjoint (separate processes); the
+/// kernel address space is shared by all of them — which concentrates even
+/// more reuse in the kernel segment, strengthening the partitioning story
+/// (experiment E11).
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/trace.hpp"
+#include "workload/app_model.hpp"
+
+namespace mobcache {
+
+struct ScenarioConfig {
+  std::vector<AppId> apps;
+  std::uint64_t total_accesses = 4'000'000;
+  /// Mean records per foreground slice (~a few UI frames).
+  std::uint64_t slice_mean = 200'000;
+  std::uint64_t seed = 1;
+};
+
+/// Generates the interleaved trace. Apps appear round-robin with
+/// geometrically distributed slice lengths; user addresses are relocated
+/// into per-app slots, kernel addresses are shared. Deterministic in the
+/// seed; result satisfies Trace::modes_consistent_with_addresses().
+Trace generate_scenario(const ScenarioConfig& cfg);
+
+/// Address-slot stride separating two apps' user address spaces.
+inline constexpr Addr kAppSlotStride = 1ull << 44;
+
+}  // namespace mobcache

@@ -1,0 +1,34 @@
+#include "workload/suite.hpp"
+
+#include <cstdlib>
+
+#include "workload/generator.hpp"
+
+namespace mobcache {
+
+Trace generate_app_trace(AppId id, std::uint64_t accesses,
+                         std::uint64_t seed) {
+  GeneratorConfig cfg;
+  cfg.target_accesses = accesses;
+  cfg.seed = seed;
+  return generate_trace(make_app(id), cfg);
+}
+
+std::vector<Trace> generate_suite(const std::vector<AppId>& apps,
+                                  std::uint64_t accesses_per_app,
+                                  std::uint64_t seed) {
+  std::vector<Trace> traces;
+  traces.reserve(apps.size());
+  for (AppId id : apps) traces.push_back(generate_app_trace(id, accesses_per_app, seed));
+  return traces;
+}
+
+std::uint64_t bench_trace_len(std::uint64_t fallback) {
+  if (const char* env = std::getenv("MOBCACHE_TRACE_LEN")) {
+    const unsigned long long v = std::strtoull(env, nullptr, 10);
+    if (v > 0) return v;
+  }
+  return fallback;
+}
+
+}  // namespace mobcache

@@ -1,0 +1,108 @@
+#include "core/partition_autosizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workload/suite.hpp"
+
+namespace mobcache {
+namespace {
+
+TEST(Autosizer, CandidateGridIsLegal) {
+  for (const PartitionCandidate& c : PartitionAutosizer::candidates()) {
+    CacheConfig u;
+    u.size_bytes = c.user_bytes;
+    u.assoc = c.user_assoc;
+    EXPECT_NO_THROW(u.validate()) << c.user_bytes << "/" << c.user_assoc;
+    CacheConfig k;
+    k.size_bytes = c.kernel_bytes;
+    k.assoc = c.kernel_assoc;
+    EXPECT_NO_THROW(k.validate()) << c.kernel_bytes << "/" << c.kernel_assoc;
+    EXPECT_LT(c.total_bytes(), 2ull << 21);
+  }
+  EXPECT_GE(PartitionAutosizer::candidates().size(), 20u);
+}
+
+class AutosizerFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    traces_ = new std::vector<Trace>;
+    traces_->push_back(generate_app_trace(AppId::Launcher, 250'000, 17));
+    traces_->push_back(generate_app_trace(AppId::AudioPlayer, 250'000, 17));
+  }
+  static void TearDownTestSuite() {
+    delete traces_;
+    traces_ = nullptr;
+  }
+  static std::vector<Trace>* traces_;
+};
+
+std::vector<Trace>* AutosizerFixture::traces_ = nullptr;
+
+TEST_F(AutosizerFixture, ScoresEveryCandidateNormalized) {
+  AutosizerConfig cfg;
+  PartitionAutosizer az(cfg);
+  // Use a reduced grid for speed.
+  std::vector<PartitionCandidate> grid = {
+      {256ull << 10, 8, 128ull << 10, 8},
+      {1024ull << 10, 8, 512ull << 10, 8},
+  };
+  const auto scores = az.score_all(*traces_, grid);
+  ASSERT_EQ(scores.size(), 2u);
+  for (const CandidateScore& s : scores) {
+    EXPECT_GT(s.norm_cache_energy, 0.0);
+    EXPECT_LT(s.norm_cache_energy, 1.0);  // smaller SRAM leaks less
+    EXPECT_GT(s.norm_exec_time, 0.5);
+    EXPECT_GT(s.avg_miss_rate, 0.0);
+  }
+  // Sorted by total size.
+  EXPECT_LT(scores[0].candidate.total_bytes(),
+            scores[1].candidate.total_bytes());
+  // Bigger partition must not be slower than the far smaller one here.
+  EXPECT_LE(scores[1].norm_exec_time, scores[0].norm_exec_time + 1e-9);
+}
+
+TEST_F(AutosizerFixture, BestMeetsTimeBudgetWhenFeasible) {
+  AutosizerConfig cfg;
+  cfg.max_slowdown = 1.10;
+  PartitionAutosizer az(cfg);
+  const CandidateScore best = az.best(*traces_);
+  EXPECT_TRUE(best.feasible);
+  EXPECT_LE(best.norm_exec_time, 1.10);
+  EXPECT_LT(best.norm_cache_energy, 1.0);
+  EXPECT_LT(best.candidate.total_bytes(), 2ull << 20);
+}
+
+TEST_F(AutosizerFixture, TighterBudgetNeverPicksSlowerDesign) {
+  AutosizerConfig loose;
+  loose.max_slowdown = 1.25;
+  AutosizerConfig tight;
+  tight.max_slowdown = 1.02;
+  const CandidateScore l = PartitionAutosizer(loose).best(*traces_);
+  const CandidateScore t = PartitionAutosizer(tight).best(*traces_);
+  EXPECT_LE(t.norm_exec_time, l.norm_exec_time + 1e-9);
+  // Energy budget trade-off: the tight-budget pick can't save more energy.
+  EXPECT_GE(t.norm_cache_energy, l.norm_cache_energy - 1e-9);
+}
+
+TEST_F(AutosizerFixture, SttTechnologyScoresLower) {
+  AutosizerConfig sram;
+  AutosizerConfig stt;
+  stt.tech = TechKind::SttRam;
+  const CandidateScore s = PartitionAutosizer(sram).best(*traces_);
+  const CandidateScore m = PartitionAutosizer(stt).best(*traces_);
+  EXPECT_LT(m.norm_cache_energy, s.norm_cache_energy);
+}
+
+TEST(Autosizer, InfeasibleBudgetFallsBackToLeastBad) {
+  std::vector<Trace> traces;
+  traces.push_back(generate_app_trace(AppId::Maps, 150'000, 3));
+  AutosizerConfig cfg;
+  cfg.max_slowdown = 0.5;  // impossible: nothing beats the baseline 2×
+  PartitionAutosizer az(cfg);
+  const CandidateScore best = az.best(traces);
+  EXPECT_FALSE(best.feasible);
+  EXPECT_GT(best.norm_exec_time, 0.5);
+}
+
+}  // namespace
+}  // namespace mobcache

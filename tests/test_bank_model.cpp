@@ -1,0 +1,80 @@
+#include "cache/bank_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mobcache {
+namespace {
+
+constexpr Cycle kWl = 40;  // write latency used throughout
+
+TEST(BankModel, IdleBankHasNoStall) {
+  BankModel b;
+  EXPECT_EQ(b.read_stall(0, 100, kWl), 0u);
+  EXPECT_EQ(b.queue_depth(0, 100, kWl), 0u);
+}
+
+TEST(BankModel, ReadWaitsOutInFlightWriteOnly) {
+  BankModel b;
+  b.write_enqueue(0, 100, kWl);  // busy until 140
+  EXPECT_EQ(b.read_stall(0, 110, kWl), 30u);
+  EXPECT_EQ(b.read_stall(0, 139, kWl), 1u);
+  EXPECT_EQ(b.read_stall(0, 140, kWl), 0u);
+}
+
+TEST(BankModel, QueuedWritesDoNotDelayReadsBeyondOneSlot) {
+  BankModel b;
+  for (int i = 0; i < 3; ++i) b.write_enqueue(0, 100, kWl);  // 3 queued
+  EXPECT_EQ(b.queue_depth(0, 100, kWl), 3u);
+  // A read at 110 waits only for the first write (ends 140), not all three.
+  EXPECT_EQ(b.read_stall(0, 110, kWl), 30u);
+  // Mid-second-write: remaining of that write only.
+  EXPECT_EQ(b.read_stall(0, 150, kWl), 30u);
+}
+
+TEST(BankModel, WritesPostedWhileQueueHasRoom) {
+  BankModel b(4, /*queue_depth=*/2);
+  EXPECT_EQ(b.write_enqueue(0, 100, kWl), 0u);
+  EXPECT_EQ(b.write_enqueue(0, 100, kWl), 0u);  // fills the queue
+}
+
+TEST(BankModel, FullQueueBackpressuresWriter) {
+  BankModel b(4, /*queue_depth=*/2);
+  b.write_enqueue(0, 100, kWl);
+  b.write_enqueue(0, 100, kWl);  // queue now at capacity (until 180)
+  // Third write at 100 must wait for the first slot to drain (40 cycles).
+  EXPECT_EQ(b.write_enqueue(0, 100, kWl), 40u);
+}
+
+TEST(BankModel, BanksAreIndependent) {
+  BankModel b(4, 2);
+  b.write_enqueue(0 * kLineSize, 100, kWl);
+  EXPECT_EQ(b.read_stall(1 * kLineSize, 110, kWl), 0u);
+  EXPECT_EQ(b.read_stall(0 * kLineSize, 110, kWl), 30u);
+  // Lines 4 lines apart share a bank (4-bank interleave).
+  EXPECT_EQ(b.read_stall(4 * kLineSize, 110, kWl), 30u);
+}
+
+TEST(BankModel, DrainsCompletely) {
+  BankModel b(4, 4);
+  for (int i = 0; i < 4; ++i) b.write_enqueue(0, 100, kWl);
+  EXPECT_EQ(b.queue_depth(0, 100 + 4 * kWl, kWl), 0u);
+  EXPECT_EQ(b.read_stall(0, 100 + 4 * kWl, kWl), 0u);
+}
+
+TEST(BankModel, ZeroWriteLatencyIsFree) {
+  BankModel b;
+  EXPECT_EQ(b.write_enqueue(0, 50, 0), 0u);
+  EXPECT_EQ(b.read_stall(0, 50, 0), 0u);
+}
+
+TEST(BankModel, StaggeredWritesAccumulate) {
+  BankModel b(4, 8);
+  b.write_enqueue(0, 100, kWl);          // until 140
+  b.write_enqueue(0, 120, kWl);          // until 180
+  EXPECT_EQ(b.queue_depth(0, 120, kWl), 2u);
+  b.write_enqueue(0, 200, kWl);          // bank idle again → until 240
+  EXPECT_EQ(b.queue_depth(0, 200, kWl), 1u);
+}
+
+}  // namespace
+}  // namespace mobcache

@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "core/multi_retention_l2.hpp"
+#include "core/scheme.hpp"
+#include "core/shared_l2.hpp"
+#include "sim/simulator.hpp"
+#include "workload/suite.hpp"
+
+namespace mobcache {
+namespace {
+
+SharedL2Config tiny_l2() {
+  SharedL2Config c;
+  c.cache.name = "L2";
+  c.cache.size_bytes = 64ull << 10;  // smaller than both L1s combined
+  c.cache.assoc = 1;                 // direct-mapped: easy conflict control
+  return c;
+}
+
+Access read(Addr a) {
+  Access x;
+  x.addr = a;
+  x.type = AccessType::Read;
+  x.mode = Mode::User;
+  return x;
+}
+
+TEST(Inclusion, L2EvictionDropsL1Copy) {
+  SharedL2 l2(tiny_l2());
+  HierarchyConfig hc;
+  hc.inclusive_l2 = true;
+  MemoryHierarchy h(hc, l2);
+
+  const std::uint64_t l2_sets = l2.array().num_sets();
+  const Addr a = 0;
+  const Addr b = l2_sets * kLineSize;  // conflicts with a in the L2 only
+
+  h.access(read(a), 0);
+  // a sits in both L1D and L2. Evict it from the L2 via the conflict line.
+  h.access(read(b), 100);
+  EXPECT_EQ(h.back_invalidations(), 1u);
+
+  // The L1 copy is gone: re-reading `a` must miss L1 (inclusive semantics),
+  // visible as a nonzero stall.
+  const Cycle stall = h.access(read(a), 200);
+  EXPECT_GT(stall, 0u);
+}
+
+TEST(Inclusion, NonInclusiveKeepsL1Copy) {
+  SharedL2 l2(tiny_l2());
+  MemoryHierarchy h({}, l2);  // default: non-inclusive
+
+  const std::uint64_t l2_sets = l2.array().num_sets();
+  h.access(read(0), 0);
+  h.access(read(l2_sets * kLineSize), 100);
+  EXPECT_EQ(h.back_invalidations(), 0u);
+  // L1 still holds `a`: free hit.
+  EXPECT_EQ(h.access(read(0), 200), 0u);
+}
+
+TEST(Inclusion, ObserversMulticast) {
+  // The inclusion observer must coexist with a lifetime recorder.
+  SharedL2 l2(tiny_l2());
+  LifetimeRecorder rec;
+  l2.add_eviction_observer(rec.observer());
+
+  HierarchyConfig hc;
+  hc.inclusive_l2 = true;
+  MemoryHierarchy h(hc, l2);
+
+  const std::uint64_t l2_sets = l2.array().num_sets();
+  h.access(read(0), 0);
+  h.access(read(l2_sets * kLineSize), 100);
+  EXPECT_EQ(h.back_invalidations(), 1u);
+  EXPECT_EQ(rec.events(Mode::User), 1u) << "recorder must also see it";
+}
+
+TEST(Inclusion, InvalidateLineReportsDirtyState) {
+  CacheConfig cfg;
+  cfg.size_bytes = 16ull << 10;
+  cfg.assoc = 4;
+  SetAssocCache c(cfg);
+  c.access(0, AccessType::Write, Mode::User, 1);
+  bool dirty = false;
+  EXPECT_TRUE(c.invalidate_line(0, &dirty));
+  EXPECT_TRUE(dirty);
+  EXPECT_FALSE(c.contains(0, 2));
+  EXPECT_FALSE(c.invalidate_line(0, &dirty));  // already gone
+}
+
+TEST(Inclusion, EndToEndCostIsModest) {
+  // Inclusion adds L1 misses but must not change the paper's conclusions:
+  // run the MRSTT design both ways on a real app.
+  const Trace t = generate_app_trace(AppId::Email, 200'000, 5);
+
+  SimOptions non_inc;
+  const SimResult a =
+      simulate(t, build_scheme(SchemeKind::StaticPartMrstt), non_inc);
+
+  SimOptions inc;
+  inc.hierarchy.inclusive_l2 = true;
+  const SimResult b =
+      simulate(t, build_scheme(SchemeKind::StaticPartMrstt), inc);
+
+  EXPECT_GE(b.l1d.total_misses() + b.l1i.total_misses(),
+            a.l1d.total_misses() + a.l1i.total_misses());
+  EXPECT_LT(static_cast<double>(b.cycles),
+            static_cast<double>(a.cycles) * 1.10);
+}
+
+}  // namespace
+}  // namespace mobcache

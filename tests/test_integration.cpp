@@ -1,0 +1,151 @@
+/// \file test_integration.cpp
+/// End-to-end assertions that the reproduced system exhibits the paper's
+/// qualitative results on real (generated) workloads. These are the claims
+/// EXPERIMENTS.md reports quantitatively; here we pin the orderings so a
+/// regression in any module that breaks the story fails CI.
+
+#include <gtest/gtest.h>
+
+#include "exp/runner.hpp"
+
+namespace mobcache {
+namespace {
+
+/// One shared fixture run (expensive) reused by every assertion.
+class PaperStory : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    runner_ = new ExperimentRunner(
+        {AppId::Launcher, AppId::Browser, AppId::AudioPlayer, AppId::Email},
+        400'000, 42);
+    results_ = new std::vector<SchemeSuiteResult>(runner_->run_headline());
+  }
+  static void TearDownTestSuite() {
+    delete results_;
+    delete runner_;
+    results_ = nullptr;
+    runner_ = nullptr;
+  }
+
+  static const SchemeSuiteResult& of(SchemeKind k) {
+    for (const auto& r : *results_)
+      if (r.kind == k) return r;
+    throw std::logic_error("scheme missing");
+  }
+
+  static ExperimentRunner* runner_;
+  static std::vector<SchemeSuiteResult>* results_;
+};
+
+ExperimentRunner* PaperStory::runner_ = nullptr;
+std::vector<SchemeSuiteResult>* PaperStory::results_ = nullptr;
+
+TEST_F(PaperStory, KernelShareMotivation) {
+  // >40%-ish of L2 accesses are kernel in this interactive sub-suite.
+  const auto& base = of(SchemeKind::BaselineSram);
+  for (const SimResult& r : base.per_workload)
+    EXPECT_GT(r.l2_kernel_fraction(), 0.33) << r.workload;
+}
+
+TEST_F(PaperStory, NaiveShrinkIsACatastrophe) {
+  const auto& shrunk = of(SchemeKind::ShrunkSram);
+  EXPECT_GT(shrunk.avg_miss_rate,
+            of(SchemeKind::BaselineSram).avg_miss_rate + 0.05);
+  EXPECT_GT(shrunk.norm_exec_time, 1.15);
+}
+
+TEST_F(PaperStory, StaticPartitionKeepsMissRateAtFractionOfCapacity) {
+  const auto& base = of(SchemeKind::BaselineSram);
+  const auto& sp = of(SchemeKind::StaticPartSram);
+  // Far less capacity...
+  EXPECT_LT(sp.per_workload[0].l2_capacity_bytes,
+            (2ull << 20) * 3 / 4);
+  // ...similar miss rate (within 3 percentage points)...
+  EXPECT_LT(sp.avg_miss_rate, base.avg_miss_rate + 0.03);
+  // ...small performance cost.
+  EXPECT_LT(sp.norm_exec_time, 1.06);
+  // ...and real energy savings already in SRAM.
+  EXPECT_LT(sp.norm_cache_energy, 0.8);
+}
+
+TEST_F(PaperStory, MultiRetentionSttMultipliesStaticSavings) {
+  const auto& sp = of(SchemeKind::StaticPartSram);
+  const auto& mrstt = of(SchemeKind::StaticPartMrstt);
+  EXPECT_LT(mrstt.norm_cache_energy, sp.norm_cache_energy * 0.5);
+  // The abstract's claim: static technique cuts cache energy by ~75%.
+  EXPECT_LT(mrstt.norm_cache_energy, 0.35);
+  EXPECT_LT(mrstt.norm_exec_time, 1.10);
+}
+
+TEST_F(PaperStory, DynamicSttIsTheMaximalSavingsDesign) {
+  const auto& dpstt = of(SchemeKind::DynamicStt);
+  // The abstract's claim: ~85% cache-energy reduction, ~3% loss (we accept
+  // up to 10% on this reduced sub-suite).
+  EXPECT_LT(dpstt.norm_cache_energy, 0.30);
+  EXPECT_LT(dpstt.norm_exec_time, 1.10);
+  // Dynamic must save at least as much energy as every SRAM design.
+  EXPECT_LT(dpstt.norm_cache_energy,
+            of(SchemeKind::StaticPartSram).norm_cache_energy);
+  EXPECT_LT(dpstt.norm_cache_energy,
+            of(SchemeKind::SharedStt).norm_cache_energy);
+}
+
+TEST_F(PaperStory, DynamicAdaptsBelowNominalCapacity) {
+  const auto& dp = of(SchemeKind::DynamicStt);
+  for (const SimResult& r : dp.per_workload) {
+    EXPECT_LT(r.l2_avg_enabled_bytes,
+              static_cast<double>(r.l2_capacity_bytes))
+        << r.workload;
+  }
+}
+
+TEST_F(PaperStory, SharedSttAloneIsNotEnough) {
+  // Replacing SRAM with STT-RAM without partitioning leaves most of the
+  // possible savings on the table and costs more time than SP.
+  const auto& shared_stt = of(SchemeKind::SharedStt);
+  const auto& mrstt = of(SchemeKind::StaticPartMrstt);
+  EXPECT_GT(shared_stt.norm_cache_energy, mrstt.norm_cache_energy * 1.5);
+}
+
+TEST_F(PaperStory, PartitioningRemovesCrossModeEvictions) {
+  const auto& base = of(SchemeKind::BaselineSram);
+  const auto& sp = of(SchemeKind::StaticPartSram);
+  std::uint64_t base_cross = 0;
+  std::uint64_t sp_cross = 0;
+  for (const SimResult& r : base.per_workload) base_cross += r.l2.cross_mode_evictions;
+  for (const SimResult& r : sp.per_workload) sp_cross += r.l2.cross_mode_evictions;
+  EXPECT_GT(base_cross, 0u);
+  EXPECT_EQ(sp_cross, 0u);
+}
+
+TEST_F(PaperStory, EnergyBreakdownsAreSane) {
+  for (const auto& scheme : *results_) {
+    for (const SimResult& r : scheme.per_workload) {
+      EXPECT_GE(r.l2_energy.leakage_nj, 0.0);
+      EXPECT_GE(r.l2_energy.read_nj, 0.0);
+      EXPECT_GE(r.l2_energy.write_nj, 0.0);
+      EXPECT_GE(r.l2_energy.refresh_nj, 0.0);
+      EXPECT_GE(r.l2_energy.dram_nj, 0.0);
+      EXPECT_NEAR(r.l2_energy.total_nj(),
+                  r.l2_energy.cache_nj() + r.l2_energy.dram_nj, 1e-6);
+      // The baseline premise: leakage dominates SRAM cache energy.
+      if (scheme.kind == SchemeKind::BaselineSram) {
+        EXPECT_GT(r.l2_energy.leakage_nj, 0.6 * r.l2_energy.cache_nj())
+            << r.workload;
+      }
+    }
+  }
+}
+
+TEST_F(PaperStory, CyclesConsistentWithRecords) {
+  for (const auto& scheme : *results_) {
+    for (const SimResult& r : scheme.per_workload) {
+      EXPECT_GE(r.cycles, 2 * r.records) << "below base CPI?";
+      EXPECT_GT(r.cpi, 1.9);
+      EXPECT_LT(r.cpi, 30.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mobcache

@@ -1,0 +1,126 @@
+#include "energy/refresh.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mobcache {
+namespace {
+
+CacheConfig cfg() {
+  CacheConfig c;
+  c.name = "stt";
+  c.size_bytes = 16ull << 10;
+  c.assoc = 4;
+  return c;
+}
+
+constexpr Cycle kPeriod = 1000;
+
+SetAssocCache make_cache() {
+  SetAssocCache c(cfg());
+  c.set_retention_period(kPeriod);
+  return c;
+}
+
+TEST(Refresh, ScrubAllKeepsEverythingAlive) {
+  SetAssocCache cache = make_cache();
+  RefreshController ctl(RefreshPolicy::ScrubAll, kPeriod / 2);
+  TechParams tech = make_sttram(cfg().size_bytes, RetentionClass::Lo);
+  EnergyAccountant acct;
+
+  cache.access(0, AccessType::Read, Mode::User, 0);
+  cache.access(kLineSize, AccessType::Write, Mode::User, 0);
+
+  // Tick on schedule for several retention periods: nothing may expire.
+  for (Cycle now = 500; now <= 5000; now += 500) {
+    auto r = ctl.tick(cache, now, tech, acct);
+    EXPECT_EQ(r.expired_clean, 0u);
+    EXPECT_EQ(r.expired_dirty, 0u);
+  }
+  EXPECT_TRUE(cache.contains(0, 5000));
+  EXPECT_TRUE(cache.contains(kLineSize, 5000));
+  EXPECT_GT(cache.stats().refreshes, 0u);
+  EXPECT_GT(acct.breakdown().refresh_nj, 0.0);
+  EXPECT_EQ(acct.breakdown().dram_nj, 0.0);
+}
+
+TEST(Refresh, ScrubDirtyLetsCleanExpire) {
+  SetAssocCache cache = make_cache();
+  RefreshController ctl(RefreshPolicy::ScrubDirty, kPeriod / 2);
+  TechParams tech = make_sttram(cfg().size_bytes, RetentionClass::Lo);
+  EnergyAccountant acct;
+
+  cache.access(0, AccessType::Read, Mode::User, 0);          // clean
+  cache.access(kLineSize, AccessType::Write, Mode::User, 0);  // dirty
+
+  std::uint64_t clean_expired = 0;
+  for (Cycle now = 500; now <= 3000; now += 500) {
+    auto r = ctl.tick(cache, now, tech, acct);
+    clean_expired += r.expired_clean;
+    EXPECT_EQ(r.expired_dirty, 0u) << "dirty blocks must be scrubbed in time";
+  }
+  EXPECT_EQ(clean_expired, 1u);
+  EXPECT_FALSE(cache.contains(0, 3000));
+  EXPECT_TRUE(cache.contains(kLineSize, 3000));
+  EXPECT_EQ(acct.breakdown().dram_nj, 0.0);
+}
+
+TEST(Refresh, InvalidatePolicyWritesBackDirtyExpiry) {
+  SetAssocCache cache = make_cache();
+  RefreshController ctl(RefreshPolicy::InvalidateOnExpiry, kPeriod / 2);
+  TechParams tech = make_sttram(cfg().size_bytes, RetentionClass::Lo);
+  EnergyAccountant acct;
+
+  cache.access(0, AccessType::Write, Mode::User, 0);
+  auto r = ctl.tick(cache, 2000, tech, acct);
+  EXPECT_EQ(r.refreshed, 0u);
+  EXPECT_EQ(r.expired_dirty, 1u);
+  EXPECT_GT(acct.breakdown().dram_nj, 0.0);  // expiry writeback
+  EXPECT_EQ(acct.breakdown().refresh_nj, 0.0);
+}
+
+TEST(Refresh, NoDecayNoWork) {
+  SetAssocCache cache(cfg());  // retention 0 (SRAM-like)
+  RefreshController ctl(RefreshPolicy::ScrubAll, 500);
+  TechParams tech = make_sram(cfg().size_bytes);
+  EnergyAccountant acct;
+  cache.access(0, AccessType::Write, Mode::User, 0);
+  auto r = ctl.tick(cache, 10'000, tech, acct);
+  EXPECT_EQ(r.refreshed, 0u);
+  EXPECT_EQ(r.expired_clean + r.expired_dirty, 0u);
+  EXPECT_EQ(acct.breakdown().refresh_nj, 0.0);
+}
+
+TEST(Refresh, DueCadence) {
+  RefreshController ctl(RefreshPolicy::ScrubDirty, 100);
+  EXPECT_FALSE(ctl.due(50));
+  EXPECT_TRUE(ctl.due(100));
+  ctl.mark_ticked(100);
+  EXPECT_FALSE(ctl.due(150));
+  EXPECT_TRUE(ctl.due(200));
+}
+
+TEST(Refresh, TickUpdatesCadence) {
+  SetAssocCache cache = make_cache();
+  RefreshController ctl(RefreshPolicy::ScrubDirty, 100);
+  TechParams tech = make_sttram(cfg().size_bytes, RetentionClass::Lo);
+  EnergyAccountant acct;
+  ctl.tick(cache, 100, tech, acct);
+  EXPECT_FALSE(ctl.due(150));
+}
+
+TEST(Refresh, RefreshEnergyProportionalToScrubbedBlocks) {
+  SetAssocCache cache = make_cache();
+  RefreshController ctl(RefreshPolicy::ScrubAll, kPeriod / 2);
+  TechParams tech = make_sttram(cfg().size_bytes, RetentionClass::Lo);
+  EnergyAccountant acct;
+
+  for (std::uint64_t i = 0; i < 10; ++i)
+    cache.access(i * kLineSize, AccessType::Write, Mode::User, 0);
+  // All 10 blocks expire within (600, 600+500]: one pass scrubs all.
+  auto r = ctl.tick(cache, 600, tech, acct);
+  EXPECT_EQ(r.refreshed, 10u);
+  EXPECT_NEAR(acct.breakdown().refresh_nj, 10.0 * tech.write_energy_nj, 1e-9);
+}
+
+}  // namespace
+}  // namespace mobcache

@@ -1,0 +1,149 @@
+#include "cache/replacement.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "common/rng.hpp"
+
+namespace mobcache {
+namespace {
+
+constexpr std::uint32_t kSets = 4;
+constexpr std::uint32_t kAssoc = 8;
+
+TEST(Lru, EvictsLeastRecentlyUsed) {
+  auto p = make_replacement(ReplKind::Lru, kSets, kAssoc);
+  for (std::uint32_t w = 0; w < kAssoc; ++w) p->on_fill(0, w);
+  // Touch everything except way 3; way 3 becomes the victim.
+  for (std::uint32_t w = 0; w < kAssoc; ++w) {
+    if (w != 3) p->on_hit(0, w);
+  }
+  EXPECT_EQ(p->choose_victim(0, full_way_mask(kAssoc)), 3u);
+}
+
+TEST(Lru, HitRefreshesRecency) {
+  auto p = make_replacement(ReplKind::Lru, kSets, kAssoc);
+  for (std::uint32_t w = 0; w < kAssoc; ++w) p->on_fill(0, w);
+  p->on_hit(0, 0);  // way 0 is now MRU; way 1 is LRU
+  EXPECT_EQ(p->choose_victim(0, full_way_mask(kAssoc)), 1u);
+}
+
+TEST(Lru, RespectsCandidateMask) {
+  auto p = make_replacement(ReplKind::Lru, kSets, kAssoc);
+  for (std::uint32_t w = 0; w < kAssoc; ++w) p->on_fill(0, w);
+  // Ways 0..3 excluded; oldest among {4..7} is 4.
+  EXPECT_EQ(p->choose_victim(0, way_range_mask(4, 4)), 4u);
+}
+
+TEST(Lru, SetsAreIndependent) {
+  auto p = make_replacement(ReplKind::Lru, kSets, kAssoc);
+  p->on_fill(0, 5);
+  p->on_fill(1, 2);
+  p->on_hit(1, 2);
+  // Set 0's state is untouched by set 1 activity: way 5 is the only
+  // stamped way in set 0, so among {5, 6} the victim is the never-used 6.
+  EXPECT_EQ(p->choose_victim(0, way_range_mask(5, 2)), 6u);
+}
+
+TEST(Fifo, IgnoresHits) {
+  auto p = make_replacement(ReplKind::Fifo, kSets, kAssoc);
+  for (std::uint32_t w = 0; w < kAssoc; ++w) p->on_fill(0, w);
+  // Hitting way 0 must not save it: FIFO evicts insertion order.
+  p->on_hit(0, 0);
+  EXPECT_EQ(p->choose_victim(0, full_way_mask(kAssoc)), 0u);
+}
+
+TEST(Random, AlwaysWithinMaskAndCoversAll) {
+  auto p = make_replacement(ReplKind::Random, kSets, kAssoc, /*seed=*/99);
+  const WayMask mask = 0b1010'0110;
+  WayMask seen = 0;
+  for (int i = 0; i < 500; ++i) {
+    const std::uint32_t v = p->choose_victim(0, mask);
+    ASSERT_NE((mask >> v) & 1, 0u) << "victim outside mask";
+    seen |= 1ull << v;
+  }
+  EXPECT_EQ(seen, mask) << "random policy should eventually pick every way";
+}
+
+TEST(Plru, TouchedWayIsNotImmediateVictim) {
+  auto p = make_replacement(ReplKind::Plru, kSets, kAssoc);
+  for (std::uint32_t w = 0; w < kAssoc; ++w) {
+    p->on_fill(0, w);
+    EXPECT_NE(p->choose_victim(0, full_way_mask(kAssoc)), w)
+        << "just-filled way must be protected";
+  }
+}
+
+TEST(Plru, MaskForcesOtherSubtree) {
+  auto p = make_replacement(ReplKind::Plru, kSets, kAssoc);
+  for (std::uint32_t w = 0; w < kAssoc; ++w) p->on_fill(0, w);
+  // Restrict to the left half only — the victim must come from it even if
+  // the tree points right.
+  const std::uint32_t v = p->choose_victim(0, way_range_mask(0, 4));
+  EXPECT_LT(v, 4u);
+}
+
+TEST(Srrip, HitPromotesBlock) {
+  auto p = make_replacement(ReplKind::Srrip, kSets, kAssoc);
+  for (std::uint32_t w = 0; w < kAssoc; ++w) p->on_fill(0, w);
+  p->on_hit(0, 2);  // way 2 now has RRPV 0, everyone else 2
+  // Aging happens uniformly, so way 2 must outlive the others: evict 7
+  // times, way 2 must never be chosen.
+  for (int i = 0; i < 7; ++i) {
+    const std::uint32_t v =
+        p->choose_victim(0, full_way_mask(kAssoc) & ~(1ull << 2));
+    EXPECT_NE(v, 2u);
+    p->on_fill(0, v);
+  }
+}
+
+TEST(Srrip, InvalidateResetsRrpv) {
+  auto p = make_replacement(ReplKind::Srrip, kSets, 4);
+  for (std::uint32_t w = 0; w < 4; ++w) {
+    p->on_fill(0, w);
+    p->on_hit(0, w);  // all RRPV 0
+  }
+  p->on_invalidate(0, 1);  // way 1 back to max RRPV
+  EXPECT_EQ(p->choose_victim(0, full_way_mask(4)), 1u);
+}
+
+class PolicyMaskProperty
+    : public ::testing::TestWithParam<std::tuple<ReplKind, std::uint32_t>> {};
+
+TEST_P(PolicyMaskProperty, VictimAlwaysInsideMask) {
+  const auto [kind, assoc] = GetParam();
+  auto p = make_replacement(kind, 16, assoc, /*seed=*/7);
+  Rng rng(1234);
+  for (int step = 0; step < 3000; ++step) {
+    const auto set = static_cast<std::uint32_t>(rng.below(16));
+    const auto way = static_cast<std::uint32_t>(rng.below(assoc));
+    switch (rng.below(3)) {
+      case 0: p->on_fill(set, way); break;
+      case 1: p->on_hit(set, way); break;
+      default: {
+        WayMask mask = rng.next_u64() & full_way_mask(assoc);
+        if (mask == 0) mask = 1;
+        const std::uint32_t v = p->choose_victim(set, mask);
+        ASSERT_LT(v, assoc);
+        ASSERT_NE((mask >> v) & 1, 0u)
+            << to_string(kind) << " picked way " << v << " outside mask";
+        break;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, PolicyMaskProperty,
+    ::testing::Combine(::testing::Values(ReplKind::Lru, ReplKind::Fifo,
+                                         ReplKind::Random, ReplKind::Plru,
+                                         ReplKind::Srrip),
+                       ::testing::Values(2u, 4u, 8u, 16u)),
+    [](const auto& info) {
+      return std::string(to_string(std::get<0>(info.param))) + "_a" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace mobcache

@@ -1,0 +1,158 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+namespace mobcache {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(12345);
+  Rng b(12345);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += a.next_u64() == b.next_u64();
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BelowStaysInBounds) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.below(bound), bound);
+  }
+}
+
+TEST(Rng, BelowOneIsAlwaysZero) {
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, RangeIsInclusive) {
+  Rng rng(11);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t v = rng.range(3, 6);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 6u);
+    saw_lo |= v == 3;
+    saw_hi |= v == 6;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInHalfOpenUnitInterval) {
+  Rng rng(13);
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 20000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+    EXPECT_FALSE(rng.chance(-1.0));
+    EXPECT_TRUE(rng.chance(2.0));
+  }
+}
+
+TEST(Rng, ChanceFrequencyTracksP) {
+  Rng rng(19);
+  int hits = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) hits += rng.chance(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, GeometricAtLeastOneAndMeanMatches) {
+  Rng rng(23);
+  const double p = 0.01;
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const std::uint64_t v = rng.geometric(p);
+    ASSERT_GE(v, 1u);
+    sum += static_cast<double>(v);
+  }
+  EXPECT_NEAR(sum / n, 1.0 / p, 0.05 / p);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(29);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(42.0);
+  EXPECT_NEAR(sum / n, 42.0, 2.0);
+}
+
+TEST(Rng, WeightedrespectsWeights) {
+  Rng rng(31);
+  std::array<int, 3> counts{};
+  for (int i = 0; i < 30000; ++i) ++counts[rng.weighted({1.0, 2.0, 7.0})];
+  EXPECT_NEAR(counts[0] / 30000.0, 0.1, 0.02);
+  EXPECT_NEAR(counts[1] / 30000.0, 0.2, 0.02);
+  EXPECT_NEAR(counts[2] / 30000.0, 0.7, 0.02);
+}
+
+TEST(Rng, WeightedZeroWeightNeverPicked) {
+  Rng rng(37);
+  for (int i = 0; i < 2000; ++i) EXPECT_NE(rng.weighted({1.0, 0.0, 1.0}), 1u);
+}
+
+class ZipfTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfTest, FirstItemMostPopularAndAllInRange) {
+  const double alpha = GetParam();
+  ZipfSampler z(64, alpha);
+  Rng rng(41);
+  std::array<int, 64> counts{};
+  for (int i = 0; i < 60000; ++i) {
+    const std::size_t s = z.sample(rng);
+    ASSERT_LT(s, 64u);
+    ++counts[s];
+  }
+  // Item 0 must dominate every distant item under any positive skew.
+  EXPECT_GT(counts[0], counts[32]);
+  EXPECT_GT(counts[0], counts[63]);
+  // Overall counts must be monotone-ish: head quarter beats tail quarter.
+  int head = 0;
+  int tail = 0;
+  for (int i = 0; i < 16; ++i) head += counts[i];
+  for (int i = 48; i < 64; ++i) tail += counts[i];
+  EXPECT_GT(head, tail);
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, ZipfTest,
+                         ::testing::Values(0.5, 0.8, 1.0, 1.2, 2.0));
+
+TEST(Zipf, SingleItem) {
+  ZipfSampler z(1, 1.0);
+  Rng rng(43);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(z.sample(rng), 0u);
+}
+
+TEST(Zipf, ZeroSizeDegradesToSingleton) {
+  ZipfSampler z(0, 1.0);
+  Rng rng(47);
+  EXPECT_EQ(z.size(), 1u);
+  EXPECT_EQ(z.sample(rng), 0u);
+}
+
+}  // namespace
+}  // namespace mobcache

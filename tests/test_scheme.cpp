@@ -1,0 +1,99 @@
+#include "core/scheme.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mobcache {
+namespace {
+
+TEST(Scheme, HeadlineListBaselineFirstAndComplete) {
+  const auto list = headline_schemes();
+  ASSERT_EQ(list.size(), static_cast<std::size_t>(kSchemeCount));
+  EXPECT_EQ(list.front(), SchemeKind::BaselineSram);
+  // No duplicates.
+  for (std::size_t i = 0; i < list.size(); ++i)
+    for (std::size_t j = i + 1; j < list.size(); ++j)
+      EXPECT_NE(list[i], list[j]);
+}
+
+TEST(Scheme, EveryKindBuilds) {
+  for (SchemeKind k : headline_schemes()) {
+    auto l2 = build_scheme(k);
+    ASSERT_NE(l2, nullptr) << scheme_name(k);
+    EXPECT_FALSE(l2->describe().empty());
+  }
+}
+
+TEST(Scheme, BaselineGeometry) {
+  auto l2 = build_scheme(SchemeKind::BaselineSram);
+  EXPECT_EQ(l2->capacity_bytes(), 2ull << 20);
+  EXPECT_NE(l2->describe().find("SRAM"), std::string::npos);
+}
+
+TEST(Scheme, ShrunkGeometry) {
+  auto l2 = build_scheme(SchemeKind::ShrunkSram);
+  EXPECT_EQ(l2->capacity_bytes(), 512ull << 10);
+}
+
+TEST(Scheme, StaticPartitionCapacityIsSumOfDefaults) {
+  SchemeParams p;
+  auto l2 = build_scheme(SchemeKind::StaticPartSram, p);
+  EXPECT_EQ(l2->capacity_bytes(), p.sp_user_bytes + p.sp_kernel_bytes);
+  // The default static partition is well under the 2 MB baseline — that is
+  // the whole point of the technique.
+  EXPECT_LT(l2->capacity_bytes(), 2ull << 20);
+}
+
+TEST(Scheme, MrsttUsesConfiguredRetentions) {
+  SchemeParams p;
+  p.mrstt_user = RetentionClass::Hi;
+  p.mrstt_kernel = RetentionClass::Mid;
+  auto l2 = build_scheme(SchemeKind::StaticPartMrstt, p);
+  const std::string d = l2->describe();
+  EXPECT_NE(d.find("HI"), std::string::npos);
+  EXPECT_NE(d.find("MID"), std::string::npos);
+}
+
+TEST(Scheme, DynamicVariantsDifferOnlyInTech) {
+  auto sram = build_scheme(SchemeKind::DynamicSram);
+  auto stt = build_scheme(SchemeKind::DynamicStt);
+  EXPECT_EQ(sram->capacity_bytes(), stt->capacity_bytes());
+  EXPECT_NE(sram->describe().find("SRAM"), std::string::npos);
+  EXPECT_NE(stt->describe().find("STT-RAM"), std::string::npos);
+}
+
+TEST(Scheme, ParamsPlumbedToDynamic) {
+  SchemeParams p;
+  p.dp_monitor = MonitorKind::HillClimb;
+  auto l2 = build_scheme(SchemeKind::DynamicStt, p);
+  EXPECT_NE(l2->describe().find("hill-climb"), std::string::npos);
+}
+
+TEST(Scheme, ReplacementPolicyPlumbedEverywhere) {
+  SchemeParams p;
+  p.repl = ReplKind::Srrip;
+  for (SchemeKind k : headline_schemes()) {
+    auto l2 = build_scheme(k, p);
+    ASSERT_NE(l2, nullptr) << scheme_name(k);
+    // Smoke: run a few accesses to prove the policy was constructible and
+    // victim selection works under SRRIP.
+    for (std::uint64_t i = 0; i < 64; ++i) {
+      l2->access(i * kLineSize, AccessType::Read, Mode::User, i * 10);
+      l2->access(kKernelSpaceBase + i * kLineSize, AccessType::Read,
+                 Mode::Kernel, i * 10 + 5);
+    }
+    EXPECT_EQ(l2->aggregate_stats().total_accesses(), 128u) << scheme_name(k);
+  }
+}
+
+TEST(Scheme, NamesAreUnique) {
+  for (SchemeKind a : headline_schemes()) {
+    for (SchemeKind b : headline_schemes()) {
+      if (a != b) {
+        EXPECT_STRNE(scheme_name(a), scheme_name(b));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mobcache

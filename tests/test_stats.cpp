@@ -1,0 +1,128 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mobcache {
+namespace {
+
+TEST(RunningStat, EmptyIsZero) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStat, KnownSequence) {
+  RunningStat s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance of the classic sequence: 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStat, SingleValueHasZeroVariance) {
+  RunningStat s;
+  s.add(3.5);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 3.5);
+  EXPECT_EQ(s.max(), 3.5);
+}
+
+TEST(Log2Histogram, BucketPlacement) {
+  Log2Histogram h;
+  h.add(0);   // bucket 0
+  h.add(1);   // bucket 0
+  h.add(2);   // bucket 1
+  h.add(3);   // bucket 1
+  h.add(4);   // bucket 2
+  h.add(7);   // bucket 2
+  h.add(8);   // bucket 3
+  ASSERT_GE(h.buckets().size(), 4u);
+  EXPECT_EQ(h.buckets()[0], 2u);
+  EXPECT_EQ(h.buckets()[1], 2u);
+  EXPECT_EQ(h.buckets()[2], 2u);
+  EXPECT_EQ(h.buckets()[3], 1u);
+  EXPECT_EQ(h.total(), 7u);
+}
+
+TEST(Log2Histogram, FractionBelow) {
+  Log2Histogram h;
+  for (int i = 0; i < 10; ++i) h.add(1);    // bucket 0, values < 2
+  for (int i = 0; i < 10; ++i) h.add(100);  // bucket 6, [64,128)
+  EXPECT_DOUBLE_EQ(h.fraction_below(2), 0.5);
+  EXPECT_DOUBLE_EQ(h.fraction_below(64), 0.5);
+  EXPECT_DOUBLE_EQ(h.fraction_below(128), 1.0);
+  EXPECT_DOUBLE_EQ(h.fraction_below(1u << 20), 1.0);
+  EXPECT_EQ(h.fraction_below(0), 0.0);
+}
+
+TEST(Log2Histogram, QuantileUpperBound) {
+  Log2Histogram h;
+  for (int i = 0; i < 99; ++i) h.add(3);
+  h.add(1000);
+  // Median lands in the [2,4) bucket whose upper bound is 3.
+  EXPECT_EQ(h.quantile_upper_bound(0.5), 3u);
+  // The extreme tail reaches the bucket containing 1000: [512,1024).
+  EXPECT_EQ(h.quantile_upper_bound(1.0), 1023u);
+}
+
+TEST(Log2Histogram, EmptyQuantileIsZero) {
+  Log2Histogram h;
+  EXPECT_EQ(h.quantile_upper_bound(0.5), 0u);
+  EXPECT_EQ(h.fraction_below(100), 0.0);
+}
+
+TEST(Cdf, MonotoneAndEndsAtOne) {
+  std::vector<double> samples;
+  for (int i = 100; i > 0; --i) samples.push_back(static_cast<double>(i));
+  const auto cdf = build_cdf(std::move(samples), 10);
+  ASSERT_EQ(cdf.size(), 10u);
+  for (std::size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_LE(cdf[i - 1].value, cdf[i].value);
+    EXPECT_LT(cdf[i - 1].cum_fraction, cdf[i].cum_fraction);
+  }
+  EXPECT_DOUBLE_EQ(cdf.back().cum_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(cdf.back().value, 100.0);
+}
+
+TEST(Cdf, FewerSamplesThanPoints) {
+  const auto cdf = build_cdf({3.0, 1.0, 2.0}, 10);
+  ASSERT_EQ(cdf.size(), 3u);
+  EXPECT_DOUBLE_EQ(cdf[0].value, 1.0);
+  EXPECT_DOUBLE_EQ(cdf[2].value, 3.0);
+}
+
+TEST(Cdf, EmptyInput) {
+  EXPECT_TRUE(build_cdf({}, 10).empty());
+  EXPECT_TRUE(build_cdf({1.0}, 0).empty());
+}
+
+TEST(Geomean, KnownValues) {
+  EXPECT_NEAR(geomean({2.0, 8.0}), 4.0, 1e-12);
+  EXPECT_NEAR(geomean({1.0, 1.0, 1.0}), 1.0, 1e-12);
+  EXPECT_EQ(geomean({}), 0.0);
+}
+
+TEST(Format, Percent) {
+  EXPECT_EQ(format_percent(0.1234), "12.3%");
+  EXPECT_EQ(format_percent(0.1234, 2), "12.34%");
+  EXPECT_EQ(format_percent(1.0, 0), "100%");
+}
+
+TEST(Format, Bytes) {
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(2048), "2 KB");
+  EXPECT_EQ(format_bytes(2ull << 20), "2 MB");
+  EXPECT_EQ(format_bytes(1536ull << 10), "1536 KB");
+}
+
+}  // namespace
+}  // namespace mobcache

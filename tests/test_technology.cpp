@@ -1,0 +1,110 @@
+#include "energy/technology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mobcache {
+namespace {
+
+constexpr std::uint64_t kMb = 1ull << 20;
+
+TEST(Technology, SramLeakageLinearInCapacity) {
+  const TechParams two = make_sram(2 * kMb);
+  const TechParams one = make_sram(1 * kMb);
+  EXPECT_NEAR(two.leakage_mw, 2.0 * one.leakage_mw, 1e-9);
+  // 2 MB at the documented density.
+  EXPECT_NEAR(two.leakage_mw, tech_constants::kSramLeakMwPerKb * 2048, 1e-9);
+}
+
+TEST(Technology, DynamicEnergySqrtScaling) {
+  const TechParams two = make_sram(2 * kMb);
+  const TechParams half = make_sram(512ull << 10);
+  EXPECT_NEAR(half.read_energy_nj / two.read_energy_nj, 0.5, 1e-9);
+  EXPECT_NEAR(half.write_energy_nj / two.write_energy_nj, 0.5, 1e-9);
+}
+
+TEST(Technology, LatencyIndependentOfSize) {
+  // Interconnect-dominated: shrinking the array must not speed it up.
+  EXPECT_EQ(make_sram(2 * kMb).read_latency, make_sram(256ull << 10).read_latency);
+}
+
+TEST(Technology, SttLeakageMuchLowerThanSram) {
+  const TechParams sram = make_sram(2 * kMb);
+  const TechParams stt = make_sttram(2 * kMb, RetentionClass::Hi);
+  EXPECT_NEAR(stt.leakage_mw / sram.leakage_mw,
+              tech_constants::kSttLeakFactor, 1e-9);
+}
+
+TEST(Technology, SttReadComparableToSram) {
+  const TechParams sram = make_sram(2 * kMb);
+  const TechParams stt = make_sttram(2 * kMb, RetentionClass::Lo);
+  EXPECT_NEAR(stt.read_energy_nj / sram.read_energy_nj,
+              tech_constants::kSttReadFactor, 1e-9);
+}
+
+TEST(Technology, WriteEnergyOrderedByRetention) {
+  const TechParams lo = make_sttram(2 * kMb, RetentionClass::Lo);
+  const TechParams mid = make_sttram(2 * kMb, RetentionClass::Mid);
+  const TechParams hi = make_sttram(2 * kMb, RetentionClass::Hi);
+  EXPECT_LT(lo.write_energy_nj, mid.write_energy_nj);
+  EXPECT_LT(mid.write_energy_nj, hi.write_energy_nj);
+  EXPECT_NEAR(hi.write_energy_nj, tech_constants::kSttWriteNjHi2Mb, 1e-9);
+  // The quadratic law gives a large Hi:Lo ratio (the multi-retention win).
+  EXPECT_GT(hi.write_energy_nj / lo.write_energy_nj, 2.5);
+}
+
+TEST(Technology, WriteLatencyOrderedByRetention) {
+  const TechParams lo = make_sttram(2 * kMb, RetentionClass::Lo);
+  const TechParams mid = make_sttram(2 * kMb, RetentionClass::Mid);
+  const TechParams hi = make_sttram(2 * kMb, RetentionClass::Hi);
+  EXPECT_LT(lo.write_latency, mid.write_latency);
+  EXPECT_LT(mid.write_latency, hi.write_latency);
+  // Writes are always slower than reads for STT-RAM.
+  EXPECT_GT(lo.write_latency, lo.read_latency);
+}
+
+TEST(Technology, SttWriteCostlierThanSramWrite) {
+  const TechParams sram = make_sram(2 * kMb);
+  const TechParams lo = make_sttram(2 * kMb, RetentionClass::Lo);
+  EXPECT_GT(lo.write_energy_nj, sram.write_energy_nj);
+}
+
+TEST(Technology, RetentionPeriods) {
+  EXPECT_EQ(retention_cycles_of(RetentionClass::Lo),
+            tech_constants::kRetentionLoCycles);
+  EXPECT_EQ(retention_cycles_of(RetentionClass::Mid),
+            tech_constants::kRetentionMidCycles);
+  EXPECT_EQ(retention_cycles_of(RetentionClass::Hi), 0u);
+  EXPECT_EQ(make_sttram(kMb, RetentionClass::Lo).retention_cycles,
+            tech_constants::kRetentionLoCycles);
+  EXPECT_EQ(make_sram(kMb).retention_cycles, 0u);
+}
+
+TEST(Technology, DeltaConsistentWithRetentionExponential) {
+  // t_ret = t0 e^Δ with t0 = 1 ns; check the classes are self-consistent to
+  // within the rounding used for the published class values.
+  const double lo_pred = std::exp(delta_of(RetentionClass::Lo));     // ns
+  EXPECT_NEAR(std::log10(lo_pred), std::log10(1e7), 0.35);            // ~10 ms
+  const double mid_pred = std::exp(delta_of(RetentionClass::Mid));
+  EXPECT_NEAR(std::log10(mid_pred), std::log10(1e9), 0.35);           // ~1 s
+}
+
+TEST(Technology, LeakageEnergyArithmetic) {
+  TechParams t;
+  t.leakage_mw = 100.0;  // 100 mW → 100 pJ / cycle → 0.1 nJ / cycle
+  EXPECT_NEAR(t.leakage_nj(1000), 100.0, 1e-9);
+  EXPECT_NEAR(t.leakage_nj(1000, 0.5), 50.0, 1e-9);
+  EXPECT_EQ(t.leakage_nj(0), 0.0);
+}
+
+TEST(Technology, ToStringCoverage) {
+  EXPECT_EQ(to_string(TechKind::Sram), "SRAM");
+  EXPECT_EQ(to_string(TechKind::SttRam), "STT-RAM");
+  EXPECT_EQ(to_string(RetentionClass::Lo), "LO(10ms)");
+  EXPECT_EQ(to_string(RetentionClass::Mid), "MID(1s)");
+  EXPECT_EQ(to_string(RetentionClass::Hi), "HI(10yr)");
+}
+
+}  // namespace
+}  // namespace mobcache

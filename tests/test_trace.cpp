@@ -1,0 +1,97 @@
+#include "trace/trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mobcache {
+namespace {
+
+Access make(Addr addr, AccessType t, Mode m) {
+  Access a;
+  a.addr = addr;
+  a.type = t;
+  a.mode = m;
+  return a;
+}
+
+TEST(Types, LineAddrMasksOffset) {
+  EXPECT_EQ(line_addr(0x1000), 0x1000u);
+  EXPECT_EQ(line_addr(0x103f), 0x1000u);
+  EXPECT_EQ(line_addr(0x1040), 0x1040u);
+}
+
+TEST(Types, KernelAddressPredicate) {
+  EXPECT_FALSE(is_kernel_addr(0x1000));
+  EXPECT_FALSE(is_kernel_addr(0x7fff'ffff'ffffull));
+  EXPECT_TRUE(is_kernel_addr(kKernelSpaceBase));
+  EXPECT_TRUE(is_kernel_addr(~0ull));
+}
+
+TEST(Trace, SummarizeCountsByModeAndType) {
+  Trace t("demo");
+  t.push(make(0x100, AccessType::Read, Mode::User));
+  t.push(make(0x140, AccessType::Write, Mode::User));
+  t.push(make(kKernelSpaceBase + 0x40, AccessType::Read, Mode::Kernel));
+  t.push(make(kKernelSpaceBase + 0x40, AccessType::InstFetch, Mode::Kernel));
+
+  const TraceSummary s = t.summarize();
+  EXPECT_EQ(s.total, 4u);
+  EXPECT_EQ(s.by_mode[0], 2u);
+  EXPECT_EQ(s.by_mode[1], 2u);
+  EXPECT_EQ(s.writes, 1u);
+  EXPECT_EQ(s.ifetches, 1u);
+  EXPECT_DOUBLE_EQ(s.kernel_fraction(), 0.5);
+}
+
+TEST(Trace, DistinctLinesPerMode) {
+  Trace t;
+  // Two accesses in the same user line, one in another.
+  t.push(make(0x100, AccessType::Read, Mode::User));
+  t.push(make(0x104, AccessType::Read, Mode::User));
+  t.push(make(0x240, AccessType::Read, Mode::User));
+  t.push(make(kKernelSpaceBase, AccessType::Read, Mode::Kernel));
+  const TraceSummary s = t.summarize();
+  EXPECT_EQ(s.distinct_lines_user, 2u);
+  EXPECT_EQ(s.distinct_lines_kernel, 1u);
+}
+
+TEST(Trace, EmptySummary) {
+  Trace t;
+  const TraceSummary s = t.summarize();
+  EXPECT_EQ(s.total, 0u);
+  EXPECT_EQ(s.kernel_fraction(), 0.0);
+}
+
+TEST(Trace, ModeConsistencyHolds) {
+  Trace t;
+  t.push(make(0x100, AccessType::Read, Mode::User));
+  t.push(make(kKernelSpaceBase + 0x80, AccessType::Write, Mode::Kernel));
+  EXPECT_TRUE(t.modes_consistent_with_addresses());
+}
+
+TEST(Trace, ModeConsistencyViolationDetected) {
+  Trace t;
+  t.push(make(kKernelSpaceBase + 0x80, AccessType::Read, Mode::User));
+  EXPECT_FALSE(t.modes_consistent_with_addresses());
+
+  Trace t2;
+  t2.push(make(0x100, AccessType::Read, Mode::Kernel));
+  EXPECT_FALSE(t2.modes_consistent_with_addresses());
+}
+
+TEST(Trace, AccessHelpers) {
+  EXPECT_TRUE(make(0, AccessType::InstFetch, Mode::User).is_ifetch());
+  EXPECT_TRUE(make(0, AccessType::Write, Mode::User).is_write());
+  EXPECT_FALSE(make(0, AccessType::Read, Mode::User).is_write());
+}
+
+TEST(Trace, NameAndIndexing) {
+  Trace t("browser");
+  EXPECT_EQ(t.name(), "browser");
+  EXPECT_TRUE(t.empty());
+  t.push(make(0x40, AccessType::Read, Mode::User));
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(t[0].addr, 0x40u);
+}
+
+}  // namespace
+}  // namespace mobcache

@@ -1,0 +1,99 @@
+#include "trace/trace_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+namespace mobcache {
+namespace {
+
+class TraceIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() / "mobcache_trace_io";
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string path(const char* name) const { return (dir_ / name).string(); }
+
+  std::filesystem::path dir_;
+};
+
+Trace sample_trace() {
+  Trace t("roundtrip");
+  for (int i = 0; i < 100; ++i) {
+    Access a;
+    const bool kernel = i % 3 == 0;
+    a.addr = (kernel ? kKernelSpaceBase : 0) + static_cast<Addr>(i) * 64;
+    a.type = static_cast<AccessType>(i % 3);
+    a.mode = kernel ? Mode::Kernel : Mode::User;
+    a.thread = static_cast<std::uint16_t>(i % 4);
+    t.push(a);
+  }
+  return t;
+}
+
+TEST_F(TraceIoTest, RoundtripPreservesEverything) {
+  const Trace original = sample_trace();
+  ASSERT_TRUE(write_trace(original, path("a.mct")));
+
+  const auto loaded = read_trace(path("a.mct"));
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->name(), "roundtrip");
+  ASSERT_EQ(loaded->size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ((*loaded)[i].addr, original[i].addr);
+    EXPECT_EQ((*loaded)[i].type, original[i].type);
+    EXPECT_EQ((*loaded)[i].mode, original[i].mode);
+    EXPECT_EQ((*loaded)[i].thread, original[i].thread);
+  }
+}
+
+TEST_F(TraceIoTest, EmptyTraceRoundtrips) {
+  Trace t("empty");
+  ASSERT_TRUE(write_trace(t, path("e.mct")));
+  const auto loaded = read_trace(path("e.mct"));
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_TRUE(loaded->empty());
+  EXPECT_EQ(loaded->name(), "empty");
+}
+
+TEST_F(TraceIoTest, MissingFileIsNullopt) {
+  EXPECT_FALSE(read_trace(path("does_not_exist.mct")).has_value());
+}
+
+TEST_F(TraceIoTest, BadMagicRejected) {
+  std::ofstream f(path("bad.mct"), std::ios::binary);
+  const char garbage[64] = "this is not a mobcache trace file at all";
+  f.write(garbage, sizeof garbage);
+  f.close();
+  EXPECT_FALSE(read_trace(path("bad.mct")).has_value());
+}
+
+TEST_F(TraceIoTest, TruncatedFileRejected) {
+  ASSERT_TRUE(write_trace(sample_trace(), path("t.mct")));
+  const auto full = std::filesystem::file_size(path("t.mct"));
+  std::filesystem::resize_file(path("t.mct"), full - 10);
+  EXPECT_FALSE(read_trace(path("t.mct")).has_value());
+}
+
+TEST_F(TraceIoTest, ModeInconsistentFileRejected) {
+  // A record claiming kernel mode at a user address must not load: such a
+  // trace would silently break every partitioned design.
+  Trace t("bad-mode");
+  Access a;
+  a.addr = 0x1000;  // user half
+  a.mode = Mode::Kernel;
+  t.push(a);
+  ASSERT_TRUE(write_trace(t, path("m.mct")));
+  EXPECT_FALSE(read_trace(path("m.mct")).has_value());
+}
+
+TEST_F(TraceIoTest, WriteToUnwritablePathFails) {
+  EXPECT_FALSE(write_trace(sample_trace(), "/nonexistent_dir_xyz/t.mct"));
+}
+
+}  // namespace
+}  // namespace mobcache

@@ -1,0 +1,103 @@
+#include "core/victim_cache_l2.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/scheme.hpp"
+#include "sim/simulator.hpp"
+#include "workload/suite.hpp"
+
+namespace mobcache {
+namespace {
+
+VictimCacheL2Config cfg(std::uint32_t entries = 8) {
+  VictimCacheL2Config c;
+  c.cache.name = "L2";
+  c.cache.size_bytes = 8ull << 10;  // tiny direct-mapped to force conflicts
+  c.cache.assoc = 1;
+  c.victim_entries = entries;
+  return c;
+}
+
+TEST(VictimCache, RescuesConflictVictims) {
+  VictimCacheL2 l2(cfg());
+  const std::uint64_t sets = (8ull << 10) / kLineSize;
+  const Addr a = 0;
+  const Addr b = sets * kLineSize;  // conflicts with a
+
+  l2.access(a, AccessType::Read, Mode::User, 0);
+  l2.access(b, AccessType::Read, Mode::User, 10);  // evicts a → buffer
+  const L2Result r = l2.access(a, AccessType::Read, Mode::User, 20);
+  EXPECT_FALSE(r.hit);  // miss in the main array...
+  EXPECT_EQ(l2.victim_hits(), 1u);  // ...but served from the buffer
+  // The victim-buffer path must be far faster than DRAM.
+  EXPECT_LT(r.latency, make_sram(8ull << 10).read_latency +
+                           tech_constants::kDramVisibleStall);
+}
+
+TEST(VictimCache, TracksCrossModeRescues) {
+  VictimCacheL2 l2(cfg());
+  const std::uint64_t sets = (8ull << 10) / kLineSize;
+  const Addr ku = kKernelSpaceBase;           // kernel line, set 0
+  const Addr ua = sets * kLineSize;           // user line, same set
+
+  l2.access(ku, AccessType::Read, Mode::Kernel, 0);
+  l2.access(ua, AccessType::Read, Mode::User, 10);  // user evicts kernel
+  l2.access(ku, AccessType::Read, Mode::Kernel, 20);
+  EXPECT_EQ(l2.victim_hits(), 1u);
+  EXPECT_EQ(l2.cross_mode_rescues(), 1u);
+}
+
+TEST(VictimCache, BufferCapacityBounded) {
+  VictimCacheL2 l2(cfg(/*entries=*/2));
+  const std::uint64_t sets = (8ull << 10) / kLineSize;
+  // Three victims through a 2-entry buffer: the first falls out.
+  for (std::uint64_t i = 0; i < 4; ++i)
+    l2.access(i * sets * kLineSize, AccessType::Read, Mode::User, i * 10);
+  // Line 0 was evicted first and has fallen out of the buffer by now.
+  l2.access(0, AccessType::Read, Mode::User, 100);
+  EXPECT_EQ(l2.victim_hits(), 0u);
+}
+
+TEST(VictimCache, DirtyVictimFallingOutPaysDram) {
+  VictimCacheL2 l2(cfg(/*entries=*/1));
+  const std::uint64_t sets = (8ull << 10) / kLineSize;
+  l2.access(0, AccessType::Write, Mode::User, 0);  // dirty
+  const double dram0 = l2.energy().dram_nj;
+  l2.access(sets * kLineSize, AccessType::Read, Mode::User, 10);   // victim 0
+  l2.access(2 * sets * kLineSize, AccessType::Read, Mode::User, 20);  // pushes 0 out
+  EXPECT_GT(l2.energy().dram_nj, dram0 + tech_constants::kDramAccessNj * 1.5);
+}
+
+TEST(VictimCache, CapacityIncludesBuffer) {
+  VictimCacheL2 l2(cfg(64));
+  EXPECT_EQ(l2.capacity_bytes(), (8ull << 10) + 64 * kLineSize);
+  EXPECT_NE(l2.describe().find("victim buffer"), std::string::npos);
+}
+
+TEST(VictimCache, RecoversSomeInterferenceButNotTheEnergy) {
+  // The comparison that motivates the paper's approach over victim caching.
+  const Trace t = generate_app_trace(AppId::Launcher, 300'000, 13);
+  const SimResult base = simulate(t, build_scheme(SchemeKind::BaselineSram));
+
+  VictimCacheL2Config c;
+  c.cache.name = "L2";
+  c.cache.size_bytes = 2ull << 20;
+  c.cache.assoc = 16;
+  c.victim_entries = 64;
+  VictimCacheL2 vcl2(c);
+  const SimResult vc = simulate(t, vcl2);
+
+  // The finding: at L2 scale a victim buffer recovers almost nothing —
+  // victims of a 16-way 2 MB cache rarely re-reference within a few dozen
+  // evictions (kernel streams wash the buffer out immediately).
+  EXPECT_LT(vcl2.victim_hits(), vc.l2.total_misses() / 100);
+  // And energy stays essentially at baseline level (full array still leaks).
+  EXPECT_GT(vc.l2_energy.cache_nj(), 0.9 * base.l2_energy.cache_nj());
+
+  const SimResult mrstt =
+      simulate(t, build_scheme(SchemeKind::StaticPartMrstt));
+  EXPECT_LT(mrstt.l2_energy.cache_nj(), 0.3 * vc.l2_energy.cache_nj());
+}
+
+}  // namespace
+}  // namespace mobcache

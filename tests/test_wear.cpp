@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include "cache/set_assoc_cache.hpp"
+#include "core/scheme.hpp"
+#include "core/shared_l2.hpp"
+#include "sim/simulator.hpp"
+#include "workload/suite.hpp"
+
+namespace mobcache {
+namespace {
+
+CacheConfig cfg() {
+  CacheConfig c;
+  c.size_bytes = 16ull << 10;
+  c.assoc = 4;
+  return c;
+}
+
+TEST(Wear, FillsAndStoresAndScrubsCount) {
+  SetAssocCache c(cfg());
+  c.set_retention_period(1000);
+  c.access(0, AccessType::Read, Mode::User, 1);    // fill: 1 write
+  c.access(0, AccessType::Write, Mode::User, 2);   // store hit: 1 write
+  c.refresh_block(c.set_index(0), 0, 3);           // scrub: 1 write
+  const WearSummary w = c.wear_summary();
+  EXPECT_EQ(w.total_writes, 3u);
+  EXPECT_EQ(w.max_writes, 3u);
+}
+
+TEST(Wear, ReadsDoNotWear) {
+  SetAssocCache c(cfg());
+  c.access(0, AccessType::Read, Mode::User, 1);
+  for (int i = 0; i < 100; ++i)
+    c.access(0, AccessType::Read, Mode::User, 10 + i);
+  EXPECT_EQ(c.wear_summary().total_writes, 1u);  // the fill only
+}
+
+TEST(Wear, ConservationAgainstCounters) {
+  SetAssocCache c(cfg());
+  
+  // Drive a mixed stream; total wear == fills + prefetch fills + store hits
+  // + refreshes.
+  for (std::uint64_t i = 0; i < 5'000; ++i) {
+    const Addr line = (i * 37 % 1024) * kLineSize;
+    const auto type = i % 3 == 0 ? AccessType::Write : AccessType::Read;
+    c.access(line, type, Mode::User, i * 10, full_way_mask(4), i % 17 == 0);
+  }
+  const CacheStats& s = c.stats();
+  EXPECT_EQ(c.wear_summary().total_writes,
+            s.fills + s.prefetch_fills + s.store_hits + s.refreshes);
+}
+
+TEST(Wear, SmallSegmentConcentratesWrites) {
+  // Identical traffic through a large vs a small array: the small array's
+  // per-line wear must be higher.
+  const Trace t = generate_app_trace(AppId::Game, 150'000, 7);
+
+  SharedL2Config big;
+  big.cache.name = "L2";
+  big.cache.size_bytes = 2ull << 20;
+  big.cache.assoc = 16;
+  SharedL2 l2_big(big);
+  simulate(t, l2_big);
+
+  SharedL2Config small = big;
+  small.cache.size_bytes = 256ull << 10;
+  small.cache.assoc = 8;
+  SharedL2 l2_small(small);
+  simulate(t, l2_small);
+
+  EXPECT_GT(l2_small.array().wear_summary().mean_writes,
+            2.0 * l2_big.array().wear_summary().mean_writes);
+}
+
+TEST(Wear, SummaryOrderingInvariants) {
+  const Trace t = generate_app_trace(AppId::Email, 100'000, 3);
+  SharedL2Config c;
+  c.cache.name = "L2";
+  c.cache.size_bytes = 1ull << 20;
+  c.cache.assoc = 16;
+  SharedL2 l2(c);
+  simulate(t, l2);
+  const WearSummary w = l2.array().wear_summary();
+  EXPECT_GE(w.max_writes, w.p99_writes);
+  EXPECT_GE(static_cast<double>(w.p99_writes) + 1.0, w.mean_writes);
+  EXPECT_GE(w.imbalance(), 1.0);
+}
+
+TEST(WearLevel, RotationRemapsSets) {
+  SetAssocCache c(cfg());
+  c.access(0, AccessType::Read, Mode::User, 1);
+  const std::uint32_t before = c.set_index(0);
+  const std::uint64_t dirty = c.rotate_index(0x15);
+  EXPECT_EQ(dirty, 0u);  // the only block was clean
+  EXPECT_NE(c.set_index(0), before);
+  EXPECT_FALSE(c.contains(0, 10)) << "rotation flushes the array";
+}
+
+TEST(WearLevel, RotationFlushReportsDirty) {
+  SetAssocCache c(cfg());
+  c.access(0, AccessType::Write, Mode::User, 1);
+  c.access(kLineSize, AccessType::Write, Mode::User, 2);
+  EXPECT_EQ(c.rotate_index(3), 2u);
+}
+
+TEST(WearLevel, RotationFlattensSkewedWear) {
+  // Hammer a single hot set. Without rotation, one set's lines take all
+  // the wear; with rotation the same traffic spreads across the array.
+  auto hammer = [](SharedL2& l2) {
+    Cycle now = 0;
+    const std::uint64_t sets = l2.array().num_sets();
+    for (std::uint64_t i = 0; i < 60'000; ++i) {
+      // 8 lines, all mapping to set 0 initially: constant conflict churn.
+      l2.access((i % 8) * sets * kLineSize, AccessType::Write, Mode::User,
+                now);
+      now += 10;
+    }
+  };
+
+  SharedL2Config plain;
+  plain.cache.name = "L2";
+  plain.cache.size_bytes = 64ull << 10;
+  plain.cache.assoc = 4;
+  SharedL2 fixed(plain);
+  hammer(fixed);
+
+  SharedL2Config rotating = plain;
+  rotating.wear_rotate_writes = 4'000;
+  SharedL2 leveled(rotating);
+  hammer(leveled);
+
+  EXPECT_GT(leveled.rotations(), 5u);
+  const WearSummary wf = fixed.array().wear_summary();
+  const WearSummary wl = leveled.array().wear_summary();
+  EXPECT_LT(wl.max_writes, wf.max_writes / 4)
+      << "rotation must spread the hot set's wear";
+}
+
+TEST(WearLevel, OffByDefault) {
+  SharedL2Config c;
+  c.cache.name = "L2";
+  c.cache.size_bytes = 64ull << 10;
+  c.cache.assoc = 4;
+  SharedL2 l2(c);
+  for (std::uint64_t i = 0; i < 20'000; ++i)
+    l2.access((i % 64) * kLineSize, AccessType::Write, Mode::User, i * 10);
+  EXPECT_EQ(l2.rotations(), 0u);
+}
+
+TEST(WearLevel, CorrectnessUnderRotation) {
+  // Frequent rotations must only cost misses, never wrong data/state.
+  SharedL2Config c;
+  c.cache.name = "L2";
+  c.cache.size_bytes = 32ull << 10;
+  c.cache.assoc = 4;
+  c.wear_rotate_writes = 500;
+  SharedL2 l2(c);
+  Cycle now = 0;
+  for (std::uint64_t i = 0; i < 30'000; ++i) {
+    l2.access((i * 13 % 2048) * kLineSize,
+              i % 4 == 0 ? AccessType::Write : AccessType::Read, Mode::User,
+              now);
+    now += 10;
+  }
+  const CacheStats s = l2.aggregate_stats();
+  EXPECT_EQ(s.total_hits() + s.total_misses(), s.total_accesses());
+  EXPECT_GT(l2.rotations(), 10u);
+}
+
+}  // namespace
+}  // namespace mobcache

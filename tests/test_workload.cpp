@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "core/scheme.hpp"
+#include "sim/simulator.hpp"
+#include "workload/generator.hpp"
+#include "workload/suite.hpp"
+
+namespace mobcache {
+namespace {
+
+TEST(Workload, GeneratorHitsTargetLength) {
+  const Trace t = generate_app_trace(AppId::Browser, 50'000, 1);
+  EXPECT_GE(t.size(), 50'000u);
+  EXPECT_LT(t.size(), 55'000u);  // at most one episode of overshoot headroom
+}
+
+TEST(Workload, DeterministicInSeed) {
+  const Trace a = generate_app_trace(AppId::Game, 20'000, 7);
+  const Trace b = generate_app_trace(AppId::Game, 20'000, 7);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].addr, b[i].addr);
+    ASSERT_EQ(a[i].type, b[i].type);
+    ASSERT_EQ(a[i].mode, b[i].mode);
+  }
+}
+
+TEST(Workload, SeedsProduceDifferentTraces) {
+  const Trace a = generate_app_trace(AppId::Game, 20'000, 1);
+  const Trace b = generate_app_trace(AppId::Game, 20'000, 2);
+  std::size_t diff = 0;
+  const std::size_t n = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < n; ++i) diff += a[i].addr != b[i].addr;
+  EXPECT_GT(diff, n / 4);
+}
+
+TEST(Workload, ModesConsistentWithAddressSpace) {
+  for (AppId id : all_apps()) {
+    const Trace t = generate_app_trace(id, 30'000, 3);
+    EXPECT_TRUE(t.modes_consistent_with_addresses()) << app_name(id);
+  }
+}
+
+TEST(Workload, InteractiveAppsMixBothModes) {
+  for (AppId id : interactive_apps()) {
+    const TraceSummary s = generate_app_trace(id, 100'000, 1).summarize();
+    EXPECT_GT(s.kernel_fraction(), 0.05) << app_name(id);
+    EXPECT_LT(s.kernel_fraction(), 0.60) << app_name(id);
+    EXPECT_GT(s.writes, 0u) << app_name(id);
+    EXPECT_GT(s.ifetches, s.total / 3) << app_name(id);
+  }
+}
+
+TEST(Workload, ComputeAppsAreUserDominated) {
+  for (AppId id : {AppId::ComputeFft, AppId::ComputeMatmul}) {
+    const TraceSummary s = generate_app_trace(id, 100'000, 1).summarize();
+    EXPECT_LT(s.kernel_fraction(), 0.05) << app_name(id);
+  }
+}
+
+TEST(Workload, SuiteGeneratesAllRequestedApps) {
+  const auto traces = generate_suite({AppId::Launcher, AppId::Email}, 10'000, 1);
+  ASSERT_EQ(traces.size(), 2u);
+  EXPECT_EQ(traces[0].name(), "launcher");
+  EXPECT_EQ(traces[1].name(), "email");
+}
+
+TEST(Workload, AppSpecsWellFormed) {
+  for (AppId id : all_apps()) {
+    const AppSpec spec = make_app(id);
+    EXPECT_EQ(spec.id, id);
+    EXPECT_FALSE(spec.phases.empty()) << app_name(id);
+    if (!spec.transitions.empty()) {
+      ASSERT_EQ(spec.transitions.size(), spec.phases.size()) << app_name(id);
+      for (const auto& row : spec.transitions)
+        ASSERT_EQ(row.size(), spec.phases.size()) << app_name(id);
+    }
+    for (const PhaseSpec& p : spec.phases) {
+      EXPECT_GT(p.ws_bytes, 0u);
+      EXPECT_GT(p.mean_phase_len, 0u);
+      EXPECT_GE(p.store_fraction, 0.0);
+      EXPECT_LE(p.store_fraction, 1.0);
+    }
+  }
+}
+
+/// The paper's motivating observation, pinned as a regression band: in
+/// interactive apps, kernel references make up >40% of *L2* accesses
+/// (>35% asserted here to absorb seed noise at short trace lengths), while
+/// compute workloads stay below 15%.
+class KernelShareBand : public ::testing::TestWithParam<AppId> {};
+
+TEST_P(KernelShareBand, L2KernelShareInBand) {
+  const AppId id = GetParam();
+  const Trace t = generate_app_trace(id, 400'000, 42);
+  const SimResult r = simulate(t, build_scheme(SchemeKind::BaselineSram));
+  const bool interactive = make_app(id).interactive;
+  if (interactive) {
+    EXPECT_GT(r.l2_kernel_fraction(), 0.35) << app_name(id);
+    EXPECT_LT(r.l2_kernel_fraction(), 0.75) << app_name(id);
+  } else {
+    EXPECT_LT(r.l2_kernel_fraction(), 0.15) << app_name(id);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, KernelShareBand,
+                         ::testing::ValuesIn(all_apps()),
+                         [](const auto& info) {
+                           return std::string(app_name(info.param));
+                         });
+
+TEST(Workload, BenchTraceLenReadsEnvironment) {
+  // No env var → fallback.
+  unsetenv("MOBCACHE_TRACE_LEN");
+  EXPECT_EQ(bench_trace_len(123), 123u);
+  setenv("MOBCACHE_TRACE_LEN", "4567", 1);
+  EXPECT_EQ(bench_trace_len(123), 4567u);
+  setenv("MOBCACHE_TRACE_LEN", "garbage", 1);
+  EXPECT_EQ(bench_trace_len(123), 123u);
+  unsetenv("MOBCACHE_TRACE_LEN");
+}
+
+}  // namespace
+}  // namespace mobcache

@@ -1,0 +1,136 @@
+/// \file mobcache_compare.cpp
+/// CLI: compare two experiment JSON files (as written by bench_e9_headline)
+/// and flag regressions. Intended for release engineering: run E9 before
+/// and after a change, then
+///
+///   mobcache_compare old/e9_headline.json new/e9_headline.json [tol]
+///
+/// exits nonzero when any scheme's normalized cache energy or execution
+/// time moved by more than `tol` (default 0.02 absolute).
+///
+/// The parser handles exactly the subset of JSON our exporter emits (flat
+/// numeric fields inside the scheme objects) — no third-party dependency.
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+
+using namespace mobcache;
+
+namespace {
+
+struct SchemeRow {
+  std::string name;
+  double energy = 0.0;
+  double time = 0.0;
+  double miss = 0.0;
+};
+
+/// Extracts the string value following `"key":"` starting at `from`.
+std::optional<std::string> find_string(const std::string& doc,
+                                       const std::string& key,
+                                       std::size_t from, std::size_t until) {
+  const std::string needle = "\"" + key + "\":\"";
+  const std::size_t pos = doc.find(needle, from);
+  if (pos == std::string::npos || pos >= until) return std::nullopt;
+  const std::size_t start = pos + needle.size();
+  const std::size_t end = doc.find('"', start);
+  if (end == std::string::npos) return std::nullopt;
+  return doc.substr(start, end - start);
+}
+
+std::optional<double> find_number(const std::string& doc,
+                                  const std::string& key, std::size_t from,
+                                  std::size_t until) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t pos = doc.find(needle, from);
+  if (pos == std::string::npos || pos >= until) return std::nullopt;
+  return std::strtod(doc.c_str() + pos + needle.size(), nullptr);
+}
+
+std::vector<SchemeRow> load(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    std::exit(2);
+  }
+  std::stringstream ss;
+  ss << f.rdbuf();
+  const std::string doc = ss.str();
+
+  std::vector<SchemeRow> rows;
+  // Each scheme object starts with {"name": — walk them in order. Scheme
+  // objects contain nested per-workload objects, so bound each search by
+  // the next scheme's start.
+  std::vector<std::size_t> starts;
+  for (std::size_t pos = doc.find("{\"name\":"); pos != std::string::npos;
+       pos = doc.find("{\"name\":", pos + 1)) {
+    starts.push_back(pos);
+  }
+  for (std::size_t i = 0; i < starts.size(); ++i) {
+    const std::size_t from = starts[i];
+    const std::size_t until =
+        i + 1 < starts.size() ? starts[i + 1] : doc.size();
+    SchemeRow r;
+    const auto name = find_string(doc, "name", from, until);
+    const auto energy = find_number(doc, "norm_cache_energy", from, until);
+    const auto time = find_number(doc, "norm_exec_time", from, until);
+    const auto miss = find_number(doc, "avg_miss_rate", from, until);
+    if (!name || !energy || !time || !miss) continue;
+    r.name = *name;
+    r.energy = *energy;
+    r.time = *time;
+    r.miss = *miss;
+    rows.push_back(std::move(r));
+  }
+  return rows;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr, "usage: %s <old.json> <new.json> [tolerance]\n",
+                 argv[0]);
+    return 2;
+  }
+  const double tol = argc > 3 ? std::strtod(argv[3], nullptr) : 0.02;
+
+  const auto old_rows = load(argv[1]);
+  const auto new_rows = load(argv[2]);
+  std::map<std::string, SchemeRow> old_by_name;
+  for (const SchemeRow& r : old_rows) old_by_name[r.name] = r;
+
+  TablePrinter t({"scheme", "energy old->new", "time old->new",
+                  "miss old->new", "verdict"});
+  bool regressed = false;
+  for (const SchemeRow& n : new_rows) {
+    const auto it = old_by_name.find(n.name);
+    if (it == old_by_name.end()) {
+      t.add_row({n.name, "-", "-", "-", "new scheme"});
+      continue;
+    }
+    const SchemeRow& o = it->second;
+    const double de = n.energy - o.energy;
+    const double dt = n.time - o.time;
+    const bool bad = de > tol || dt > tol;
+    regressed |= bad;
+    t.add_row({n.name,
+               format_double(o.energy, 3) + " -> " + format_double(n.energy, 3),
+               format_double(o.time, 3) + " -> " + format_double(n.time, 3),
+               format_double(o.miss, 3) + " -> " + format_double(n.miss, 3),
+               bad ? "REGRESSED" : (de < -tol || dt < -tol) ? "improved"
+                                                            : "ok"});
+  }
+  t.print();
+  std::printf("\ntolerance: %.3f (absolute, on normalized metrics)\n%s\n",
+              tol, regressed ? "REGRESSIONS FOUND" : "no regressions");
+  return regressed ? 1 : 0;
+}

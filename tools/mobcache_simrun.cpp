@@ -1,0 +1,98 @@
+/// \file mobcache_simrun.cpp
+/// CLI: run a trace (generated or from a .mct file) through one or all L2
+/// schemes and print the full result sheet. The scripting workhorse —
+/// everything the bench binaries compute is reachable from here.
+///
+/// Usage:
+///   mobcache_simrun <trace.mct|app-name> [scheme|all] [records] [seed]
+/// Schemes: base shrunk sharedstt sp spmrstt dp dpstt all (default: all)
+
+#include <cstdio>
+#include <cstring>
+#include <optional>
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "core/scheme.hpp"
+#include "sim/simulator.hpp"
+#include "trace/trace_compress.hpp"
+#include "workload/suite.hpp"
+
+using namespace mobcache;
+
+namespace {
+
+std::optional<SchemeKind> parse_scheme(const char* s) {
+  if (std::strcmp(s, "base") == 0) return SchemeKind::BaselineSram;
+  if (std::strcmp(s, "shrunk") == 0) return SchemeKind::ShrunkSram;
+  if (std::strcmp(s, "sharedstt") == 0) return SchemeKind::SharedStt;
+  if (std::strcmp(s, "sp") == 0) return SchemeKind::StaticPartSram;
+  if (std::strcmp(s, "spmrstt") == 0) return SchemeKind::StaticPartMrstt;
+  if (std::strcmp(s, "dp") == 0) return SchemeKind::DynamicSram;
+  if (std::strcmp(s, "dpstt") == 0) return SchemeKind::DynamicStt;
+  return std::nullopt;
+}
+
+Trace load_or_generate(const char* spec, std::uint64_t records,
+                       std::uint64_t seed) {
+  if (auto t = read_trace_any(spec)) return std::move(*t);
+  for (AppId id : all_apps()) {
+    if (std::strcmp(spec, app_name(id)) == 0)
+      return generate_app_trace(id, records, seed);
+  }
+  std::fprintf(stderr, "'%s' is neither a readable .mct nor an app name\n",
+               spec);
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s <trace.mct|app> [scheme|all] [records] [seed]\n",
+                 argv[0]);
+    return 2;
+  }
+  const std::uint64_t records =
+      argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 1'000'000;
+  const std::uint64_t seed =
+      argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 1;
+  const Trace trace = load_or_generate(argv[1], records, seed);
+
+  std::vector<SchemeKind> kinds;
+  if (argc <= 2 || std::strcmp(argv[2], "all") == 0) {
+    kinds = headline_schemes();
+  } else if (auto k = parse_scheme(argv[2])) {
+    kinds = {SchemeKind::BaselineSram};
+    if (*k != SchemeKind::BaselineSram) kinds.push_back(*k);
+  } else {
+    std::fprintf(stderr, "unknown scheme '%s'\n", argv[2]);
+    return 2;
+  }
+
+  std::printf("trace '%s' (%s records, kernel %s)\n\n", trace.name().c_str(),
+              format_count(trace.size()).c_str(),
+              format_percent(trace.summarize().kernel_fraction()).c_str());
+
+  TablePrinter t({"scheme", "L2 miss", "cycles", "CPI", "leak uJ", "dyn uJ",
+                  "refresh uJ", "DRAM uJ", "cache E vs base", "time vs base"});
+  std::optional<SimResult> base;
+  for (SchemeKind k : kinds) {
+    const SimResult r = simulate(trace, build_scheme(k));
+    if (!base) base = r;
+    const EnergyBreakdown& e = r.l2_energy;
+    t.add_row({scheme_name(k), format_percent(r.l2_miss_rate()),
+               format_count(r.cycles), format_double(r.cpi, 2),
+               format_double(e.leakage_nj / 1e3, 1),
+               format_double((e.read_nj + e.write_nj) / 1e3, 1),
+               format_double(e.refresh_nj / 1e3, 1),
+               format_double(e.dram_nj / 1e3, 1),
+               format_double(e.cache_nj() / base->l2_energy.cache_nj(), 3),
+               format_double(static_cast<double>(r.cycles) /
+                                 static_cast<double>(base->cycles),
+                             3)});
+  }
+  t.print();
+  return 0;
+}
