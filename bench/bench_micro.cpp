@@ -9,6 +9,7 @@
 #include "cache/shadow_monitor.hpp"
 #include "common/rng.hpp"
 #include "core/scheme.hpp"
+#include "obs/telemetry.hpp"
 #include "sim/multicore.hpp"
 #include "sim/simulator.hpp"
 #include "trace/trace_compress.hpp"
@@ -103,6 +104,27 @@ BENCHMARK(BM_EndToEndSimulation)
     ->Arg(static_cast<int>(SchemeKind::StaticPartMrstt))
     ->Arg(static_cast<int>(SchemeKind::DynamicStt))
     ->Unit(benchmark::kMillisecond);
+
+void BM_TelemetryOverhead(benchmark::State& state) {
+  // Arg(0): detached (no Telemetry — the no-sink fast path, one pointer
+  // test per instrumentation site). Arg(1): full session attached with
+  // trace-cadence sampling. The acceptance bar is <2% overhead detached.
+  const Trace trace = generate_app_trace(AppId::Browser, 200'000, 42);
+  const bool attached = state.range(0) != 0;
+  for (auto _ : state) {
+    Telemetry tel;
+    SimOptions opts;
+    if (attached) {
+      tel.set_sample_interval(10'000);
+      opts.telemetry = &tel;
+    }
+    benchmark::DoNotOptimize(
+        simulate(trace, build_scheme(SchemeKind::DynamicStt), opts));
+  }
+  state.SetItemsProcessed(state.iterations() * trace.size());
+  state.SetLabel(attached ? "telemetry attached" : "detached (no-sink)");
+}
+BENCHMARK(BM_TelemetryOverhead)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 void BM_TraceCompression(benchmark::State& state) {
   const Trace t = generate_app_trace(AppId::VideoPlayer, 100'000, 42);

@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Validate a mobcache telemetry trace (CI smoke check).
+
+Checks structure, not semantics:
+  - JSONL: every line parses as a JSON object with type/cycle/track fields.
+  - Chrome trace_event: top-level object with a traceEvents array; every
+    event carries name/ph/pid, non-metadata events carry a numeric ts, and
+    cycle timestamps are monotone per (pid, name) counter track.
+
+Exits 0 and prints a one-line summary on success; exits 1 with the first
+offending record otherwise.
+
+Usage:
+  python3 scripts/check_trace.py TRACE_FILE [--expect-events=N]
+                                 [--require-type=NAME ...]
+"""
+
+import json
+import sys
+
+
+def fail(msg):
+    print(f"check_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_jsonl(path):
+    types = {}
+    with open(path) as f:
+        for i, line in enumerate(f, 1):
+            if not line.strip():
+                fail(f"{path}:{i}: blank line")
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError as e:
+                fail(f"{path}:{i}: not valid JSON: {e}")
+            if not isinstance(rec, dict):
+                fail(f"{path}:{i}: line is not a JSON object")
+            for field in ("type", "cycle", "track"):
+                if field not in rec:
+                    fail(f"{path}:{i}: missing '{field}': {line.strip()}")
+            if not isinstance(rec["cycle"], int) or rec["cycle"] < 0:
+                fail(f"{path}:{i}: bad cycle {rec['cycle']!r}")
+            types[rec["type"]] = types.get(rec["type"], 0) + 1
+    return sum(types.values()), types
+
+
+def check_chrome(path):
+    with open(path) as f:
+        try:
+            doc = json.load(f)
+        except json.JSONDecodeError as e:
+            fail(f"{path}: not valid JSON: {e}")
+    if "traceEvents" not in doc or not isinstance(doc["traceEvents"], list):
+        fail(f"{path}: no traceEvents array")
+    types = {}
+    last_ts = {}  # (pid, name) -> ts, for counter-track monotonicity
+    n = 0
+    for i, ev in enumerate(doc["traceEvents"]):
+        for field in ("name", "ph", "pid"):
+            if field not in ev:
+                fail(f"traceEvents[{i}]: missing '{field}': {ev}")
+        if ev["ph"] == "M":
+            continue
+        n += 1
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            fail(f"traceEvents[{i}]: bad ts {ts!r}")
+        key = (ev["pid"], ev["name"])
+        if ev["ph"] == "C" and ts < last_ts.get(key, 0):
+            fail(f"traceEvents[{i}]: counter '{ev['name']}' went back in "
+                 f"time ({ts} < {last_ts[key]})")
+        last_ts[key] = ts
+        types[ev["name"]] = types.get(ev["name"], 0) + 1
+    return n, types
+
+
+def main():
+    if len(sys.argv) < 2:
+        print(__doc__)
+        sys.exit(2)
+    path = sys.argv[1]
+    expect_events = 0
+    require_types = []
+    for a in sys.argv[2:]:
+        if a.startswith("--expect-events="):
+            expect_events = int(a.split("=", 1)[1])
+        elif a.startswith("--require-type="):
+            require_types.append(a.split("=", 1)[1])
+        else:
+            fail(f"unknown argument {a!r}")
+
+    # A Chrome trace is one JSON document with a traceEvents array; JSONL is
+    # one self-contained object per line. Both start with '{', so sniff the
+    # first line's content.
+    with open(path) as f:
+        first = f.readline()
+    is_chrome = '"traceEvents"' in first
+    n, types = check_chrome(path) if is_chrome else check_jsonl(path)
+
+    if n < expect_events:
+        fail(f"only {n} events, expected at least {expect_events}")
+    for t in require_types:
+        if t not in types:
+            fail(f"required event type '{t}' absent "
+             f"(present: {sorted(types)})")
+    kinds = ", ".join(f"{k}={v}" for k, v in sorted(types.items()))
+    fmt = "chrome" if is_chrome else "jsonl"
+    print(f"check_trace: OK: {path} ({fmt}, {n} events: {kinds})")
+
+
+if __name__ == "__main__":
+    main()

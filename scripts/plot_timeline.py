@@ -1,0 +1,171 @@
+#!/usr/bin/env python3
+"""Plot the epoch time-series from a mobcache telemetry trace.
+
+Reads a trace written by `mobcache_simrun --trace-out=FILE[,FORMAT]` in
+either format (JSONL or Chrome trace_event) and renders, per
+workload/scheme track, the way-allocation and miss-rate timelines plus
+structured-event markers (partition resizes, drowsy windows, refresh
+bursts). With matplotlib it writes PNGs; without it, it prints an ASCII
+timeline so the trajectory is still inspectable on a bare box.
+
+Usage:
+  python3 scripts/plot_timeline.py TRACE_FILE [out_dir]
+"""
+
+import json
+import os
+import sys
+
+
+def load_records(path):
+    """Normalizes both formats to a list of dicts with type/cycle/track."""
+    with open(path) as f:
+        first = f.readline()
+        f.seek(0)
+        # Both formats start with '{'; only the Chrome document mentions
+        # traceEvents on its (single) first line.
+        if '"traceEvents"' in first:
+            doc = json.load(f)
+            return chrome_to_records(doc)
+        return [json.loads(line) for line in f if line.strip()]
+
+
+def chrome_to_records(doc):
+    # pid -> "workload/scheme" from the process_name metadata events.
+    names = {}
+    for ev in doc["traceEvents"]:
+        if ev.get("ph") == "M" and ev.get("name") == "process_name":
+            names[ev["pid"]] = ev["args"]["name"]
+    records = []
+    for ev in doc["traceEvents"]:
+        if ev.get("ph") == "M":
+            continue
+        rec = dict(ev.get("args", {}))
+        rec["type"] = ev["name"]
+        # ts is microseconds at the 1 GHz model clock: 1 us = 1000 cycles.
+        rec["cycle"] = int(round(ev["ts"] * 1000))
+        rec["track"] = names.get(ev["pid"], str(ev["pid"]))
+        records.append(rec)
+    return records
+
+
+def by_track(records):
+    tracks = {}
+    for r in records:
+        tracks.setdefault(r.get("track", "?"), []).append(r)
+    for recs in tracks.values():
+        recs.sort(key=lambda r: r.get("cycle", 0))
+    return tracks
+
+
+def series(recs, rtype, field):
+    pts = [(r["cycle"], r[field]) for r in recs
+           if r.get("type") == rtype and field in r]
+    return [p[0] for p in pts], [p[1] for p in pts]
+
+
+def plot_track(track, recs, out_dir, plt):
+    cyc_w, user = series(recs, "l2.ways", "user")
+    _, kern = series(recs, "l2.ways", "kernel")
+    cyc_m, miss = series(recs, "l2.epoch", "miss_rate")
+    resizes = [r["cycle"] for r in recs if r.get("type") == "partition-resize"]
+    if not cyc_w and not cyc_m:
+        return False
+
+    fig, (ax1, ax2) = plt.subplots(2, 1, figsize=(8, 5), sharex=True)
+    ms = [c / 1e6 for c in cyc_w]
+    if cyc_w:
+        ax1.step(ms, user, where="post", label="user ways", color="#4878d0")
+        ax1.step(ms, kern, where="post", label="kernel ways", color="#d65f5f")
+    for c in resizes:
+        ax1.axvline(c / 1e6, color="#999999", lw=0.4)
+    ax1.set_ylabel("ways")
+    ax1.legend(fontsize=8)
+    ax1.set_title(track)
+
+    if cyc_m:
+        ax2.plot([c / 1e6 for c in cyc_m], miss, "o-", ms=2.5,
+                 color="#4878d0")
+    ax2.set_ylabel("L2 miss rate")
+    ax2.set_xlabel("time (ms)")
+    fig.tight_layout()
+    name = "timeline_" + "".join(
+        ch if ch.isalnum() else "_" for ch in track) + ".png"
+    out = os.path.join(out_dir, name)
+    fig.savefig(out, dpi=150)
+    plt.close(fig)
+    print(f"wrote {out}")
+    return True
+
+
+ASCII_WIDTH = 60
+
+
+def ascii_timeline(track, recs):
+    cyc, user = series(recs, "l2.ways", "user")
+    _, kern = series(recs, "l2.ways", "kernel")
+    cyc_m, miss = series(recs, "l2.epoch", "miss_rate")
+    events = {}
+    for r in recs:
+        t = r.get("type")
+        if t in ("partition-resize", "drowsy-transition", "refresh-burst",
+                 "bypass-decision", "eviction"):
+            events[t] = events.get(t, 0) + 1
+
+    print(f"== {track}")
+    if cyc:
+        span = max(cyc) or 1
+        print("   ways (u=user k=kernel), time left->right, "
+              f"{span / 1e6:.2f} ms span:")
+        for label, vals in (("u", user), ("k", kern)):
+            cells = ["."] * ASCII_WIDTH
+            for c, v in zip(cyc, vals):
+                idx = min(ASCII_WIDTH - 1, int(c / span * ASCII_WIDTH))
+                cells[idx] = format(int(v), "X")[-1]
+            print(f"   {label} |{''.join(cells)}|")
+    if cyc_m:
+        lo, hi = min(miss), max(miss)
+        print(f"   miss rate per epoch ({len(miss)} samples, "
+              f"min {lo:.3f}, max {hi:.3f}):")
+        rng = (hi - lo) or 1.0
+        bars = "".join(
+            "▁▂▃▄▅▆▇█"[min(7, int((m - lo) / rng * 8))] for m in miss)
+        print(f"     |{bars}|")
+    for t, n in sorted(events.items()):
+        print(f"   {t}: {n} events")
+    print()
+
+
+def main():
+    if len(sys.argv) < 2:
+        print(__doc__)
+        sys.exit(2)
+    path = sys.argv[1]
+    out_dir = sys.argv[2] if len(sys.argv) > 2 else "."
+    tracks = by_track(load_records(path))
+    if not tracks:
+        print("no records found")
+        sys.exit(1)
+
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        print("matplotlib not available; ASCII timelines\n")
+        for track, recs in sorted(tracks.items()):
+            ascii_timeline(track, recs)
+        return
+
+    os.makedirs(out_dir, exist_ok=True)
+    plotted = 0
+    for track, recs in sorted(tracks.items()):
+        if plot_track(track, recs, out_dir, plt):
+            plotted += 1
+    if plotted == 0:
+        print("no epoch samples in the trace; run with --sample=N or a "
+              "dynamic scheme")
+
+
+if __name__ == "__main__":
+    main()

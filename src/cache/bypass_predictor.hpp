@@ -47,6 +47,7 @@ class StreamBypassPredictor {
   /// was touched again after its fill.
   void train_eviction(Addr line, bool was_reused);
 
+  bool enabled() const { return cfg_.enabled; }
   std::uint64_t bypasses() const { return bypasses_; }
   /// Called by the owner when it acts on decide_bypass().
   void count_bypass() { ++bypasses_; }

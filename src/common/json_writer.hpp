@@ -1,0 +1,46 @@
+#pragma once
+/// \file json_writer.hpp
+/// Minimal dependency-free JSON value builder shared by the experiment
+/// exporter (exp/json_export) and the observability sinks (obs/trace_export).
+///
+/// Emits a strict subset of JSON — objects, arrays, strings, finite doubles
+/// (non-finite values degrade to null), integers, booleans.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mobcache {
+
+/// Values are appended in document order; the writer validates nesting
+/// (object keys, array elements).
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+  /// Starts a key inside an object; follow with exactly one value.
+  JsonWriter& key(const std::string& k);
+  JsonWriter& value(const std::string& v);
+  JsonWriter& value(const char* v);
+  JsonWriter& value(double v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(bool v);
+
+  /// The finished document. Must be called at nesting depth zero.
+  const std::string& str() const;
+
+ private:
+  void comma_if_needed();
+  std::string out_;
+  /// Stack of 'o' (object) / 'a' (array) with a "has elements" flag.
+  std::vector<std::pair<char, bool>> stack_;
+  bool expecting_value_ = false;
+};
+
+/// Escapes a string per RFC 8259 (quotes, backslashes, control chars).
+std::string json_escape(const std::string& s);
+
+}  // namespace mobcache

@@ -20,6 +20,23 @@ void RunningStat::add(double x) {
   m2_ += delta * (x - mean_);
 }
 
+void RunningStat::merge(const RunningStat& o) {
+  if (o.n_ == 0) return;
+  if (n_ == 0) {
+    *this = o;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(o.n_);
+  const double delta = o.mean_ - mean_;
+  const double n = na + nb;
+  mean_ += delta * nb / n;
+  m2_ += o.m2_ + delta * delta * na * nb / n;
+  min_ = std::min(min_, o.min_);
+  max_ = std::max(max_, o.max_);
+  n_ += o.n_;
+}
+
 double RunningStat::variance() const {
   if (n_ < 2) return 0.0;
   return m2_ / static_cast<double>(n_ - 1);
@@ -33,6 +50,13 @@ void Log2Histogram::add(std::uint64_t value) {
   if (bucket >= buckets_.size()) buckets_.resize(bucket + 1, 0);
   ++buckets_[bucket];
   ++total_;
+}
+
+void Log2Histogram::merge(const Log2Histogram& o) {
+  if (o.buckets_.size() > buckets_.size()) buckets_.resize(o.buckets_.size(), 0);
+  for (std::size_t b = 0; b < o.buckets_.size(); ++b)
+    buckets_[b] += o.buckets_[b];
+  total_ += o.total_;
 }
 
 std::uint64_t Log2Histogram::quantile_upper_bound(double q) const {

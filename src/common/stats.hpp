@@ -13,6 +13,11 @@ class RunningStat {
  public:
   void add(double x);
 
+  /// Combines another accumulator into this one (parallel Welford / Chan et
+  /// al.), as if every sample of `o` had been add()ed here. Used for
+  /// cross-workload metric aggregation.
+  void merge(const RunningStat& o);
+
   std::uint64_t count() const { return n_; }
   double mean() const { return n_ ? mean_ : 0.0; }
   /// Unbiased sample variance; 0 for fewer than two samples.
@@ -35,6 +40,10 @@ class RunningStat {
 class Log2Histogram {
  public:
   void add(std::uint64_t value);
+
+  /// Adds another histogram's buckets into this one (cross-workload
+  /// aggregation; buckets align because both are powers of two).
+  void merge(const Log2Histogram& o);
 
   std::uint64_t total() const { return total_; }
   const std::vector<std::uint64_t>& buckets() const { return buckets_; }

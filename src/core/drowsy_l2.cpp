@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/telemetry.hpp"
+
 namespace mobcache {
 
 DrowsyL2::DrowsyL2(const DrowsyL2Config& cfg)
@@ -23,6 +25,11 @@ void DrowsyL2::roll_windows(Cycle now) {
     acct_.add_leakage(tech_, cfg_.window, eff);
     leak_fraction_integral_ += static_cast<double>(cfg_.window) * eff;
 
+    if (telemetry_ && (awake_count_ != 0 || window_wakeups_ != 0)) {
+      telemetry_->record(DrowsyTransitionEvent{
+          window_start_ + cfg_.window, awake_count_, window_wakeups_});
+    }
+    window_wakeups_ = 0;
     std::fill(awake_.begin(), awake_.end(), false);
     awake_count_ = 0;
     window_start_ += cfg_.window;
@@ -36,6 +43,7 @@ bool DrowsyL2::wake(std::uint32_t set, std::uint32_t way) {
   awake_[idx] = true;
   ++awake_count_;
   ++wakeups_;
+  ++window_wakeups_;
   return true;
 }
 
@@ -110,6 +118,10 @@ void DrowsyL2::finalize(Cycle end) {
                        (1.0 - awake_frac) * cfg_.drowsy_leak_factor;
     acct_.add_leakage(tech_, span, eff);
     leak_fraction_integral_ += static_cast<double>(span) * eff;
+    if (telemetry_ && (awake_count_ != 0 || window_wakeups_ != 0)) {
+      telemetry_->record(
+          DrowsyTransitionEvent{end, awake_count_, window_wakeups_});
+    }
   }
   acct_.add_dram(cache_.dirty_occupancy(full_way_mask(cache_.assoc()), end));
   final_cycle_ = end;

@@ -45,6 +45,10 @@ class DrowsyL2 final : public L2Interface {
     return cache_.config().size_bytes;
   }
   std::string describe() const override;
+  void fill_sample(EpochSample& s) const override {
+    s.enabled_bytes = static_cast<double>(cache_.config().size_bytes);
+    s.drowsy_awake_lines = awake_count_;
+  }
   void set_eviction_observer(
       std::function<void(const EvictionEvent&)> obs) override {
     cache_.set_eviction_observer(std::move(obs));
@@ -74,6 +78,7 @@ class DrowsyL2 final : public L2Interface {
   std::vector<bool> awake_;
   std::uint64_t awake_count_ = 0;
   std::uint64_t wakeups_ = 0;
+  std::uint64_t window_wakeups_ = 0;  ///< wakes within the current window
   Cycle window_start_ = 0;
   double leak_fraction_integral_ = 0.0;  ///< Σ window · effective fraction
   std::array<Cycle, 4> bank_busy_until_{};

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/telemetry.hpp"
+
 namespace mobcache {
 
 namespace {
@@ -90,10 +92,17 @@ void DynamicPartitionedL2::apply_allocation(WayAllocation next, Cycle now) {
       way_range_mask(0, next.user_ways) |
       way_range_mask(cache_.assoc() - next.kernel_ways, next.kernel_ways);
   const WayMask to_flush = old_on & ~new_on;
+  std::uint64_t flushed = 0;
   if (to_flush != 0) {
-    const std::uint64_t dirty = cache_.invalidate_ways(to_flush);
-    reconfig_writebacks_ += dirty;
-    acct_.add_dram(dirty);
+    flushed = cache_.invalidate_ways(to_flush);
+    reconfig_writebacks_ += flushed;
+    acct_.add_dram(flushed);
+  }
+
+  if (telemetry_) {
+    telemetry_->record(PartitionResizeEvent{now, alloc_.user_ways,
+                                            alloc_.kernel_ways, next.user_ways,
+                                            next.kernel_ways, flushed});
   }
 
   alloc_ = next;
@@ -120,6 +129,25 @@ void DynamicPartitionedL2::maybe_epoch(Cycle now) {
   const ModeDemand kernel = demand_of(kernel_monitor_, 1);
   apply_allocation(controller_.decide(user, kernel), now);
 
+  // Settle leakage at every epoch boundary (idempotent when the allocation
+  // just changed) so the telemetry sample below attributes the interval's
+  // static energy to this epoch rather than whenever the next resize lands.
+  settle_leakage(now);
+  if (telemetry_) {
+    EpochSample s;
+    s.epoch = epoch_index_;
+    s.cycle = now;
+    s.accesses = epoch_accesses_[0] + epoch_accesses_[1];
+    s.misses = epoch_misses_[0] + epoch_misses_[1];
+    fill_sample(s);
+    const EnergyBreakdown d = acct_.breakdown() - last_epoch_energy_;
+    s.refresh_nj = d.refresh_nj;
+    s.leakage_nj = d.leakage_nj;
+    telemetry_->record(s);
+  }
+  ++epoch_index_;
+  last_epoch_energy_ = acct_.breakdown();
+
   user_monitor_.new_epoch();
   kernel_monitor_.new_epoch();
   epoch_access_count_ = 0;
@@ -132,7 +160,12 @@ L2Result DynamicPartitionedL2::do_access(Addr line, AccessType type,
                                          Mode mode, Cycle now, bool demand,
                                          bool prefetch) {
   if (tech_.retention_cycles != 0 && refresher_.due(now)) {
-    refresher_.tick(cache_, now, refresh_tech(), acct_);
+    const RefreshTickResult rt =
+        refresher_.tick(cache_, now, refresh_tech(), acct_);
+    if (telemetry_ && (rt.refreshed | rt.expired_clean | rt.expired_dirty)) {
+      telemetry_->record(RefreshBurstEvent{now, rt.refreshed, rt.expired_clean,
+                                           rt.expired_dirty});
+    }
   }
 
   if (demand) {

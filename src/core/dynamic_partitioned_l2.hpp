@@ -55,6 +55,12 @@ class DynamicPartitionedL2 final : public L2Interface {
   }
   double avg_enabled_bytes() const override;
   std::string describe() const override;
+  void fill_sample(EpochSample& s) const override {
+    s.user_ways = alloc_.user_ways;
+    s.kernel_ways = alloc_.kernel_ways;
+    s.enabled_bytes =
+        enabled_fraction() * static_cast<double>(cache_.config().size_bytes);
+  }
   void set_eviction_observer(
       std::function<void(const EvictionEvent&)> obs) override {
     cache_.set_eviction_observer(std::move(obs));
@@ -111,6 +117,9 @@ class DynamicPartitionedL2 final : public L2Interface {
   std::uint64_t epoch_misses_[kModeCount] = {0, 0};
   std::uint64_t epoch_accesses_[kModeCount] = {0, 0};
   Cycle epoch_start_cycle_ = 0;
+
+  std::uint64_t epoch_index_ = 0;
+  EnergyBreakdown last_epoch_energy_;  ///< telemetry interval attribution
 
   Cycle last_change_ = 0;
   double enabled_byte_cycles_ = 0.0;

@@ -16,8 +16,11 @@
 
 #include "cache/set_assoc_cache.hpp"
 #include "energy/energy_accountant.hpp"
+#include "obs/events.hpp"
 
 namespace mobcache {
+
+class Telemetry;
 
 /// Result of one L2 access as seen by the core.
 struct L2Result {
@@ -72,6 +75,24 @@ class L2Interface {
       std::function<void(const EvictionEvent&)> obs) = 0;
   virtual void add_eviction_observer(
       std::function<void(const EvictionEvent&)> obs) = 0;
+
+  /// Attaches a telemetry session (obs/telemetry.hpp) the design reports
+  /// structured events and epoch samples into; nullptr detaches. The base
+  /// implementation just stores the pointer — designs with nothing to
+  /// report need no override, and instrumented designs guard every report
+  /// with one null-check so a detached run stays on the fast path.
+  virtual void attach_telemetry(Telemetry* t) { telemetry_ = t; }
+  Telemetry* telemetry() const { return telemetry_; }
+
+  /// Fills the design-specific fields of an interval sample taken by the
+  /// simulator's time-series sampler (way allocation, drowsy population,
+  /// powered capacity). The default reports the full built capacity.
+  virtual void fill_sample(EpochSample& s) const {
+    s.enabled_bytes = static_cast<double>(capacity_bytes());
+  }
+
+ protected:
+  Telemetry* telemetry_ = nullptr;
 };
 
 }  // namespace mobcache

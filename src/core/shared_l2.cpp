@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/telemetry.hpp"
+
 namespace mobcache {
 
 namespace {
@@ -39,7 +41,11 @@ void SharedL2::count_array_write() {
 
 void SharedL2::maybe_refresh(Cycle now) {
   if (tech_.retention_cycles != 0 && refresher_.due(now)) {
-    refresher_.tick(cache_, now, tech_, acct_);
+    const RefreshTickResult rt = refresher_.tick(cache_, now, tech_, acct_);
+    if (telemetry_ && (rt.refreshed | rt.expired_clean | rt.expired_dirty)) {
+      telemetry_->record(RefreshBurstEvent{now, rt.refreshed, rt.expired_clean,
+                                           rt.expired_dirty});
+    }
   }
 }
 
@@ -71,6 +77,13 @@ L2Result SharedL2::access(Addr line, AccessType type, Mode mode, Cycle now) {
       out.latency = stall + tech_.read_latency;
     }
     return out;
+  }
+
+  // Every demand-read miss is a bypass verdict when the predictor runs:
+  // either the fill was skipped or it was installed (possibly as a probe).
+  if (telemetry_ && bypass_.enabled() && type == AccessType::Read) {
+    telemetry_->record(
+        BypassDecisionEvent{now, line, mode, bypass_fill && !r.filled});
   }
 
   if (bypass_fill && !r.filled) {

@@ -1,4 +1,15 @@
 #include "energy/energy_accountant.hpp"
 
-// EnergyAccountant is header-only today; this TU anchors the module and
-// keeps the build graph stable if out-of-line members are added.
+namespace mobcache {
+
+EnergyBreakdown operator-(const EnergyBreakdown& a, const EnergyBreakdown& b) {
+  EnergyBreakdown d;
+  d.leakage_nj = a.leakage_nj - b.leakage_nj;
+  d.read_nj = a.read_nj - b.read_nj;
+  d.write_nj = a.write_nj - b.write_nj;
+  d.refresh_nj = a.refresh_nj - b.refresh_nj;
+  d.dram_nj = a.dram_nj - b.dram_nj;
+  return d;
+}
+
+}  // namespace mobcache

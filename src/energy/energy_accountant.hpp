@@ -39,6 +39,10 @@ struct EnergyBreakdown {
   }
 };
 
+/// Component-wise difference — the telemetry epoch sampler diffs running
+/// breakdown snapshots to attribute energy to intervals.
+EnergyBreakdown operator-(const EnergyBreakdown& a, const EnergyBreakdown& b);
+
 class EnergyAccountant {
  public:
   void add_read(const TechParams& t) { e_.read_nj += t.read_energy_nj; }

@@ -1,133 +1,11 @@
 #include "exp/json_export.hpp"
 
-#include <cassert>
-#include <cmath>
-#include <cstdio>
 #include <filesystem>
 #include <fstream>
 
 #include "exp/report.hpp"
 
 namespace mobcache {
-
-void JsonWriter::comma_if_needed() {
-  if (expecting_value_) return;  // after a key, no comma
-  if (!stack_.empty() && stack_.back().second) out_ += ',';
-  if (!stack_.empty()) stack_.back().second = true;
-}
-
-JsonWriter& JsonWriter::begin_object() {
-  comma_if_needed();
-  expecting_value_ = false;
-  out_ += '{';
-  stack_.emplace_back('o', false);
-  return *this;
-}
-
-JsonWriter& JsonWriter::end_object() {
-  assert(!stack_.empty() && stack_.back().first == 'o');
-  stack_.pop_back();
-  out_ += '}';
-  return *this;
-}
-
-JsonWriter& JsonWriter::begin_array() {
-  comma_if_needed();
-  expecting_value_ = false;
-  out_ += '[';
-  stack_.emplace_back('a', false);
-  return *this;
-}
-
-JsonWriter& JsonWriter::end_array() {
-  assert(!stack_.empty() && stack_.back().first == 'a');
-  stack_.pop_back();
-  out_ += ']';
-  return *this;
-}
-
-JsonWriter& JsonWriter::key(const std::string& k) {
-  assert(!stack_.empty() && stack_.back().first == 'o');
-  comma_if_needed();
-  out_ += '"';
-  out_ += json_escape(k);
-  out_ += "\":";
-  expecting_value_ = true;
-  return *this;
-}
-
-JsonWriter& JsonWriter::value(const std::string& v) {
-  comma_if_needed();
-  expecting_value_ = false;
-  out_ += '"';
-  out_ += json_escape(v);
-  out_ += '"';
-  return *this;
-}
-
-JsonWriter& JsonWriter::value(const char* v) { return value(std::string(v)); }
-
-JsonWriter& JsonWriter::value(double v) {
-  comma_if_needed();
-  expecting_value_ = false;
-  if (!std::isfinite(v)) {
-    out_ += "null";
-    return *this;
-  }
-  char buf[64];
-  std::snprintf(buf, sizeof buf, "%.9g", v);
-  out_ += buf;
-  return *this;
-}
-
-JsonWriter& JsonWriter::value(std::uint64_t v) {
-  comma_if_needed();
-  expecting_value_ = false;
-  out_ += std::to_string(v);
-  return *this;
-}
-
-JsonWriter& JsonWriter::value(std::int64_t v) {
-  comma_if_needed();
-  expecting_value_ = false;
-  out_ += std::to_string(v);
-  return *this;
-}
-
-JsonWriter& JsonWriter::value(bool v) {
-  comma_if_needed();
-  expecting_value_ = false;
-  out_ += v ? "true" : "false";
-  return *this;
-}
-
-const std::string& JsonWriter::str() const {
-  assert(stack_.empty());
-  return out_;
-}
-
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (unsigned char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (c < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out += static_cast<char>(c);
-        }
-    }
-  }
-  return out;
-}
 
 namespace {
 

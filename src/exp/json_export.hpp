@@ -4,46 +4,16 @@
 /// counterpart of the console tables, for plotting scripts and downstream
 /// analysis (scripts/plot_results.py consumes this).
 ///
-/// Hand-rolled writer (no third-party dependency): emits a strict subset of
-/// JSON — objects, arrays, strings, finite doubles, integers, booleans.
+/// The writer itself lives in common/json_writer.hpp so lower layers (the
+/// observability sinks) can use it without depending on exp/.
 
 #include <string>
 #include <vector>
 
+#include "common/json_writer.hpp"
 #include "exp/runner.hpp"
 
 namespace mobcache {
-
-/// Minimal JSON value builder. Values are appended in document order;
-/// the writer validates nesting (object keys, array elements).
-class JsonWriter {
- public:
-  JsonWriter& begin_object();
-  JsonWriter& end_object();
-  JsonWriter& begin_array();
-  JsonWriter& end_array();
-  /// Starts a key inside an object; follow with exactly one value.
-  JsonWriter& key(const std::string& k);
-  JsonWriter& value(const std::string& v);
-  JsonWriter& value(const char* v);
-  JsonWriter& value(double v);
-  JsonWriter& value(std::uint64_t v);
-  JsonWriter& value(std::int64_t v);
-  JsonWriter& value(bool v);
-
-  /// The finished document. Must be called at nesting depth zero.
-  const std::string& str() const;
-
- private:
-  void comma_if_needed();
-  std::string out_;
-  /// Stack of 'o' (object) / 'a' (array) with a "has elements" flag.
-  std::vector<std::pair<char, bool>> stack_;
-  bool expecting_value_ = false;
-};
-
-/// Escapes a string per RFC 8259 (quotes, backslashes, control chars).
-std::string json_escape(const std::string& s);
 
 /// Serializes one workload's SimResult.
 void write_sim_result(JsonWriter& w, const SimResult& r);

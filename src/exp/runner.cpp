@@ -4,6 +4,14 @@
 
 namespace mobcache {
 
+MetricRegistry SchemeSuiteResult::merged_metrics() const {
+  MetricRegistry merged;
+  for (const auto& tel : per_workload_telemetry) {
+    if (tel) merged.merge(tel->metrics());
+  }
+  return merged;
+}
+
 ExperimentRunner::ExperimentRunner(std::vector<AppId> apps,
                                    std::uint64_t accesses, std::uint64_t seed)
     : apps_(std::move(apps)),
@@ -25,9 +33,17 @@ SchemeSuiteResult ExperimentRunner::run_custom(
   out.per_workload.reserve(traces_.size());
   double miss_sum = 0.0;
   for (const Trace& t : traces_) {
-    SimResult res = simulate(t, builder(), sim_options);
+    SimOptions opts = sim_options;
+    std::shared_ptr<Telemetry> tel;
+    if (collect_telemetry) {
+      tel = std::make_shared<Telemetry>();
+      tel->set_sample_interval(telemetry_sample_interval);
+      opts.telemetry = tel.get();
+    }
+    SimResult res = simulate(t, builder(), opts);
     miss_sum += res.l2_miss_rate();
     out.per_workload.push_back(std::move(res));
+    if (collect_telemetry) out.per_workload_telemetry.push_back(std::move(tel));
   }
   if (!traces_.empty())
     out.avg_miss_rate = miss_sum / static_cast<double>(traces_.size());

@@ -4,10 +4,12 @@
 /// the engine behind every bench binary.
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/scheme.hpp"
+#include "obs/telemetry.hpp"
 #include "sim/simulator.hpp"
 #include "workload/suite.hpp"
 
@@ -18,6 +20,15 @@ struct SchemeSuiteResult {
   SchemeKind kind = SchemeKind::BaselineSram;
   std::string name;
   std::vector<SimResult> per_workload;  ///< aligned with the suite order
+
+  /// Per-workload observability sessions (aligned with per_workload); empty
+  /// unless ExperimentRunner::collect_telemetry is on. shared_ptr because
+  /// Telemetry is non-copyable while suite results get moved around freely.
+  std::vector<std::shared_ptr<Telemetry>> per_workload_telemetry;
+
+  /// Suite-wide metric rollup: all per-workload registries merged (counters
+  /// add, histograms/stats combine). Empty registry when telemetry was off.
+  MetricRegistry merged_metrics() const;
 
   /// Normalized-to-baseline aggregates (geomean over workloads); filled by
   /// ExperimentRunner when a baseline is present.
@@ -53,6 +64,14 @@ class ExperimentRunner {
   const std::vector<AppId>& apps() const { return apps_; }
 
   SimOptions sim_options;  ///< shared hierarchy/timing configuration
+
+  /// When true, every simulate() call gets a fresh Telemetry session,
+  /// returned on SchemeSuiteResult::per_workload_telemetry. Off by default:
+  /// the no-sink fast path keeps sweeps at full speed.
+  bool collect_telemetry = false;
+  /// Trace-record sampling cadence for the collected sessions (0 = only
+  /// scheme-internal epochs sample; see Telemetry::set_sample_interval).
+  std::uint64_t telemetry_sample_interval = 0;
 
  private:
   std::vector<AppId> apps_;

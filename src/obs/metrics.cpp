@@ -1,0 +1,14 @@
+#include "obs/metrics.hpp"
+
+namespace mobcache {
+
+void MetricRegistry::merge(const MetricRegistry& other) {
+  for (const auto& [name, c] : other.counters_) counters_[name].add(c.value());
+  for (const auto& [name, g] : other.gauges_) {
+    if (g.was_set()) gauges_[name].set(g.value());
+  }
+  for (const auto& [name, h] : other.hists_) hists_[name].merge(h);
+  for (const auto& [name, s] : other.stats_) stats_[name].merge(s);
+}
+
+}  // namespace mobcache

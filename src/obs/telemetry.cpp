@@ -1,0 +1,49 @@
+#include "obs/telemetry.hpp"
+
+namespace mobcache {
+
+void Telemetry::record(const PartitionResizeEvent& e) {
+  metrics_.counter("l2.partition.resizes").add();
+  metrics_.counter("l2.partition.flush_writebacks").add(e.flush_writebacks);
+  metrics_.gauge("l2.partition.user_ways").set(e.new_user_ways);
+  metrics_.gauge("l2.partition.kernel_ways").set(e.new_kernel_ways);
+  hub_.emit(e);
+}
+
+void Telemetry::record(const DrowsyTransitionEvent& e) {
+  metrics_.counter("l2.drowsy.windows").add();
+  metrics_.counter("l2.drowsy.wakeups").add(e.wakeups);
+  metrics_.counter("l2.drowsy.lines_drowsed").add(e.lines_drowsed);
+  hub_.emit(e);
+}
+
+void Telemetry::record(const RefreshBurstEvent& e) {
+  metrics_.counter("l2.refresh.bursts").add();
+  metrics_.counter("l2.refresh.scrubbed").add(e.refreshed);
+  metrics_.counter("l2.refresh.expired_clean").add(e.expired_clean);
+  metrics_.counter("l2.refresh.expired_dirty").add(e.expired_dirty);
+  hub_.emit(e);
+}
+
+void Telemetry::record(const BypassDecisionEvent& e) {
+  metrics_.counter("l2.bypass.decisions").add();
+  if (e.bypassed) metrics_.counter("l2.bypass.bypassed").add();
+  hub_.emit(e);
+}
+
+void Telemetry::record(const EvictionEvent& e) {
+  metrics_.counter("l2.evictions").add();
+  metrics_.histogram("l2.block.residency_cycles")
+      .add(e.evict_cycle >= e.fill_cycle ? e.evict_cycle - e.fill_cycle : 0);
+  hub_.emit(e);
+}
+
+void Telemetry::record(const EpochSample& s) {
+  epochs_.push(s);
+  metrics_.counter("l2.epochs").add();
+  metrics_.stat("l2.epoch.miss_rate").add(s.miss_rate());
+  metrics_.stat("l2.epoch.enabled_bytes").add(s.enabled_bytes);
+  hub_.emit(s);
+}
+
+}  // namespace mobcache

@@ -1,0 +1,70 @@
+#pragma once
+/// \file telemetry.hpp
+/// Telemetry — the per-run observability session that ties the three obs
+/// pieces together: a MetricRegistry (named aggregates), an EpochSeries
+/// (ring-buffered time series), and an ObserverHub (structured event
+/// fan-out to export sinks).
+///
+/// Instrumented code holds `Telemetry*` (null = detached) and calls
+/// record(event); record() updates the standard metrics for that event
+/// type, appends epoch samples to the series, and forwards to any hub
+/// subscribers. With no Telemetry attached an instrumentation site costs
+/// exactly one pointer test, keeping simulate() results and throughput
+/// identical to an uninstrumented build.
+
+#include <string>
+
+#include "obs/events.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
+
+namespace mobcache {
+
+class Telemetry {
+ public:
+  Telemetry() = default;
+  explicit Telemetry(std::size_t epoch_capacity) : epochs_(epoch_capacity) {}
+  // Hub subscribers capture `this`-adjacent state; keep the session pinned.
+  Telemetry(const Telemetry&) = delete;
+  Telemetry& operator=(const Telemetry&) = delete;
+
+  MetricRegistry& metrics() { return metrics_; }
+  const MetricRegistry& metrics() const { return metrics_; }
+  ObserverHub& hub() { return hub_; }
+  const ObserverHub& hub() const { return hub_; }
+  EpochSeries& epochs() { return epochs_; }
+  const EpochSeries& epochs() const { return epochs_; }
+
+  /// Labels carried by exported events (set per simulate() call).
+  void set_context(std::string workload, std::string scheme) {
+    workload_ = std::move(workload);
+    scheme_ = std::move(scheme);
+  }
+  const std::string& workload() const { return workload_; }
+  const std::string& scheme() const { return scheme_; }
+
+  /// Sim-level sampling cadence in L2 demand accesses for schemes without
+  /// their own epoch notion (0 disables; the dynamic L2 always samples at
+  /// its repartition epochs).
+  void set_sample_interval(std::uint64_t accesses) {
+    sample_interval_ = accesses;
+  }
+  std::uint64_t sample_interval() const { return sample_interval_; }
+
+  void record(const PartitionResizeEvent& e);
+  void record(const DrowsyTransitionEvent& e);
+  void record(const RefreshBurstEvent& e);
+  void record(const BypassDecisionEvent& e);
+  void record(const EvictionEvent& e);
+  void record(const EpochSample& s);
+
+ private:
+  MetricRegistry metrics_;
+  EpochSeries epochs_;
+  ObserverHub hub_;
+  std::string workload_;
+  std::string scheme_;
+  std::uint64_t sample_interval_ = 0;
+};
+
+}  // namespace mobcache

@@ -1,0 +1,70 @@
+#pragma once
+/// \file timeseries.hpp
+/// Ring-buffered epoch time series — bounded-memory storage for the
+/// per-epoch EpochSample snapshots the schemes emit (way allocations,
+/// interval miss rate, drowsy population, refresh/leakage energy).
+///
+/// A ring keeps the most recent `capacity` samples: long runs keep the
+/// tail (the steady state the analyses care about) at fixed memory, and
+/// total_pushed() reports how many fell off the front so exporters can
+/// flag truncation instead of silently presenting a partial series.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "obs/events.hpp"
+
+namespace mobcache {
+
+class EpochSeries {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 65536;
+
+  explicit EpochSeries(std::size_t capacity = kDefaultCapacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  void push(const EpochSample& s) {
+    if (ring_.size() < capacity_) {
+      ring_.push_back(s);
+    } else {
+      ring_[head_] = s;
+      head_ = (head_ + 1) % capacity_;
+    }
+    ++pushed_;
+  }
+
+  std::size_t size() const { return ring_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  bool empty() const { return ring_.empty(); }
+  /// Samples ever pushed; > size() means the ring dropped old epochs.
+  std::uint64_t total_pushed() const { return pushed_; }
+  bool truncated() const { return pushed_ > ring_.size(); }
+
+  /// i-th retained sample in chronological order (0 = oldest retained).
+  const EpochSample& at(std::size_t i) const {
+    return ring_[(head_ + i) % ring_.size()];
+  }
+
+  /// Chronological copy of the retained window.
+  std::vector<EpochSample> snapshot() const {
+    std::vector<EpochSample> out;
+    out.reserve(ring_.size());
+    for (std::size_t i = 0; i < ring_.size(); ++i) out.push_back(at(i));
+    return out;
+  }
+
+  void clear() {
+    ring_.clear();
+    head_ = 0;
+    pushed_ = 0;
+  }
+
+ private:
+  std::size_t capacity_;
+  std::size_t head_ = 0;  ///< index of the oldest sample once full
+  std::uint64_t pushed_ = 0;
+  std::vector<EpochSample> ring_;
+};
+
+}  // namespace mobcache

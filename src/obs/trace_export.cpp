@@ -1,0 +1,269 @@
+#include "obs/trace_export.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+namespace mobcache {
+
+namespace {
+
+/// Simulated cycles → trace microseconds at the platform's 1 GHz clock.
+double cycles_to_us(Cycle c) { return static_cast<double>(c) / 1000.0; }
+
+std::string hex_addr(Addr a) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "0x%llx", static_cast<unsigned long long>(a));
+  return buf;
+}
+
+}  // namespace
+
+std::optional<TraceFormat> parse_trace_format(std::string_view s) {
+  if (s == "jsonl" || s == "json") return TraceFormat::Jsonl;
+  if (s == "chrome" || s == "trace" || s == "perfetto")
+    return TraceFormat::ChromeTrace;
+  return std::nullopt;
+}
+
+TraceSink::TraceSink(TraceFormat format, TraceSinkOptions opts)
+    : format_(format), opts_(opts) {}
+
+std::uint32_t TraceSink::track_of(const Telemetry& t) {
+  std::string label = t.workload();
+  if (!t.scheme().empty()) {
+    if (!label.empty()) label += '/';
+    label += t.scheme();
+  }
+  if (label.empty()) label = "run";
+  for (std::uint32_t i = 0; i < tracks_.size(); ++i) {
+    if (tracks_[i] == label) return i;
+  }
+  tracks_.push_back(std::move(label));
+  return static_cast<std::uint32_t>(tracks_.size() - 1);
+}
+
+void TraceSink::add(const Telemetry& t, std::string name, char phase,
+                    Cycle cycle, std::vector<Arg> args) {
+  records_.push_back(
+      {std::move(name), phase, cycle, track_of(t), std::move(args)});
+}
+
+void TraceSink::attach(Telemetry& t) {
+  auto num = [](std::string key, double v) {
+    return Arg{std::move(key), v, {}, true};
+  };
+  auto str = [](std::string key, std::string v) {
+    return Arg{std::move(key), 0.0, std::move(v), false};
+  };
+
+  t.hub().on_partition_resize([this, &t, num](const PartitionResizeEvent& e) {
+    add(t, "partition-resize", 'i', e.cycle,
+        {num("old_user_ways", e.old_user_ways),
+         num("old_kernel_ways", e.old_kernel_ways),
+         num("new_user_ways", e.new_user_ways),
+         num("new_kernel_ways", e.new_kernel_ways),
+         num("flush_writebacks", static_cast<double>(e.flush_writebacks))});
+  });
+  t.hub().on_drowsy_transition([this, &t, num](const DrowsyTransitionEvent& e) {
+    add(t, "drowsy-transition", 'i', e.cycle,
+        {num("lines_drowsed", static_cast<double>(e.lines_drowsed)),
+         num("wakeups", static_cast<double>(e.wakeups))});
+  });
+  t.hub().on_refresh_burst([this, &t, num](const RefreshBurstEvent& e) {
+    add(t, "refresh-burst", 'i', e.cycle,
+        {num("refreshed", static_cast<double>(e.refreshed)),
+         num("expired_clean", static_cast<double>(e.expired_clean)),
+         num("expired_dirty", static_cast<double>(e.expired_dirty))});
+  });
+  t.hub().on_bypass_decision(
+      [this, &t, num, str](const BypassDecisionEvent& e) {
+        add(t, "bypass-decision", 'i', e.cycle,
+            {str("line", hex_addr(e.line)),
+             str("mode", std::string(to_string(e.mode))),
+             num("bypassed", e.bypassed ? 1.0 : 0.0)});
+      });
+  t.hub().on_epoch_sample([this, &t, num](const EpochSample& s) {
+    add(t, "l2.ways", 'C', s.cycle,
+        {num("user", s.user_ways), num("kernel", s.kernel_ways)});
+    add(t, "l2.epoch", 'C', s.cycle,
+        {num("miss_rate", s.miss_rate()),
+         num("enabled_kb", s.enabled_bytes / 1024.0),
+         num("awake_lines", static_cast<double>(s.drowsy_awake_lines))});
+  });
+  if (opts_.include_evictions) {
+    t.hub().on_eviction([this, &t, num, str](const EvictionEvent& e) {
+      add(t, "eviction", 'i', e.evict_cycle,
+          {str("line", hex_addr(e.line)),
+           str("owner", std::string(to_string(e.owner))),
+           num("fill_cycle", static_cast<double>(e.fill_cycle)),
+           num("access_count", e.access_count),
+           num("dirty", e.dirty ? 1.0 : 0.0)});
+    });
+  }
+}
+
+namespace {
+
+void write_arg_fields(JsonWriter& w, const std::string& key, bool is_num,
+                      double num, const std::string& str) {
+  w.key(key);
+  if (is_num) {
+    // Integral values print without a fraction for clean downstream parsing.
+    if (num == static_cast<double>(static_cast<std::int64_t>(num))) {
+      w.value(static_cast<std::int64_t>(num));
+    } else {
+      w.value(num);
+    }
+  } else {
+    w.value(str);
+  }
+}
+
+}  // namespace
+
+std::string TraceSink::render_jsonl() const {
+  std::string out;
+  for (const Record& r : records_) {
+    JsonWriter w;
+    w.begin_object();
+    w.key("type").value(r.name);
+    w.key("cycle").value(static_cast<std::uint64_t>(r.cycle));
+    w.key("track").value(tracks_[r.track]);
+    for (const Arg& a : r.args) write_arg_fields(w, a.key, a.is_num, a.num, a.str);
+    w.end_object();
+    out += w.str();
+    out += '\n';
+  }
+  return out;
+}
+
+std::string TraceSink::render_chrome() const {
+  JsonWriter w;
+  w.begin_object();
+  w.key("displayTimeUnit").value("ms");
+  w.key("traceEvents");
+  w.begin_array();
+  // One trace process per workload/scheme run so counter tracks (which
+  // Chrome groups by pid) stay separate.
+  for (std::uint32_t pid = 0; pid < tracks_.size(); ++pid) {
+    w.begin_object();
+    w.key("name").value("process_name");
+    w.key("ph").value("M");
+    w.key("pid").value(static_cast<std::uint64_t>(pid));
+    w.key("tid").value(std::uint64_t{0});
+    w.key("args");
+    w.begin_object();
+    w.key("name").value(tracks_[pid]);
+    w.end_object();
+    w.end_object();
+  }
+  for (const Record& r : records_) {
+    w.begin_object();
+    w.key("name").value(r.name);
+    w.key("ph").value(std::string(1, r.phase));
+    w.key("ts").value(cycles_to_us(r.cycle));
+    w.key("pid").value(static_cast<std::uint64_t>(r.track));
+    w.key("tid").value(std::uint64_t{0});
+    if (r.phase == 'i') w.key("s").value("p");  // process-scoped instant
+    w.key("args");
+    w.begin_object();
+    for (const Arg& a : r.args) write_arg_fields(w, a.key, a.is_num, a.num, a.str);
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+std::string TraceSink::render() const {
+  return format_ == TraceFormat::Jsonl ? render_jsonl() : render_chrome();
+}
+
+bool TraceSink::write_file(const std::string& path) const {
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) return false;
+  f << render();
+  return static_cast<bool>(f);
+}
+
+void write_metrics_json(JsonWriter& w, const MetricRegistry& reg) {
+  w.begin_object();
+  w.key("counters");
+  w.begin_object();
+  for (const auto& [name, c] : reg.counters()) w.key(name).value(c.value());
+  w.end_object();
+  w.key("gauges");
+  w.begin_object();
+  for (const auto& [name, g] : reg.gauges()) w.key(name).value(g.value());
+  w.end_object();
+  w.key("stats");
+  w.begin_object();
+  for (const auto& [name, s] : reg.stats()) {
+    w.key(name);
+    w.begin_object();
+    w.key("count").value(s.count());
+    w.key("mean").value(s.mean());
+    w.key("stddev").value(s.stddev());
+    w.key("min").value(s.min());
+    w.key("max").value(s.max());
+    w.end_object();
+  }
+  w.end_object();
+  w.key("histograms");
+  w.begin_object();
+  for (const auto& [name, h] : reg.histograms()) {
+    w.key(name);
+    w.begin_object();
+    w.key("total").value(h.total());
+    w.key("log2_buckets");
+    w.begin_array();
+    for (std::uint64_t b : h.buckets()) w.value(b);
+    w.end_array();
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+}
+
+void write_epoch_series_json(JsonWriter& w, const EpochSeries& series) {
+  w.begin_object();
+  w.key("total_epochs").value(series.total_pushed());
+  w.key("retained").value(static_cast<std::uint64_t>(series.size()));
+  w.key("truncated").value(series.truncated());
+  w.key("samples");
+  w.begin_array();
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    const EpochSample& s = series.at(i);
+    w.begin_object();
+    w.key("epoch").value(s.epoch);
+    w.key("cycle").value(static_cast<std::uint64_t>(s.cycle));
+    w.key("accesses").value(s.accesses);
+    w.key("misses").value(s.misses);
+    w.key("miss_rate").value(s.miss_rate());
+    w.key("user_ways").value(static_cast<std::uint64_t>(s.user_ways));
+    w.key("kernel_ways").value(static_cast<std::uint64_t>(s.kernel_ways));
+    w.key("enabled_bytes").value(s.enabled_bytes);
+    w.key("drowsy_awake_lines").value(s.drowsy_awake_lines);
+    w.key("refresh_nj").value(s.refresh_nj);
+    w.key("leakage_nj").value(s.leakage_nj);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+std::string telemetry_to_json(const Telemetry& t) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("workload").value(t.workload());
+  w.key("scheme").value(t.scheme());
+  w.key("metrics");
+  write_metrics_json(w, t.metrics());
+  w.key("epoch_series");
+  write_epoch_series_json(w, t.epochs());
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace mobcache

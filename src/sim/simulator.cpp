@@ -1,6 +1,53 @@
 #include "sim/simulator.hpp"
 
+#include "obs/telemetry.hpp"
+
 namespace mobcache {
+
+namespace {
+
+/// Trace-cadence sampler for schemes without an internal epoch notion: every
+/// `interval` trace records it snapshots L2 aggregate/energy deltas plus
+/// whatever the scheme reports via fill_sample(). Pure reader — it never
+/// touches sim state, preserving bit-exact results.
+class IntervalSampler {
+ public:
+  IntervalSampler(Telemetry* tel, const L2Interface& l2)
+      : tel_(tel),
+        l2_(l2),
+        interval_(tel != nullptr ? tel->sample_interval() : 0) {}
+
+  void tick(Cycle now) {
+    if (interval_ == 0 || ++records_ < interval_) return;
+    records_ = 0;
+    const CacheStats cur = l2_.aggregate_stats();
+    EpochSample s;
+    s.epoch = epoch_++;
+    s.cycle = now;
+    s.accesses = cur.total_accesses() - last_accesses_;
+    s.misses = cur.total_misses() - last_misses_;
+    l2_.fill_sample(s);
+    const EnergyBreakdown d = l2_.energy() - last_energy_;
+    s.refresh_nj = d.refresh_nj;
+    s.leakage_nj = d.leakage_nj;
+    tel_->record(s);
+    last_accesses_ = cur.total_accesses();
+    last_misses_ = cur.total_misses();
+    last_energy_ = l2_.energy();
+  }
+
+ private:
+  Telemetry* tel_;
+  const L2Interface& l2_;
+  std::uint64_t interval_;
+  std::uint64_t records_ = 0;
+  std::uint64_t epoch_ = 0;
+  std::uint64_t last_accesses_ = 0;
+  std::uint64_t last_misses_ = 0;
+  EnergyBreakdown last_energy_;
+};
+
+}  // namespace
 
 SimResult simulate(const Trace& trace, L2Interface& l2,
                    const SimOptions& opts) {
@@ -9,19 +56,32 @@ SimResult simulate(const Trace& trace, L2Interface& l2,
   res.scheme = l2.describe();
   res.l2_capacity_bytes = l2.capacity_bytes();
 
+  // Observer order matters: the legacy shim replaces (set_), the telemetry
+  // bridge appends (add_), and the hierarchy's inclusion observer appends in
+  // its constructor below.
   if (opts.l2_eviction_observer) {
     l2.set_eviction_observer(opts.l2_eviction_observer);
+  }
+  if (opts.telemetry != nullptr) {
+    opts.telemetry->set_context(trace.name(), res.scheme);
+    l2.attach_telemetry(opts.telemetry);
+    Telemetry* tel = opts.telemetry;
+    l2.add_eviction_observer(
+        [tel](const EvictionEvent& e) { tel->record(e); });
   }
 
   MemoryHierarchy hier(opts.hierarchy, l2);
   CpiModel cpu(opts.timing);
+  IntervalSampler sampler(opts.telemetry, l2);
 
   Cycle now = 0;
   for (const Access& a : trace.accesses()) {
     const Cycle stall = hier.access(a, now);
     now = cpu.retire(stall);
+    sampler.tick(now);
   }
   hier.finalize(now);
+  if (opts.telemetry != nullptr) l2.attach_telemetry(nullptr);
 
   res.records = cpu.records();
   res.cycles = cpu.now();

@@ -45,11 +45,22 @@ struct SimResult {
   double l2_kernel_fraction() const { return l2.kernel_access_fraction(); }
 };
 
+class Telemetry;
+
 struct SimOptions {
   HierarchyConfig hierarchy;
   TimingParams timing;
   /// Optional eviction observer installed on the L2 before the run.
+  /// Deprecated shim: prefer `telemetry` + ObserverHub::on_eviction, which
+  /// multicasts and carries the run context. Kept working — it is installed
+  /// first (replacing direct observers), before any hub bridge.
   std::function<void(const EvictionEvent&)> l2_eviction_observer;
+  /// Optional observability session (obs/telemetry.hpp). When set, the L2 is
+  /// attached (scheme-internal events flow to it), evictions are bridged to
+  /// the hub, and — if the session's sample_interval is nonzero — an
+  /// EpochSample is pushed every that-many trace records. All instrumentation
+  /// is read-only: SimResult is bit-identical with or without a session.
+  Telemetry* telemetry = nullptr;
 };
 
 /// Runs `trace` against the given L2 design (non-owning: the caller keeps

@@ -48,6 +48,29 @@ TEST(Json, NonFiniteDoublesBecomeNull) {
   EXPECT_EQ(w.str(), "[null,null]");
 }
 
+TEST(Json, DeepNestingStaysBalanced) {
+  // The writer's nesting stack is unbounded; a pathological document must
+  // still come out structurally valid.
+  constexpr int kDepth = 256;
+  JsonWriter w;
+  for (int i = 0; i < kDepth; ++i) {
+    w.begin_object();
+    w.key("d");
+    w.begin_array();
+  }
+  w.value(std::uint64_t{7});
+  for (int i = 0; i < kDepth; ++i) {
+    w.end_array();
+    w.end_object();
+  }
+  const std::string& s = w.str();
+  EXPECT_EQ(std::count(s.begin(), s.end(), '{'), kDepth);
+  EXPECT_EQ(std::count(s.begin(), s.end(), '}'), kDepth);
+  EXPECT_EQ(std::count(s.begin(), s.end(), '['), kDepth);
+  EXPECT_EQ(std::count(s.begin(), s.end(), ']'), kDepth);
+  EXPECT_NE(s.find("[7]"), std::string::npos);
+}
+
 TEST(Json, EmptyContainers) {
   JsonWriter w;
   w.begin_object();

@@ -36,6 +36,66 @@ TEST(RunningStat, SingleValueHasZeroVariance) {
   EXPECT_EQ(s.max(), 3.5);
 }
 
+TEST(RunningStat, MergeMatchesSinglePass) {
+  // Split one stream across two accumulators; the merge must agree with a
+  // single accumulator that saw everything (parallel Welford).
+  RunningStat all, a, b;
+  for (int i = 0; i < 100; ++i) {
+    const double v = 0.37 * i * i - 5.0 * i + 2.25;
+    all.add(v);
+    (i % 3 == 0 ? a : b).add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-6);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStat, MergeWithEmptySides) {
+  RunningStat filled, empty;
+  filled.add(1.0);
+  filled.add(3.0);
+
+  RunningStat lhs = filled;
+  lhs.merge(empty);  // no-op
+  EXPECT_EQ(lhs.count(), 2u);
+  EXPECT_DOUBLE_EQ(lhs.mean(), 2.0);
+
+  RunningStat rhs;
+  rhs.merge(filled);  // adopt wholesale
+  EXPECT_EQ(rhs.count(), 2u);
+  EXPECT_DOUBLE_EQ(rhs.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(rhs.min(), 1.0);
+  EXPECT_DOUBLE_EQ(rhs.max(), 3.0);
+
+  RunningStat e1, e2;
+  e1.merge(e2);
+  EXPECT_EQ(e1.count(), 0u);
+}
+
+TEST(Log2Histogram, MergeAddsBuckets) {
+  Log2Histogram a, b, all;
+  for (std::uint64_t v : {0ull, 1ull, 5ull, 100ull}) {
+    a.add(v);
+    all.add(v);
+  }
+  for (std::uint64_t v : {3ull, 100000ull}) {
+    b.add(v);
+    all.add(v);
+  }
+  a.merge(b);  // b reaches higher buckets than a: forces a resize
+  EXPECT_EQ(a.total(), all.total());
+  EXPECT_EQ(a.buckets(), all.buckets());
+
+  Log2Histogram empty;
+  all.merge(empty);
+  EXPECT_EQ(all.total(), 6u);
+  empty.merge(all);
+  EXPECT_EQ(empty.buckets(), all.buckets());
+}
+
 TEST(Log2Histogram, BucketPlacement) {
   Log2Histogram h;
   h.add(0);   // bucket 0

@@ -1,19 +1,40 @@
 /// \file mobcache_simrun.cpp
-/// CLI: run a trace (generated or from a .mct file) through one or all L2
+/// CLI: run traces (generated or from .mct files) through one or all L2
 /// schemes and print the full result sheet. The scripting workhorse —
 /// everything the bench binaries compute is reachable from here.
 ///
 /// Usage:
-///   mobcache_simrun <trace.mct|app-name> [scheme|all] [records] [seed]
+///   mobcache_simrun <trace.mct|app[,app...]> [scheme|all] [records] [seed]
+///                   [--trace-out=FILE[,FORMAT]] [--metrics[=FILE]]
+///                   [--sample=N] [--trace-evictions]
 /// Schemes: base shrunk sharedstt sp spmrstt dp dpstt all (default: all)
+///
+/// Observability flags (docs/OBSERVABILITY.md):
+///   --trace-out=FILE[,FORMAT]  structured event trace for every run.
+///                              FORMAT: jsonl | chrome (default from the
+///                              extension: .jsonl -> jsonl, .json/.trace ->
+///                              chrome; otherwise jsonl).
+///   --metrics[=FILE]           merged metric registry across all runs —
+///                              printed as a table, or written as JSON when
+///                              FILE is given.
+///   --sample=N                 push an epoch sample every N trace records
+///                              (schemes without internal epochs; the
+///                              dynamic L2 always samples at its epochs).
+///   --trace-evictions          include per-block eviction events in the
+///                              trace (high volume; off by default).
 
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <optional>
+#include <string>
+#include <vector>
 
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "core/scheme.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace_export.hpp"
 #include "sim/simulator.hpp"
 #include "trace/trace_compress.hpp"
 #include "workload/suite.hpp"
@@ -33,66 +54,241 @@ std::optional<SchemeKind> parse_scheme(const char* s) {
   return std::nullopt;
 }
 
-Trace load_or_generate(const char* spec, std::uint64_t records,
+Trace load_or_generate(const std::string& spec, std::uint64_t records,
                        std::uint64_t seed) {
   if (auto t = read_trace_any(spec)) return std::move(*t);
   for (AppId id : all_apps()) {
-    if (std::strcmp(spec, app_name(id)) == 0)
-      return generate_app_trace(id, records, seed);
+    if (spec == app_name(id)) return generate_app_trace(id, records, seed);
   }
   std::fprintf(stderr, "'%s' is neither a readable .mct nor an app name\n",
-               spec);
+               spec.c_str());
   std::exit(2);
+}
+
+std::vector<std::string> split_commas(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const std::size_t comma = s.find(',', start);
+    if (comma == std::string::npos) {
+      out.push_back(s.substr(start));
+      break;
+    }
+    out.push_back(s.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return out;
+}
+
+bool ends_with(const std::string& s, const char* suffix) {
+  const std::size_t n = std::strlen(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+struct CliFlags {
+  std::string trace_out;
+  TraceFormat trace_format = TraceFormat::Jsonl;
+  bool want_metrics = false;
+  std::string metrics_out;  ///< empty = print table to stdout
+  std::uint64_t sample_interval = 0;
+  bool trace_evictions = false;
+
+  bool telemetry_needed() const {
+    return !trace_out.empty() || want_metrics || sample_interval != 0;
+  }
+};
+
+/// Consumes --flags from (argc, argv); returns remaining positional args.
+std::vector<std::string> parse_flags(int argc, char** argv, CliFlags& f) {
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind("--", 0) != 0) {
+      positional.push_back(a);
+      continue;
+    }
+    if (a.rfind("--trace-out=", 0) == 0) {
+      std::string spec = a.substr(std::strlen("--trace-out="));
+      const std::size_t comma = spec.rfind(',');
+      bool format_given = false;
+      if (comma != std::string::npos) {
+        if (auto fmt = parse_trace_format(spec.substr(comma + 1))) {
+          f.trace_format = *fmt;
+          format_given = true;
+          spec.resize(comma);
+        }
+      }
+      if (!format_given) {
+        f.trace_format = ends_with(spec, ".json") || ends_with(spec, ".trace")
+                             ? TraceFormat::ChromeTrace
+                             : TraceFormat::Jsonl;
+      }
+      f.trace_out = std::move(spec);
+    } else if (a == "--metrics") {
+      f.want_metrics = true;
+    } else if (a.rfind("--metrics=", 0) == 0) {
+      f.want_metrics = true;
+      f.metrics_out = a.substr(std::strlen("--metrics="));
+    } else if (a.rfind("--sample=", 0) == 0) {
+      f.sample_interval =
+          std::strtoull(a.c_str() + std::strlen("--sample="), nullptr, 10);
+    } else if (a == "--trace-evictions") {
+      f.trace_evictions = true;
+    } else {
+      std::fprintf(stderr, "unknown flag '%s'\n", a.c_str());
+      std::exit(2);
+    }
+  }
+  return positional;
+}
+
+void print_metrics_table(const MetricRegistry& reg) {
+  if (reg.empty()) {
+    std::printf("(no metrics recorded)\n");
+    return;
+  }
+  if (!reg.counters().empty()) {
+    TablePrinter t({"counter", "value"});
+    for (const auto& [name, c] : reg.counters())
+      t.add_row({name, format_count(c.value())});
+    t.print();
+    std::printf("\n");
+  }
+  if (!reg.gauges().empty()) {
+    TablePrinter t({"gauge", "last"});
+    for (const auto& [name, g] : reg.gauges())
+      t.add_row({name, format_double(g.value(), 3)});
+    t.print();
+    std::printf("\n");
+  }
+  if (!reg.stats().empty()) {
+    TablePrinter t({"stat", "n", "mean", "min", "max"});
+    for (const auto& [name, s] : reg.stats())
+      t.add_row({name, format_count(s.count()), format_double(s.mean(), 3),
+                 format_double(s.min(), 3), format_double(s.max(), 3)});
+    t.print();
+    std::printf("\n");
+  }
+  if (!reg.histograms().empty()) {
+    TablePrinter t({"histogram", "n", "p50 <=", "p95 <="});
+    for (const auto& [name, h] : reg.histograms())
+      t.add_row({name, format_count(h.total()),
+                 format_count(h.quantile_upper_bound(0.5)),
+                 format_count(h.quantile_upper_bound(0.95))});
+    t.print();
+    std::printf("\n");
+  }
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) {
-    std::fprintf(stderr,
-                 "usage: %s <trace.mct|app> [scheme|all] [records] [seed]\n",
-                 argv[0]);
+  CliFlags flags;
+  const std::vector<std::string> pos = parse_flags(argc, argv, flags);
+  if (pos.empty()) {
+    std::fprintf(
+        stderr,
+        "usage: %s <trace.mct|app[,app...]> [scheme|all] [records] [seed]\n"
+        "          [--trace-out=FILE[,jsonl|chrome]] [--metrics[=FILE]]\n"
+        "          [--sample=N] [--trace-evictions]\n",
+        argv[0]);
     return 2;
   }
   const std::uint64_t records =
-      argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 1'000'000;
+      pos.size() > 2 ? std::strtoull(pos[2].c_str(), nullptr, 10) : 1'000'000;
   const std::uint64_t seed =
-      argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 1;
-  const Trace trace = load_or_generate(argv[1], records, seed);
+      pos.size() > 3 ? std::strtoull(pos[3].c_str(), nullptr, 10) : 1;
+
+  std::vector<Trace> traces;
+  for (const std::string& spec : split_commas(pos[0]))
+    traces.push_back(load_or_generate(spec, records, seed));
 
   std::vector<SchemeKind> kinds;
-  if (argc <= 2 || std::strcmp(argv[2], "all") == 0) {
+  if (pos.size() <= 1 || pos[1] == "all") {
     kinds = headline_schemes();
-  } else if (auto k = parse_scheme(argv[2])) {
+  } else if (auto k = parse_scheme(pos[1].c_str())) {
     kinds = {SchemeKind::BaselineSram};
     if (*k != SchemeKind::BaselineSram) kinds.push_back(*k);
   } else {
-    std::fprintf(stderr, "unknown scheme '%s'\n", argv[2]);
+    std::fprintf(stderr, "unknown scheme '%s'\n", pos[1].c_str());
     return 2;
   }
 
-  std::printf("trace '%s' (%s records, kernel %s)\n\n", trace.name().c_str(),
-              format_count(trace.size()).c_str(),
-              format_percent(trace.summarize().kernel_fraction()).c_str());
+  TraceSinkOptions sink_opts;
+  sink_opts.include_evictions = flags.trace_evictions;
+  TraceSink sink(flags.trace_format, sink_opts);
+  // One session per (trace, scheme) run: contexts stay distinct in the trace
+  // and per-run registries merge cleanly afterwards. Sessions must outlive
+  // the sink's render (hub subscribers reference them).
+  std::vector<std::unique_ptr<Telemetry>> sessions;
 
-  TablePrinter t({"scheme", "L2 miss", "cycles", "CPI", "leak uJ", "dyn uJ",
-                  "refresh uJ", "DRAM uJ", "cache E vs base", "time vs base"});
-  std::optional<SimResult> base;
-  for (SchemeKind k : kinds) {
-    const SimResult r = simulate(trace, build_scheme(k));
-    if (!base) base = r;
-    const EnergyBreakdown& e = r.l2_energy;
-    t.add_row({scheme_name(k), format_percent(r.l2_miss_rate()),
-               format_count(r.cycles), format_double(r.cpi, 2),
-               format_double(e.leakage_nj / 1e3, 1),
-               format_double((e.read_nj + e.write_nj) / 1e3, 1),
-               format_double(e.refresh_nj / 1e3, 1),
-               format_double(e.dram_nj / 1e3, 1),
-               format_double(e.cache_nj() / base->l2_energy.cache_nj(), 3),
-               format_double(static_cast<double>(r.cycles) /
-                                 static_cast<double>(base->cycles),
-                             3)});
+  for (const Trace& trace : traces) {
+    std::printf("trace '%s' (%s records, kernel %s)\n\n", trace.name().c_str(),
+                format_count(trace.size()).c_str(),
+                format_percent(trace.summarize().kernel_fraction()).c_str());
+
+    TablePrinter t({"scheme", "L2 miss", "cycles", "CPI", "leak uJ", "dyn uJ",
+                    "refresh uJ", "DRAM uJ", "cache E vs base",
+                    "time vs base"});
+    std::optional<SimResult> base;
+    for (SchemeKind k : kinds) {
+      SimOptions opts;
+      if (flags.telemetry_needed()) {
+        sessions.push_back(std::make_unique<Telemetry>());
+        Telemetry& tel = *sessions.back();
+        tel.set_sample_interval(flags.sample_interval);
+        if (!flags.trace_out.empty()) sink.attach(tel);
+        opts.telemetry = &tel;
+      }
+      const SimResult r = simulate(trace, build_scheme(k), opts);
+      if (!base) base = r;
+      const EnergyBreakdown& e = r.l2_energy;
+      t.add_row({scheme_name(k), format_percent(r.l2_miss_rate()),
+                 format_count(r.cycles), format_double(r.cpi, 2),
+                 format_double(e.leakage_nj / 1e3, 1),
+                 format_double((e.read_nj + e.write_nj) / 1e3, 1),
+                 format_double(e.refresh_nj / 1e3, 1),
+                 format_double(e.dram_nj / 1e3, 1),
+                 format_double(e.cache_nj() / base->l2_energy.cache_nj(), 3),
+                 format_double(static_cast<double>(r.cycles) /
+                                   static_cast<double>(base->cycles),
+                               3)});
+    }
+    t.print();
+    std::printf("\n");
   }
-  t.print();
+
+  if (!flags.trace_out.empty()) {
+    if (!sink.write_file(flags.trace_out)) {
+      std::fprintf(stderr, "cannot write trace to '%s'\n",
+                   flags.trace_out.c_str());
+      return 1;
+    }
+    std::printf("wrote %zu trace events to %s (%s)\n", sink.event_count(),
+                flags.trace_out.c_str(),
+                flags.trace_format == TraceFormat::Jsonl ? "jsonl" : "chrome");
+  }
+
+  if (flags.want_metrics) {
+    MetricRegistry merged;
+    for (const auto& tel : sessions) merged.merge(tel->metrics());
+    if (flags.metrics_out.empty()) {
+      std::printf("merged metrics (%zu runs)\n", sessions.size());
+      print_metrics_table(merged);
+    } else {
+      JsonWriter w;
+      write_metrics_json(w, merged);
+      std::FILE* f = std::fopen(flags.metrics_out.c_str(), "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "cannot write metrics to '%s'\n",
+                     flags.metrics_out.c_str());
+        return 1;
+      }
+      std::fputs(w.str().c_str(), f);
+      std::fputc('\n', f);
+      std::fclose(f);
+      std::printf("wrote metrics JSON to %s\n", flags.metrics_out.c_str());
+    }
+  }
   return 0;
 }
