@@ -1,0 +1,81 @@
+/// \file bench_e21_resilience.cpp
+/// E21 (extension) — resilience of the relaxed-retention designs. The
+/// paper's energy wins come from shrinking the STT-RAM thermal stability
+/// factor, which raises raw bit-error rates; this bench quantifies the cost
+/// of riding that curve: error rate vs cache energy and execution time under
+/// ECC + scrub repair + way-disable quarantine (docs/RELIABILITY.md).
+
+#include <vector>
+
+#include "common/table.hpp"
+#include "exp/report.hpp"
+#include "exp/runner.hpp"
+
+using namespace mobcache;
+
+namespace {
+
+void sweep_table(ExperimentRunner& runner, SchemeKind kind,
+                 const std::vector<double>& rates, const SchemeParams& tmpl,
+                 TablePrinter& t) {
+  for (const FaultSweepPoint& p : run_fault_sweep(runner, kind, rates, tmpl)) {
+    t.add_row({scheme_name(kind), format_double(p.rate, 4),
+               format_double(p.norm_cache_energy, 3),
+               format_double(p.norm_exec_time, 3),
+               format_percent(p.avg_miss_rate), format_count(p.ecc_corrections),
+               format_count(p.fault_losses), format_count(p.dirty_losses),
+               format_count(p.scrub_repairs),
+               format_count(p.quarantined_ways)});
+  }
+}
+
+}  // namespace
+
+int main() {
+  print_banner("E21", "Error rate vs energy/CPI under ECC + repair");
+  const std::uint64_t len = bench_trace_len(400'000);
+  ExperimentRunner runner({AppId::Browser, AppId::Game}, len, 21);
+
+  const std::vector<double> rates = {0.0, 1e-4, 1e-3, 5e-3, 2e-2};
+  SchemeParams tmpl;
+  tmpl.fault.ecc = EccKind::Secded;
+  tmpl.fault.way_disable_threshold = 4;
+
+  TablePrinter t({"scheme", "rate", "cache E vs clean", "time vs clean",
+                  "L2 miss", "corrected", "lost", "dirty lost", "scrub repair",
+                  "ways out"});
+  sweep_table(runner, SchemeKind::StaticPartMrstt, rates, tmpl, t);
+  sweep_table(runner, SchemeKind::DynamicStt, rates, tmpl, t);
+  emit(t, "e21_resilience.csv");
+
+  // Same injection stream, different protection: what each ECC tier buys.
+  std::printf("\nECC scheme comparison at rate 5e-3 (SP-MRSTT)\n");
+  TablePrinter e({"ecc", "cache E vs clean", "time vs clean", "L2 miss",
+                  "corrected", "lost", "silent-ish scrubs", "ways out"});
+  for (EccKind ecc : {EccKind::None, EccKind::Parity, EccKind::Secded,
+                      EccKind::Dected}) {
+    SchemeParams p = tmpl;
+    p.fault.ecc = ecc;
+    const std::vector<FaultSweepPoint> pts =
+        run_fault_sweep(runner, SchemeKind::StaticPartMrstt, {5e-3}, p);
+    const FaultSweepPoint& pt = pts.front();
+    e.add_row({std::string(to_string(ecc)),
+               format_double(pt.norm_cache_energy, 3),
+               format_double(pt.norm_exec_time, 3),
+               format_percent(pt.avg_miss_rate),
+               format_count(pt.ecc_corrections), format_count(pt.fault_losses),
+               format_count(pt.scrub_repairs),
+               format_count(pt.quarantined_ways)});
+  }
+  e.print();
+
+  std::printf(
+      "\nReading: SECDED absorbs the low-rate regime almost for free (the "
+      "corrector\nruns off the critical path except on actual corrections); "
+      "past ~5e-3 the\ndetected-uncorrectable losses turn into extra DRAM "
+      "refills and the energy\ncurve bends up. Way quarantine keeps the "
+      "high-rate points *running* —\ncapacity degrades instead of the "
+      "simulation asserting — which is the\ngraceful-degradation property "
+      "the repair controller exists for.\n");
+  return 0;
+}

@@ -24,6 +24,27 @@ def fail(msg):
     sys.exit(1)
 
 
+# Event kinds with a pinned payload schema: every occurrence must carry all
+# of these fields (flat on the record in JSONL, under "args" in Chrome).
+REQUIRED_FIELDS = {
+    "fault": ("line", "mode", "outcome", "dirty_lost"),
+    "way-quarantine": ("segment", "way", "faults", "healthy_ways",
+                       "flush_writebacks"),
+    "refresh-burst": ("refreshed", "expired_clean", "expired_dirty",
+                      "repaired", "fault_lost"),
+}
+
+FAULT_OUTCOMES = {"corrected", "lost", "silent"}
+
+
+def check_payload(kind, payload, where):
+    for field in REQUIRED_FIELDS.get(kind, ()):
+        if field not in payload:
+            fail(f"{where}: '{kind}' event missing '{field}': {payload}")
+    if kind == "fault" and payload.get("outcome") not in FAULT_OUTCOMES:
+        fail(f"{where}: bad fault outcome {payload.get('outcome')!r}")
+
+
 def check_jsonl(path):
     types = {}
     with open(path) as f:
@@ -41,6 +62,7 @@ def check_jsonl(path):
                     fail(f"{path}:{i}: missing '{field}': {line.strip()}")
             if not isinstance(rec["cycle"], int) or rec["cycle"] < 0:
                 fail(f"{path}:{i}: bad cycle {rec['cycle']!r}")
+            check_payload(rec["type"], rec, f"{path}:{i}")
             types[rec["type"]] = types.get(rec["type"], 0) + 1
     return sum(types.values()), types
 
@@ -71,6 +93,7 @@ def check_chrome(path):
             fail(f"traceEvents[{i}]: counter '{ev['name']}' went back in "
                  f"time ({ts} < {last_ts[key]})")
         last_ts[key] = ts
+        check_payload(ev["name"], ev.get("args", {}), f"traceEvents[{i}]")
         types[ev["name"]] = types.get(ev["name"], 0) + 1
     return n, types
 

@@ -37,6 +37,36 @@ constexpr WayMask way_range_mask(std::uint32_t first, std::uint32_t count) {
   return count == 0 ? 0 : full_way_mask(count) << first;
 }
 
+/// Mask with only way `w` set.
+constexpr WayMask way_bit(std::uint32_t w) { return 1ull << w; }
+
+/// The `count` lowest-numbered set bits of `from` (fewer if `from` has
+/// fewer). Used to carve partition allocations out of a healthy-way mask
+/// that may have holes after way-disable repair.
+constexpr WayMask lowest_ways(WayMask from, std::uint32_t count) {
+  WayMask out = 0;
+  for (std::uint32_t w = 0; w < 64 && count > 0; ++w) {
+    if ((from & way_bit(w)) != 0) {
+      out |= way_bit(w);
+      --count;
+    }
+  }
+  return out;
+}
+
+/// The `count` highest-numbered set bits of `from` (fewer if `from` has
+/// fewer).
+constexpr WayMask highest_ways(WayMask from, std::uint32_t count) {
+  WayMask out = 0;
+  for (std::int32_t w = 63; w >= 0 && count > 0; --w) {
+    if ((from & way_bit(static_cast<std::uint32_t>(w))) != 0) {
+      out |= way_bit(static_cast<std::uint32_t>(w));
+      --count;
+    }
+  }
+  return out;
+}
+
 struct CacheConfig {
   std::string name = "cache";
   std::uint64_t size_bytes = 2ull << 20;

@@ -66,6 +66,27 @@ AccessResult SetAssocCache::access(Addr line, AccessType type, Mode mode,
       repl_->on_invalidate(set, way);
       break;  // fall through to the miss path
     }
+    if (b.fault_bits != 0 && fault_hooks_ != nullptr) {
+      const FaultReadOutcome out = fault_hooks_->read_check(line, b.fault_bits);
+      if (out == FaultReadOutcome::Corrected) {
+        b.fault_bits = 0;
+        ++stats_.ecc_corrections;
+        r.ecc_corrected = true;
+      } else if (out == FaultReadOutcome::Lost) {
+        // Detected but uncorrectable: the block is unusable. Dirty data
+        // cannot be written back — the decayed copy was the only one.
+        r.fault_lost = true;
+        r.fault_lost_dirty = b.dirty;
+        ++stats_.fault_losses;
+        if (b.dirty) ++stats_.fault_lost_dirty;
+        notify_eviction(b, now);
+        b.valid = false;
+        repl_->on_invalidate(set, way);
+        break;  // fall through to the miss path
+      } else {
+        ++stats_.silent_faults;  // wrong data served; invisible to the host
+      }
+    }
     // Hit.
     r.hit = true;
     r.way = way;
@@ -82,13 +103,17 @@ AccessResult SetAssocCache::access(Addr line, AccessType type, Mode mode,
       b.dirty = true;
       b.last_write = now;
       count_wear(set, way);
-      if (retention_period_ != 0) b.retention_deadline = now + retention_period_;
+      if (fault_hooks_ != nullptr) apply_write_faults(b, set, way);
+      if (retention_period_ != 0)
+        b.retention_deadline = now + effective_period(line);
     }
     repl_->on_hit(set, way);
     return r;
   }
 
-  if (no_alloc) return r;  // bypassed fill: miss counted, nothing installed
+  // Bypassed fill, or no ways left to fill into (every way of the segment
+  // quarantined): the miss is counted and served straight from DRAM.
+  if (no_alloc || allowed == 0) return r;
 
   // Miss: pick a fill way — an invalid/expired allowed way if any, else a
   // replacement victim among the allowed ways.
@@ -132,9 +157,11 @@ AccessResult SetAssocCache::access(Addr line, AccessType type, Mode mode,
   b.last_access = now;
   b.last_write = now;
   b.retention_deadline =
-      retention_period_ == 0 ? 0 : now + retention_period_;
+      retention_period_ == 0 ? 0 : now + effective_period(line);
   b.access_count = 1;
   b.prefetched = prefetch;
+  b.fault_bits = 0;
+  if (fault_hooks_ != nullptr) apply_write_faults(b, set, fill_way);
   count_wear(set, fill_way);
   repl_->on_fill(set, fill_way);
 
@@ -148,14 +175,54 @@ AccessResult SetAssocCache::access(Addr line, AccessType type, Mode mode,
   return r;
 }
 
-void SetAssocCache::refresh_block(std::uint32_t set, std::uint32_t way,
+bool SetAssocCache::refresh_block(std::uint32_t set, std::uint32_t way,
                                   Cycle now) {
   BlockMeta& b = block_mut(set, way);
-  if (!b.valid) return;
+  if (!b.valid) return false;
+  if (b.fault_bits != 0 && fault_hooks_ != nullptr) {
+    // The scrub reads the block before rewriting it, so the corrector runs
+    // here too: this is how a scrub *repairs* decayed blocks it reaches in
+    // time. Silent corruption is rewritten faithfully (bits stay wrong).
+    const FaultReadOutcome out = fault_hooks_->read_check(b.line, b.fault_bits);
+    if (out == FaultReadOutcome::Lost) {
+      ++stats_.fault_losses;
+      if (b.dirty) ++stats_.fault_lost_dirty;
+      notify_eviction(b, now);
+      b.valid = false;
+      repl_->on_invalidate(set, way);
+      return false;
+    }
+    if (out == FaultReadOutcome::Corrected) {
+      b.fault_bits = 0;
+      ++stats_.scrub_repairs;
+    }
+  }
   b.last_write = now;
   count_wear(set, way);
-  if (retention_period_ != 0) b.retention_deadline = now + retention_period_;
+  if (fault_hooks_ != nullptr) apply_write_faults(b, set, way);
+  if (retention_period_ != 0)
+    b.retention_deadline = now + effective_period(b.line);
   ++stats_.refreshes;
+  return true;
+}
+
+void SetAssocCache::apply_write_faults(BlockMeta& b, std::uint32_t set,
+                                       std::uint32_t way) {
+  const std::uint32_t upsets = fault_hooks_->write_upsets(b.line, set, way);
+  if (upsets == 0) return;
+  ++stats_.write_faults;
+  b.fault_bits = static_cast<std::uint16_t>(
+      std::min<std::uint32_t>(b.fault_bits + upsets, 0xffffu));
+}
+
+bool SetAssocCache::corrupt_block(std::uint32_t set, std::uint32_t way,
+                                  std::uint32_t bits) {
+  BlockMeta& b = block_mut(set, way);
+  if (!b.valid || bits == 0) return false;
+  b.fault_bits = static_cast<std::uint16_t>(
+      std::min<std::uint32_t>(b.fault_bits + bits, 0xffffu));
+  ++stats_.transient_upsets;
+  return true;
 }
 
 std::uint64_t SetAssocCache::rotate_index(std::uint32_t new_xor_key) {

@@ -35,6 +35,33 @@ struct BlockMeta {
   Cycle retention_deadline = 0;  ///< 0 = non-volatile
   std::uint32_t access_count = 0;
   bool prefetched = false;  ///< filled by a prefetch, not yet demand-hit
+  /// Accumulated faulty bits (write failures + transient upsets) awaiting an
+  /// ECC verdict on the next read of the block. 0 = pristine.
+  std::uint16_t fault_bits = 0;
+};
+
+/// Verdict of the ECC check run when a block with fault_bits != 0 is read.
+enum class FaultReadOutcome : std::uint8_t {
+  Corrected,  ///< ECC repaired the data in place (fault bits cleared)
+  Lost,       ///< uncorrectable but detected: the block must be dropped
+  Silent,     ///< undetected: corrupted data is consumed as-is
+};
+
+/// Seam between the cache array and the fault subsystem (src/fault/). The
+/// array owns the block state; the hooks own the randomness and the ECC
+/// policy. A null hook pointer — the default — keeps every code path
+/// bit-identical to a fault-free build.
+class ArrayFaultHooks {
+ public:
+  virtual ~ArrayFaultHooks() = default;
+  /// Per-block retention period sampled at write time (process variation +
+  /// thermal noise around the nominal class period).
+  virtual Cycle effective_retention(Addr line, Cycle nominal) = 0;
+  /// Bits corrupted by one array write at (set, way); 0 = clean write.
+  virtual std::uint32_t write_upsets(Addr line, std::uint32_t set,
+                                     std::uint32_t way) = 0;
+  /// ECC verdict for a read of a block carrying `fault_bits` faulty bits.
+  virtual FaultReadOutcome read_check(Addr line, std::uint32_t fault_bits) = 0;
 };
 
 /// Per-array counters, split by requester mode where meaningful.
@@ -51,6 +78,14 @@ struct CacheStats {
   std::uint64_t refreshes = 0;              ///< scrub rewrites
   std::uint64_t prefetch_fills = 0;         ///< lines installed by prefetch
   std::uint64_t useful_prefetches = 0;      ///< prefetched lines demand-hit
+  // Fault/ECC counters (all zero unless fault hooks are installed).
+  std::uint64_t write_faults = 0;       ///< array writes that left faulty bits
+  std::uint64_t transient_upsets = 0;   ///< upsets landed on live blocks
+  std::uint64_t ecc_corrections = 0;    ///< reads repaired in place by ECC
+  std::uint64_t fault_losses = 0;       ///< uncorrectable blocks dropped
+  std::uint64_t fault_lost_dirty = 0;   ///< ... of which held dirty data
+  std::uint64_t scrub_repairs = 0;      ///< faulty blocks healed by a scrub
+  std::uint64_t silent_faults = 0;      ///< undetected corrupted reads served
 
   std::uint64_t total_accesses() const { return accesses[0] + accesses[1]; }
   std::uint64_t total_hits() const { return hits[0] + hits[1]; }
@@ -91,6 +126,9 @@ struct AccessResult {
   std::uint32_t victim_access_count = 0;  ///< touches the victim had seen
   bool target_expired = false;       ///< block was present but past deadline
   bool expired_was_dirty = false;    ///< expired block held dirty data
+  bool ecc_corrected = false;        ///< hit needed an in-place ECC repair
+  bool fault_lost = false;           ///< block dropped: uncorrectable fault
+  bool fault_lost_dirty = false;     ///< ... and its dirty data is gone
 };
 
 /// Wear statistics over the physical (set, way) locations of one array —
@@ -145,8 +183,20 @@ class SetAssocCache {
   void set_retention_period(Cycle period) { retention_period_ = period; }
   Cycle retention_period() const { return retention_period_; }
 
-  /// Rewrites a live block in place (scrub), extending its deadline.
-  void refresh_block(std::uint32_t set, std::uint32_t way, Cycle now);
+  /// Rewrites a live block in place (scrub), extending its deadline. With
+  /// fault hooks installed, the scrub first runs the corrector over any
+  /// faulty bits: correctable blocks are healed (scrub_repairs), detected
+  /// uncorrectable blocks are dropped instead of rewritten (fault_losses).
+  /// Returns false when the block was dropped or absent.
+  bool refresh_block(std::uint32_t set, std::uint32_t way, Cycle now);
+
+  /// Fault injection seam (src/fault/). Null (the default) disables every
+  /// fault code path and keeps behavior bit-identical to a fault-free run.
+  void set_fault_hooks(ArrayFaultHooks* hooks) { fault_hooks_ = hooks; }
+
+  /// Lands `bits` transiently-upset bits on (set, way) if it holds a valid
+  /// block (radiation-style upset). Returns true when a block was hit.
+  bool corrupt_block(std::uint32_t set, std::uint32_t way, std::uint32_t bits);
 
   /// Walks the array invalidating blocks whose deadline has passed.
   /// Returns {expired_total, expired_dirty}. Dirty expiries are counted so
@@ -229,6 +279,17 @@ class SetAssocCache {
     ++wear_[static_cast<std::size_t>(set) * cfg_.assoc + way];
   }
 
+  /// Retention period for a block being (re)written now; hooks may shorten
+  /// or stretch the nominal class period per block.
+  Cycle effective_period(Addr line) const {
+    return (fault_hooks_ == nullptr || retention_period_ == 0)
+               ? retention_period_
+               : fault_hooks_->effective_retention(line, retention_period_);
+  }
+
+  /// Runs the write-upset hook for one array write into `b`.
+  void apply_write_faults(BlockMeta& b, std::uint32_t set, std::uint32_t way);
+
   CacheConfig cfg_;
   std::uint32_t num_sets_;
   std::uint32_t index_rotation_ = 0;
@@ -238,6 +299,7 @@ class SetAssocCache {
   std::unique_ptr<ReplacementPolicy> repl_;
   CacheStats stats_;
   std::vector<std::function<void(const EvictionEvent&)>> observers_;
+  ArrayFaultHooks* fault_hooks_ = nullptr;  ///< non-owning; null = fault-free
 };
 
 }  // namespace mobcache

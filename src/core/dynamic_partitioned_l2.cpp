@@ -1,6 +1,7 @@
 #include "core/dynamic_partitioned_l2.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 
 #include "obs/telemetry.hpp"
@@ -42,7 +43,58 @@ DynamicPartitionedL2::DynamicPartitionedL2(const DynamicL2Config& cfg)
       kernel_monitor_(cfg.cache.num_sets(), cfg.monitor_sample_shift,
                       cfg.cache.assoc) {
   cache_.set_retention_period(tech_.retention_cycles);
+  if (cfg.fault.enabled()) {
+    fault_ = std::make_unique<FaultInjector>(cfg.fault, cache_);
+  }
   rescale_active_tech();
+}
+
+double DynamicPartitionedL2::enabled_fraction() const {
+  if (fault_ == nullptr) {
+    return static_cast<double>(alloc_.total()) /
+           static_cast<double>(cache_.assoc());
+  }
+  const auto masks = masks_for(alloc_);
+  return static_cast<double>(std::popcount(masks[0] | masks[1])) /
+         static_cast<double>(cache_.assoc());
+}
+
+WayAllocation DynamicPartitionedL2::clamp_to_healthy(WayAllocation a) const {
+  if (fault_ == nullptr) return a;
+  const std::uint32_t h = fault_->repair().healthy_ways();
+  while (a.user_ways + a.kernel_ways > h) {
+    if (a.user_ways > a.kernel_ways) {
+      --a.user_ways;
+    } else if (a.kernel_ways > 1) {
+      --a.kernel_ways;
+    } else if (a.user_ways > 0) {
+      --a.user_ways;
+    } else {
+      --a.kernel_ways;  // unreachable: repair never drains the last way
+    }
+  }
+  return a;
+}
+
+void DynamicPartitionedL2::service_faults(Cycle now) {
+  fault_->tick(now);
+  auto& rep = fault_->repair();
+  while (rep.has_pending()) {
+    // Settle at the old enabled fraction before the way leaves the mask.
+    settle_leakage(now);
+    const std::uint32_t way = rep.take_pending();
+    const std::uint64_t dirty = cache_.invalidate_ways(way_bit(way));
+    reconfig_writebacks_ += dirty;
+    acct_.add_dram(dirty);
+    if (telemetry_ != nullptr) {
+      telemetry_->record(WayQuarantineEvent{now, cache_.config().name, way,
+                                            rep.fault_count(way),
+                                            rep.healthy_ways(), dirty});
+    }
+    // The budget shrank: renegotiate the live split instead of asserting.
+    alloc_ = clamp_to_healthy(alloc_);
+    rescale_active_tech();
+  }
 }
 
 void DynamicPartitionedL2::rescale_active_tech() {
@@ -85,12 +137,10 @@ void DynamicPartitionedL2::apply_allocation(WayAllocation next, Cycle now) {
   // address spaces are disjoint, so the new owner can never falsely hit a
   // stale block — it just evicts them on demand (lazy handover, far cheaper
   // than a bulk flush on every phase change).
-  const WayMask old_on =
-      way_range_mask(0, alloc_.user_ways) |
-      way_range_mask(cache_.assoc() - alloc_.kernel_ways, alloc_.kernel_ways);
-  const WayMask new_on =
-      way_range_mask(0, next.user_ways) |
-      way_range_mask(cache_.assoc() - next.kernel_ways, next.kernel_ways);
+  const auto old_masks = masks_for(alloc_);
+  const auto new_masks = masks_for(next);
+  const WayMask old_on = old_masks[0] | old_masks[1];
+  const WayMask new_on = new_masks[0] | new_masks[1];
   const WayMask to_flush = old_on & ~new_on;
   std::uint64_t flushed = 0;
   if (to_flush != 0) {
@@ -127,7 +177,7 @@ void DynamicPartitionedL2::maybe_epoch(Cycle now) {
 
   const ModeDemand user = demand_of(user_monitor_, 0);
   const ModeDemand kernel = demand_of(kernel_monitor_, 1);
-  apply_allocation(controller_.decide(user, kernel), now);
+  apply_allocation(clamp_to_healthy(controller_.decide(user, kernel)), now);
 
   // Settle leakage at every epoch boundary (idempotent when the allocation
   // just changed) so the telemetry sample below attributes the interval's
@@ -159,12 +209,15 @@ void DynamicPartitionedL2::maybe_epoch(Cycle now) {
 L2Result DynamicPartitionedL2::do_access(Addr line, AccessType type,
                                          Mode mode, Cycle now, bool demand,
                                          bool prefetch) {
+  if (fault_ != nullptr) service_faults(now);
   if (tech_.retention_cycles != 0 && refresher_.due(now)) {
     const RefreshTickResult rt =
         refresher_.tick(cache_, now, refresh_tech(), acct_);
-    if (telemetry_ && (rt.refreshed | rt.expired_clean | rt.expired_dirty)) {
+    if (telemetry_ && (rt.refreshed | rt.expired_clean | rt.expired_dirty |
+                       rt.repaired | rt.fault_lost)) {
       telemetry_->record(RefreshBurstEvent{now, rt.refreshed, rt.expired_clean,
-                                           rt.expired_dirty});
+                                           rt.expired_dirty, rt.repaired,
+                                           rt.fault_lost});
     }
   }
 
@@ -177,6 +230,15 @@ L2Result DynamicPartitionedL2::do_access(Addr line, AccessType type,
 
   const AccessResult r =
       cache_.access(line, type, mode, now, mask_of(mode), prefetch);
+  if (fault_ != nullptr) {
+    if (r.ecc_corrected) acct_.add_ecc(fault_->ecc().correction_energy_nj());
+    if (telemetry_ != nullptr && (r.ecc_corrected || r.fault_lost)) {
+      telemetry_->record(FaultEvent{
+          now, line, mode,
+          r.fault_lost ? FaultReadOutcome::Lost : FaultReadOutcome::Corrected,
+          r.fault_lost_dirty});
+    }
+  }
 
   L2Result out;
   out.hit = r.hit;
@@ -200,6 +262,7 @@ L2Result DynamicPartitionedL2::do_access(Addr line, AccessType type,
     } else {
       acct_.add_read(seg);
       out.latency = stall + tech_.read_latency;
+      if (r.ecc_corrected) out.latency += fault_->ecc().correction_latency();
     }
   } else {
     if (demand) ++epoch_misses_[static_cast<int>(mode)];
@@ -236,6 +299,8 @@ void DynamicPartitionedL2::prefetch(Addr line, Mode mode, Cycle now) {
 void DynamicPartitionedL2::finalize(Cycle end) {
   if (finalized_) return;
   finalized_ = true;
+  if (fault_ != nullptr) service_faults(end);
+  // Same-cycle re-entry after the last access is idempotent inside tick().
   if (tech_.retention_cycles != 0)
     refresher_.tick(cache_, end, refresh_tech(), acct_);
   acct_.add_dram(

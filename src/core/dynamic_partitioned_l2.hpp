@@ -10,6 +10,8 @@
 /// therefore never flushes the other; only ways leaving a segment are
 /// written back and invalidated.
 
+#include <array>
+#include <memory>
 #include <vector>
 
 #include "cache/bank_model.hpp"
@@ -18,6 +20,7 @@
 #include "core/l2_interface.hpp"
 #include "energy/refresh.hpp"
 #include "energy/technology.hpp"
+#include "fault/fault_injector.hpp"
 
 namespace mobcache {
 
@@ -31,6 +34,10 @@ struct DynamicL2Config {
   std::uint64_t epoch_accesses = 10'000;
   std::uint32_t monitor_sample_shift = 4;  ///< shadow tags sample 1/16 sets
   ControllerConfig controller;
+  /// Fault injection + ECC + way-disable repair (disabled by default).
+  /// Quarantined ways shrink the controller's way budget: allocations are
+  /// re-clamped to the healthy mask instead of asserting.
+  FaultConfig fault;
 };
 
 /// One repartition event, kept for the E8 allocation-trace figure.
@@ -77,18 +84,36 @@ class DynamicPartitionedL2 final : public L2Interface {
   std::uint64_t reconfigurations() const { return history_.size(); }
   std::uint64_t reconfig_writebacks() const { return reconfig_writebacks_; }
   const SetAssocCache& array() const { return cache_; }
+  /// Fault subsystem (null when DynamicL2Config::fault is disabled).
+  const FaultInjector* fault_injector() const { return fault_.get(); }
+  std::uint32_t quarantined_ways() const override {
+    return fault_ == nullptr ? 0 : fault_->repair().quarantined_ways();
+  }
 
  private:
+  /// Per-mode way masks for an allocation. Fault-free this is the
+  /// contiguous user-from-bottom / kernel-from-top plan; with quarantined
+  /// ways the same counts are carved out of the healthy mask instead (the
+  /// remap: allocations skip dead ways rather than shrinking around them).
+  std::array<WayMask, kModeCount> masks_for(const WayAllocation& a) const {
+    if (fault_ == nullptr) {
+      return {way_range_mask(0, a.user_ways),
+              way_range_mask(cache_.assoc() - a.kernel_ways, a.kernel_ways)};
+    }
+    const WayMask healthy = fault_->repair().healthy_mask();
+    return {lowest_ways(healthy, a.user_ways),
+            highest_ways(healthy, a.kernel_ways)};
+  }
   WayMask mask_of(Mode m) const {
-    return m == Mode::User
-               ? way_range_mask(0, alloc_.user_ways)
-               : way_range_mask(cache_.assoc() - alloc_.kernel_ways,
-                                alloc_.kernel_ways);
+    return masks_for(alloc_)[static_cast<int>(m)];
   }
-  double enabled_fraction() const {
-    return static_cast<double>(alloc_.total()) /
-           static_cast<double>(cache_.assoc());
-  }
+  double enabled_fraction() const;
+  /// Shrinks an allocation so it fits the healthy-way budget (no-op when
+  /// fault injection is off). The kernel segment keeps its last way longest:
+  /// kernel misses are the costlier ones in the paper's workloads.
+  WayAllocation clamp_to_healthy(WayAllocation a) const;
+  /// Advances transient injection and drains pending way quarantines.
+  void service_faults(Cycle now);
 
   /// Accumulates leakage for [last_change_, now) at the current allocation.
   void settle_leakage(Cycle now);
@@ -101,6 +126,7 @@ class DynamicPartitionedL2 final : public L2Interface {
 
   DynamicL2Config cfg_;
   SetAssocCache cache_;
+  std::unique_ptr<FaultInjector> fault_;
   TechParams tech_;  ///< full-array parameters (leakage reference)
   /// Per-mode dynamic energies scaled to that segment's enabled capacity —
   /// an access only probes its own segment's ways, so its cost matches a

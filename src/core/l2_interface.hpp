@@ -66,6 +66,10 @@ class L2Interface {
     return static_cast<double>(capacity_bytes());
   }
 
+  /// Ways permanently disabled by the fault-repair controller over the run
+  /// (summed across segments). Zero for unfaulted designs.
+  virtual std::uint32_t quarantined_ways() const { return 0; }
+
   /// Human-readable one-line description for reports.
   virtual std::string describe() const = 0;
 

@@ -28,6 +28,22 @@ std::vector<PartitionCandidate> PartitionAutosizer::candidates() {
   return out;
 }
 
+StaticPartitionConfig PartitionAutosizer::renegotiate_after_faults(
+    const StaticPartitionConfig& built, std::uint32_t user_healthy_ways,
+    std::uint32_t kernel_healthy_ways) {
+  StaticPartitionConfig out = built;
+  auto shrink = [](SegmentSpec& s, std::uint32_t healthy) {
+    healthy = std::clamp(healthy, 1u, s.assoc);
+    // Dropping whole ways keeps the set count intact, so the shrunken
+    // geometry passes CacheConfig::validate() by construction.
+    s.size_bytes = s.size_bytes / s.assoc * healthy;
+    s.assoc = healthy;
+  };
+  shrink(out.user, user_healthy_ways);
+  shrink(out.kernel, kernel_healthy_ways);
+  return out;
+}
+
 std::unique_ptr<L2Interface> PartitionAutosizer::build(
     const PartitionCandidate& c) const {
   StaticPartitionConfig pc;

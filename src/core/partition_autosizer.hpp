@@ -56,6 +56,15 @@ class PartitionAutosizer {
  public:
   explicit PartitionAutosizer(AutosizerConfig cfg) : cfg_(std::move(cfg)) {}
 
+  /// Renegotiates a static split after way-disable repair: each segment
+  /// keeps its set count but drops to its surviving associativity, so the
+  /// degraded geometry is always legal (sets unchanged ⇒ still a power of
+  /// two) and the SP schemes keep running instead of asserting. At least
+  /// one way per segment survives.
+  static StaticPartitionConfig renegotiate_after_faults(
+      const StaticPartitionConfig& built, std::uint32_t user_healthy_ways,
+      std::uint32_t kernel_healthy_ways);
+
   /// The default geometry grid: user segments 256 KB–1.5 MB, kernel
   /// segments 128 KB–512 KB, all with legal power-of-two set counts.
   static std::vector<PartitionCandidate> candidates();

@@ -31,6 +31,14 @@ CacheConfig shared_geometry(const char* name, std::uint64_t bytes,
   return c;
 }
 
+/// Per-segment fault config with a derived seed, so the two arrays of a
+/// partitioned design draw independent (but reproducible) fault streams.
+FaultConfig derived_fault(const FaultConfig& f, std::uint64_t salt) {
+  FaultConfig out = f;
+  out.seed = f.seed + salt;
+  return out;
+}
+
 }  // namespace
 
 std::unique_ptr<L2Interface> build_scheme(SchemeKind kind,
@@ -41,6 +49,7 @@ std::unique_ptr<L2Interface> build_scheme(SchemeKind kind,
       c.cache = shared_geometry("L2", p.baseline_bytes, p.baseline_assoc,
                                 p.repl, p.xor_index);
       c.tech = TechKind::Sram;
+      c.fault = p.fault;
       return std::make_unique<SharedL2>(c);
     }
     case SchemeKind::ShrunkSram: {
@@ -48,6 +57,7 @@ std::unique_ptr<L2Interface> build_scheme(SchemeKind kind,
       c.cache =
           shared_geometry("L2", p.shrunk_bytes, p.shrunk_assoc, p.repl);
       c.tech = TechKind::Sram;
+      c.fault = p.fault;
       return std::make_unique<SharedL2>(c);
     }
     case SchemeKind::SharedStt: {
@@ -58,6 +68,7 @@ std::unique_ptr<L2Interface> build_scheme(SchemeKind kind,
       c.retention = RetentionClass::Hi;
       c.refresh = p.refresh;
       c.bypass.enabled = p.stt_write_bypass;
+      c.fault = p.fault;
       return std::make_unique<SharedL2>(c);
     }
     case SchemeKind::DrowsySram: {
@@ -79,6 +90,8 @@ std::unique_ptr<L2Interface> build_scheme(SchemeKind kind,
       c.user = sram_segment(p.sp_user_bytes, p.sp_user_assoc);
       c.kernel = sram_segment(p.sp_kernel_bytes, p.sp_kernel_assoc);
       c.user.repl = c.kernel.repl = p.repl;
+      c.user.fault = p.fault;
+      c.kernel.fault = derived_fault(p.fault, 1);
       return std::make_unique<StaticPartitionedL2>(c);
     }
     case SchemeKind::StaticPartMrstt: {
@@ -87,6 +100,8 @@ std::unique_ptr<L2Interface> build_scheme(SchemeKind kind,
           p.sp_kernel_assoc, p.mrstt_kernel, p.refresh);
       c.user.repl = c.kernel.repl = p.repl;
       c.user.bypass.enabled = c.kernel.bypass.enabled = p.stt_write_bypass;
+      c.user.fault = p.fault;
+      c.kernel.fault = derived_fault(p.fault, 1);
       return std::make_unique<StaticPartitionedL2>(c);
     }
     case SchemeKind::DynamicSram:
@@ -101,6 +116,7 @@ std::unique_ptr<L2Interface> build_scheme(SchemeKind kind,
       c.epoch_accesses = p.dp_epoch_accesses;
       c.controller.monitor = p.dp_monitor;
       c.controller.miss_slack = p.dp_miss_slack;
+      c.fault = p.fault;
       return std::make_unique<DynamicPartitionedL2>(c);
     }
   }

@@ -68,6 +68,15 @@ struct SchemeParams {
   bool xor_index = false;
   /// Stream write-bypass for the STT-RAM designs (E18).
   bool stt_write_bypass = false;
+
+  /// Fault injection / ECC / way-disable repair (disabled by default — a
+  /// disabled config keeps every scheme bit-identical to a fault-free
+  /// build). Applied to all SharedL2-array schemes; partitioned designs get
+  /// one injector per segment with derived seeds (kernel = seed + 1) so the
+  /// two arrays draw independent fault streams. Drowsy and victim schemes
+  /// are SRAM-only baselines and are left unfaulted (documented in
+  /// docs/RELIABILITY.md).
+  FaultConfig fault;
 };
 
 std::unique_ptr<L2Interface> build_scheme(SchemeKind kind,

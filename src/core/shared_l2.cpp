@@ -26,6 +26,55 @@ SharedL2::SharedL2(const SharedL2Config& cfg)
       bypass_(cfg.bypass),
       wear_rotate_writes_(cfg.wear_rotate_writes) {
   cache_.set_retention_period(tech_.retention_cycles);
+  if (cfg.fault.enabled()) {
+    fault_ = std::make_unique<FaultInjector>(cfg.fault, cache_);
+  }
+}
+
+void SharedL2::settle_leakage(Cycle now) {
+  if (now < leak_mark_) return;
+  const double enabled =
+      fault_ == nullptr
+          ? 1.0
+          : static_cast<double>(fault_->repair().healthy_ways()) /
+                static_cast<double>(cache_.assoc());
+  acct_.add_leakage(tech_, now - leak_mark_, enabled);
+  enabled_byte_cycles_ += enabled * static_cast<double>(now - leak_mark_) *
+                          static_cast<double>(cache_.config().size_bytes);
+  leak_mark_ = now;
+}
+
+void SharedL2::service_faults(Cycle now) {
+  fault_->tick(now);
+  auto& rep = fault_->repair();
+  while (rep.has_pending()) {
+    // The way is about to power off: settle leakage at the old enabled
+    // fraction first, so the piecewise integral stays exact.
+    settle_leakage(now);
+    const std::uint32_t way = rep.take_pending();
+    // Quarantined blocks are still readable; dirty ones drain to DRAM.
+    const std::uint64_t dirty = cache_.invalidate_ways(way_bit(way));
+    acct_.add_dram(dirty);
+    if (telemetry_ != nullptr) {
+      telemetry_->record(WayQuarantineEvent{now, cache_.config().name, way,
+                                            rep.fault_count(way),
+                                            rep.healthy_ways(), dirty});
+    }
+  }
+}
+
+void SharedL2::account_faults(const AccessResult& r, Addr line, Mode mode,
+                              Cycle now) {
+  if (r.ecc_corrected) acct_.add_ecc(fault_->ecc().correction_energy_nj());
+  if (telemetry_ == nullptr || !(r.ecc_corrected || r.fault_lost)) return;
+  FaultEvent e;
+  e.cycle = now;
+  e.line = line;
+  e.mode = mode;
+  e.outcome =
+      r.fault_lost ? FaultReadOutcome::Lost : FaultReadOutcome::Corrected;
+  e.dirty_lost = r.fault_lost_dirty;
+  telemetry_->record(e);
 }
 
 void SharedL2::count_array_write() {
@@ -42,22 +91,26 @@ void SharedL2::count_array_write() {
 void SharedL2::maybe_refresh(Cycle now) {
   if (tech_.retention_cycles != 0 && refresher_.due(now)) {
     const RefreshTickResult rt = refresher_.tick(cache_, now, tech_, acct_);
-    if (telemetry_ && (rt.refreshed | rt.expired_clean | rt.expired_dirty)) {
+    if (telemetry_ && (rt.refreshed | rt.expired_clean | rt.expired_dirty |
+                       rt.repaired | rt.fault_lost)) {
       telemetry_->record(RefreshBurstEvent{now, rt.refreshed, rt.expired_clean,
-                                           rt.expired_dirty});
+                                           rt.expired_dirty, rt.repaired,
+                                           rt.fault_lost});
     }
   }
 }
 
 L2Result SharedL2::access(Addr line, AccessType type, Mode mode, Cycle now) {
+  if (fault_ != nullptr) service_faults(now);
   maybe_refresh(now);
   // Bypass decision must precede the array update: a fill predicted dead is
   // not installed at all.
   const bool bypass_fill =
       type == AccessType::Read && bypass_.decide_bypass(line);
   const AccessResult r =
-      cache_.access(line, type, mode, now, full_way_mask(cache_.assoc()),
+      cache_.access(line, type, mode, now, active_mask(),
                     /*prefetch=*/false, /*no_alloc=*/bypass_fill);
+  if (fault_ != nullptr) account_faults(r, line, mode, now);
 
   L2Result out;
   out.hit = r.hit;
@@ -75,6 +128,7 @@ L2Result SharedL2::access(Addr line, AccessType type, Mode mode, Cycle now) {
     } else {
       acct_.add_read(tech_);
       out.latency = stall + tech_.read_latency;
+      if (r.ecc_corrected) out.latency += fault_->ecc().correction_latency();
     }
     return out;
   }
@@ -121,8 +175,11 @@ L2Result SharedL2::access(Addr line, AccessType type, Mode mode, Cycle now) {
 
 void SharedL2::writeback(Addr line, Mode owner, Cycle now) {
   // An L1 castout is an array write; it allocates on (rare) miss.
+  if (fault_ != nullptr) service_faults(now);
   maybe_refresh(now);
-  const AccessResult r = cache_.access(line, AccessType::Write, owner, now);
+  const AccessResult r =
+      cache_.access(line, AccessType::Write, owner, now, active_mask());
+  if (fault_ != nullptr) account_faults(r, line, owner, now);
   acct_.add_write(tech_);
   count_array_write();
   if (!r.hit) {
@@ -133,10 +190,10 @@ void SharedL2::writeback(Addr line, Mode owner, Cycle now) {
 }
 
 void SharedL2::prefetch(Addr line, Mode mode, Cycle now) {
+  if (fault_ != nullptr) service_faults(now);
   maybe_refresh(now);
-  const AccessResult r =
-      cache_.access(line, AccessType::Read, mode, now,
-                    full_way_mask(cache_.assoc()), /*prefetch=*/true);
+  const AccessResult r = cache_.access(line, AccessType::Read, mode, now,
+                                       active_mask(), /*prefetch=*/true);
   acct_.add_read(tech_);  // tag probe
   if (r.filled) {
     acct_.add_dram(1);
@@ -150,11 +207,13 @@ void SharedL2::prefetch(Addr line, Mode mode, Cycle now) {
 void SharedL2::finalize(Cycle end) {
   if (finalized_) return;
   finalized_ = true;
+  if (fault_ != nullptr) service_faults(end);
   maybe_refresh(end);
   // Dirty blocks still resident flush to DRAM at program end so schemes with
   // different residual dirty state compare fairly.
   acct_.add_dram(cache_.dirty_occupancy(full_way_mask(cache_.assoc()), end));
-  acct_.add_leakage(tech_, end);
+  settle_leakage(end);
+  final_cycle_ = end;
 }
 
 std::string SharedL2::describe() const {

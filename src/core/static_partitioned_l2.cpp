@@ -16,6 +16,7 @@ SharedL2Config to_shared_config(const SegmentSpec& s, const char* name) {
   c.refresh_check_interval = s.refresh_check_interval;
   c.bypass = s.bypass;
   c.wear_rotate_writes = s.wear_rotate_writes;
+  c.fault = s.fault;
   return c;
 }
 
@@ -69,6 +70,13 @@ CacheStats StaticPartitionedL2::aggregate_stats() const {
     out.refreshes += c.refreshes;
     out.prefetch_fills += c.prefetch_fills;
     out.useful_prefetches += c.useful_prefetches;
+    out.write_faults += c.write_faults;
+    out.transient_upsets += c.transient_upsets;
+    out.ecc_corrections += c.ecc_corrections;
+    out.fault_losses += c.fault_losses;
+    out.fault_lost_dirty += c.fault_lost_dirty;
+    out.scrub_repairs += c.scrub_repairs;
+    out.silent_faults += c.silent_faults;
   }
   return out;
 }
@@ -93,6 +101,18 @@ void StaticPartitionedL2::add_eviction_observer(
     std::function<void(const EvictionEvent&)> obs) {
   segments_[0]->add_eviction_observer(obs);
   segments_[1]->add_eviction_observer(std::move(obs));
+}
+
+void StaticPartitionedL2::attach_telemetry(Telemetry* t) {
+  L2Interface::attach_telemetry(t);
+  // Segments emit their own fault/refresh/quarantine events (tagged by
+  // array name), so the session must reach them too.
+  segments_[0]->attach_telemetry(t);
+  segments_[1]->attach_telemetry(t);
+}
+
+double StaticPartitionedL2::avg_enabled_bytes() const {
+  return segments_[0]->avg_enabled_bytes() + segments_[1]->avg_enabled_bytes();
 }
 
 SegmentSpec sram_segment(std::uint64_t size_bytes, std::uint32_t assoc) {

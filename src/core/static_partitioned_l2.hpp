@@ -25,6 +25,7 @@ struct SegmentSpec {
   Cycle refresh_check_interval = 2'000'000;
   BypassPredictorConfig bypass;  ///< stream write-bypass (E18)
   std::uint64_t wear_rotate_writes = 0;  ///< set-rotation wear leveling (E20)
+  FaultConfig fault;  ///< per-segment fault injection (disabled by default)
 };
 
 struct StaticPartitionConfig {
@@ -48,6 +49,12 @@ class StaticPartitionedL2 final : public L2Interface {
       std::function<void(const EvictionEvent&)> obs) override;
   void add_eviction_observer(
       std::function<void(const EvictionEvent&)> obs) override;
+  void attach_telemetry(Telemetry* t) override;
+  double avg_enabled_bytes() const override;
+  std::uint32_t quarantined_ways() const override {
+    return segments_[0]->quarantined_ways() +
+           segments_[1]->quarantined_ways();
+  }
 
   /// Per-segment introspection for the evaluation (E2, E5, E6).
   const SharedL2& segment(Mode m) const {

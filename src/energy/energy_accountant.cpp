@@ -9,6 +9,7 @@ EnergyBreakdown operator-(const EnergyBreakdown& a, const EnergyBreakdown& b) {
   d.write_nj = a.write_nj - b.write_nj;
   d.refresh_nj = a.refresh_nj - b.refresh_nj;
   d.dram_nj = a.dram_nj - b.dram_nj;
+  d.ecc_nj = a.ecc_nj - b.ecc_nj;
   return d;
 }
 

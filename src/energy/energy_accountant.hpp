@@ -19,14 +19,15 @@ struct EnergyBreakdown {
   double write_nj = 0.0;     ///< array writes (fills, store hits)
   double refresh_nj = 0.0;   ///< STT-RAM scrub rewrites + expiry writebacks
   double dram_nj = 0.0;      ///< off-chip traffic caused by this design
+  double ecc_nj = 0.0;       ///< ECC correction work (zero when fault-free)
 
   double total_nj() const {
-    return leakage_nj + read_nj + write_nj + refresh_nj + dram_nj;
+    return leakage_nj + read_nj + write_nj + refresh_nj + dram_nj + ecc_nj;
   }
   /// On-chip cache energy only (the quantity the paper's "cache energy
   /// consumption" results normalize).
   double cache_nj() const {
-    return leakage_nj + read_nj + write_nj + refresh_nj;
+    return leakage_nj + read_nj + write_nj + refresh_nj + ecc_nj;
   }
 
   EnergyBreakdown& operator+=(const EnergyBreakdown& o) {
@@ -35,6 +36,7 @@ struct EnergyBreakdown {
     write_nj += o.write_nj;
     refresh_nj += o.refresh_nj;
     dram_nj += o.dram_nj;
+    ecc_nj += o.ecc_nj;
     return *this;
   }
 };
@@ -59,6 +61,8 @@ class EnergyAccountant {
   void add_leakage(const TechParams& t, Cycle cycles, double enabled = 1.0) {
     e_.leakage_nj += t.leakage_nj(cycles, enabled);
   }
+  /// One ECC correction pass (fault subsystem; see EccModel).
+  void add_ecc(double nj) { e_.ecc_nj += nj; }
 
   const EnergyBreakdown& breakdown() const { return e_; }
   void reset() { e_ = EnergyBreakdown{}; }

@@ -1,5 +1,6 @@
 #include "energy/refresh.hpp"
 
+#include <tuple>
 #include <vector>
 
 namespace mobcache {
@@ -8,7 +9,9 @@ RefreshTickResult RefreshController::tick(SetAssocCache& cache, Cycle now,
                                           const TechParams& tech,
                                           EnergyAccountant& acct) {
   RefreshTickResult r;
+  if (ticked_ && now == last_tick_) return r;  // same-cycle re-entry
   last_tick_ = now;
+  ticked_ = true;
   if (cache.retention_period() == 0) return r;  // nothing decays
 
   if (policy_ != RefreshPolicy::InvalidateOnExpiry) {
@@ -19,22 +22,34 @@ RefreshTickResult RefreshController::tick(SetAssocCache& cache, Cycle now,
     // scrubber kept them alive; charge one refresh per elapsed period).
     const Cycle horizon = now + interval_;
     const Cycle period = cache.retention_period();
-    std::vector<std::pair<std::uint32_t, std::uint32_t>> to_refresh;
-    std::uint64_t refresh_writes = 0;
+    std::vector<std::tuple<std::uint32_t, std::uint32_t, std::uint64_t>>
+        to_refresh;
     const bool dirty_only = policy_ == RefreshPolicy::ScrubDirty;
     cache.for_each_valid_block([&](std::uint32_t set, std::uint32_t way,
                                    const BlockMeta& b) {
       if (b.retention_deadline == 0) return;
       if (dirty_only && !b.dirty) return;
       if (b.retention_deadline > horizon) return;
-      to_refresh.emplace_back(set, way);
-      refresh_writes += b.retention_deadline <= now
-                            ? 1 + (now - b.retention_deadline) / period
-                            : 1;
+      to_refresh.emplace_back(set, way,
+                              b.retention_deadline <= now
+                                  ? 1 + (now - b.retention_deadline) / period
+                                  : 1);
     });
-    for (auto [set, way] : to_refresh) cache.refresh_block(set, way, now);
+    const CacheStats before = cache.stats();
+    std::uint64_t refresh_writes = 0;
+    for (auto [set, way, writes] : to_refresh) {
+      // A scrub is also a repair pass: refresh_block runs the corrector
+      // first, and only blocks that survive it are rewritten (and charged).
+      if (cache.refresh_block(set, way, now)) refresh_writes += writes;
+    }
+    const CacheStats& after = cache.stats();
     r.refreshed = refresh_writes;
+    r.repaired = after.scrub_repairs - before.scrub_repairs;
+    r.fault_lost = after.fault_losses - before.fault_losses;
+    r.fault_lost_dirty = after.fault_lost_dirty - before.fault_lost_dirty;
     acct.add_refresh(tech, refresh_writes);
+    // Dirty blocks dropped by the corrector are NOT written back — their
+    // data is the thing that was lost — so no DRAM energy is charged.
   }
 
   // Invalidate anything already past its deadline (under ScrubDirty these

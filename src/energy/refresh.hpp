@@ -42,6 +42,12 @@ struct RefreshTickResult {
   std::uint64_t refreshed = 0;
   std::uint64_t expired_clean = 0;
   std::uint64_t expired_dirty = 0;
+  // Fault-subsystem outcomes (zero without fault hooks): scrubs double as a
+  // repair pass — correctable fault bits are healed by the rewrite, while
+  // detected-uncorrectable blocks are dropped instead of refreshed.
+  std::uint64_t repaired = 0;
+  std::uint64_t fault_lost = 0;
+  std::uint64_t fault_lost_dirty = 0;
 };
 
 /// Periodic maintenance engine for one finite-retention cache array.
@@ -70,6 +76,10 @@ class RefreshController {
   RefreshPolicy policy_;
   Cycle interval_;
   Cycle last_tick_ = 0;
+  /// Guards against two passes in the same cycle (e.g. an epoch boundary
+  /// followed by finalize at the same timestamp): the second pass would
+  /// re-scrub just-refreshed blocks and double-charge their energy.
+  bool ticked_ = false;
 };
 
 }  // namespace mobcache

@@ -21,6 +21,13 @@ void write_cache_stats(JsonWriter& w, const CacheStats& s) {
   w.key("refreshes").value(s.refreshes);
   w.key("prefetch_fills").value(s.prefetch_fills);
   w.key("useful_prefetches").value(s.useful_prefetches);
+  w.key("write_faults").value(s.write_faults);
+  w.key("transient_upsets").value(s.transient_upsets);
+  w.key("ecc_corrections").value(s.ecc_corrections);
+  w.key("fault_losses").value(s.fault_losses);
+  w.key("fault_lost_dirty").value(s.fault_lost_dirty);
+  w.key("scrub_repairs").value(s.scrub_repairs);
+  w.key("silent_faults").value(s.silent_faults);
   w.end_object();
 }
 
@@ -37,6 +44,8 @@ void write_sim_result(JsonWriter& w, const SimResult& r) {
   w.key("stall_l2_miss_cycles").value(r.stall_l2_miss_cycles);
   w.key("l2_capacity_bytes").value(r.l2_capacity_bytes);
   w.key("l2_avg_enabled_bytes").value(r.l2_avg_enabled_bytes);
+  w.key("l2_quarantined_ways")
+      .value(static_cast<std::uint64_t>(r.l2_quarantined_ways));
   w.key("edp").value(r.edp());
   w.key("energy_nj");
   w.begin_object();
@@ -44,6 +53,7 @@ void write_sim_result(JsonWriter& w, const SimResult& r) {
   w.key("read").value(r.l2_energy.read_nj);
   w.key("write").value(r.l2_energy.write_nj);
   w.key("refresh").value(r.l2_energy.refresh_nj);
+  w.key("ecc").value(r.l2_energy.ecc_nj);
   w.key("dram").value(r.l2_energy.dram_nj);
   w.key("cache_total").value(r.l2_energy.cache_nj());
   w.key("l1").value(r.l1_energy_nj);

@@ -17,6 +17,9 @@ ExperimentRunner::ExperimentRunner(std::vector<AppId> apps,
     : apps_(std::move(apps)),
       traces_(generate_suite(apps_, accesses, seed)) {}
 
+ExperimentRunner::ExperimentRunner(std::vector<Trace> traces)
+    : traces_(std::move(traces)) {}
+
 SchemeSuiteResult ExperimentRunner::run_scheme(SchemeKind kind,
                                                const SchemeParams& params) {
   SchemeSuiteResult r = run_custom(
@@ -78,6 +81,54 @@ void ExperimentRunner::normalize(std::vector<SchemeSuiteResult>& results) {
     r.norm_total_energy = geomean(e_total);
     r.norm_exec_time = geomean(t_exec);
   }
+}
+
+std::vector<FaultSweepPoint> run_fault_sweep(ExperimentRunner& runner,
+                                             SchemeKind kind,
+                                             const std::vector<double>& rates,
+                                             const SchemeParams& tmpl) {
+  // Rate-0 reference over the same traces: the sweep reports degradation
+  // caused by faults, not by the scheme itself.
+  SchemeParams clean = tmpl;
+  clean.fault = FaultConfig{};
+  const SchemeSuiteResult base = runner.run_scheme(kind, clean);
+
+  std::vector<FaultSweepPoint> out;
+  out.reserve(rates.size());
+  for (double rate : rates) {
+    SchemeParams p = tmpl;
+    p.fault = FaultConfig::from_rate(rate, tmpl.fault.ecc,
+                                     tmpl.fault.way_disable_threshold,
+                                     tmpl.fault.seed);
+    const SchemeSuiteResult r = runner.run_scheme(kind, p);
+
+    FaultSweepPoint pt;
+    pt.rate = rate;
+    std::vector<double> e_ratios, t_ratios;
+    double miss_sum = 0.0;
+    for (std::size_t w = 0; w < r.per_workload.size(); ++w) {
+      const SimResult& s = r.per_workload[w];
+      const SimResult& b = base.per_workload[w];
+      if (b.l2_energy.cache_nj() > 0)
+        e_ratios.push_back(s.l2_energy.cache_nj() / b.l2_energy.cache_nj());
+      if (b.cycles > 0) {
+        t_ratios.push_back(static_cast<double>(s.cycles) /
+                           static_cast<double>(b.cycles));
+      }
+      miss_sum += s.l2_miss_rate();
+      pt.ecc_corrections += s.l2.ecc_corrections;
+      pt.fault_losses += s.l2.fault_losses;
+      pt.dirty_losses += s.l2.fault_lost_dirty;
+      pt.scrub_repairs += s.l2.scrub_repairs;
+      pt.quarantined_ways += s.l2_quarantined_ways;
+    }
+    pt.norm_cache_energy = geomean(e_ratios);
+    pt.norm_exec_time = geomean(t_ratios);
+    if (!r.per_workload.empty())
+      pt.avg_miss_rate = miss_sum / static_cast<double>(r.per_workload.size());
+    out.push_back(pt);
+  }
+  return out;
 }
 
 namespace {

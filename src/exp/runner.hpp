@@ -45,6 +45,10 @@ class ExperimentRunner {
   ExperimentRunner(std::vector<AppId> apps, std::uint64_t accesses,
                    std::uint64_t seed = 1);
 
+  /// Uses pre-generated traces (e.g. loaded from disk) instead of
+  /// synthesizing a suite.
+  explicit ExperimentRunner(std::vector<Trace> traces);
+
   /// Runs one scheme (fresh L2 per workload via the factory).
   SchemeSuiteResult run_scheme(SchemeKind kind, const SchemeParams& params = {});
 
@@ -77,6 +81,32 @@ class ExperimentRunner {
   std::vector<AppId> apps_;
   std::vector<Trace> traces_;
 };
+
+/// One point of the error-rate × energy/CPI resilience sweep (bench E21):
+/// a scheme rerun with fault injection at `rate`, normalized against the
+/// same scheme at rate 0 over the same traces. Absolute counters are summed
+/// across the suite's workloads.
+struct FaultSweepPoint {
+  double rate = 0.0;
+  double norm_cache_energy = 1.0;  ///< geomean vs the rate-0 run
+  double norm_exec_time = 1.0;
+  double avg_miss_rate = 0.0;
+  std::uint64_t ecc_corrections = 0;
+  std::uint64_t fault_losses = 0;     ///< uncorrectable detected losses
+  std::uint64_t dirty_losses = 0;     ///< losses that dropped dirty data
+  std::uint64_t scrub_repairs = 0;    ///< decayed blocks healed by scrub
+  std::uint64_t quarantined_ways = 0; ///< summed over workload runs
+};
+
+/// Runs `kind` across `rates` (plus a rate-0 reference) over this runner's
+/// traces. `tmpl.fault` supplies the non-rate fault knobs (ECC kind,
+/// quarantine threshold, seed); each point swaps in
+/// FaultConfig::from_rate(rate, ...) derived from it. rates containing 0.0
+/// produce an exactly-1.0 normalized point — the bit-identity anchor.
+std::vector<FaultSweepPoint> run_fault_sweep(ExperimentRunner& runner,
+                                             SchemeKind kind,
+                                             const std::vector<double>& rates,
+                                             const SchemeParams& tmpl = {});
 
 /// Mean and sample standard deviation of a normalized metric across seeds.
 struct SeedStat {

@@ -1,0 +1,93 @@
+#include "fault/fault_injector.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "energy/technology.hpp"
+
+namespace mobcache {
+
+FaultInjector::FaultInjector(const FaultConfig& cfg, SetAssocCache& array)
+    : cfg_(cfg),
+      ecc_(cfg.ecc),
+      array_(array),
+      repair_(array.assoc(), cfg.way_disable_threshold),
+      rng_(cfg.seed) {
+  // Δ = E_b/(k_B·T): hotter silicon both shortens the mean retention (the
+  // array already models that via retention_cycles_of) and widens the
+  // spread, since the same process variation in E_b moves Δ further.
+  const double t_ratio = technology().temperature_k / kNominalTempK;
+  sigma_eff_ = cfg_.retention_sigma * t_ratio * t_ratio;
+  array_.set_fault_hooks(this);
+}
+
+Cycle FaultInjector::effective_retention(Addr /*line*/, Cycle nominal) {
+  if (sigma_eff_ <= 0.0) return nominal;
+  // Lognormal factor, median 1: retention time is exponential in Δ, so a
+  // normal spread in Δ is a lognormal spread in t_ret. Box-Muller; the
+  // second variate is discarded to keep the draw count per write fixed.
+  const double u1 = 1.0 - rng_.uniform();  // (0, 1]
+  const double u2 = rng_.uniform();
+  const double z =
+      std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * std::numbers::pi * u2);
+  const double factor =
+      std::clamp(std::exp(sigma_eff_ * z), 0.02, 4.0);
+  const auto cycles =
+      static_cast<Cycle>(static_cast<double>(nominal) * factor);
+  return std::max<Cycle>(cycles, 1);
+}
+
+std::uint32_t FaultInjector::write_upsets(Addr /*line*/, std::uint32_t /*set*/,
+                                          std::uint32_t way) {
+  if (cfg_.write_fault_prob <= 0.0 || !rng_.chance(cfg_.write_fault_prob)) {
+    return 0;
+  }
+  // Mostly single-bit failures; multi-bit tails decay geometrically.
+  const auto bits =
+      static_cast<std::uint32_t>(std::min<std::uint64_t>(rng_.geometric(0.75), 8));
+  // Write failures are the durable evidence of a weak way (transients are
+  // not location-correlated), so only they feed the repair policy.
+  repair_.record_fault(way);
+  return bits;
+}
+
+FaultReadOutcome FaultInjector::read_check(Addr /*line*/,
+                                           std::uint32_t fault_bits) {
+  return ecc_.evaluate(fault_bits);
+}
+
+std::uint32_t FaultInjector::sample_poisson(double lambda) {
+  // Knuth's product-of-uniforms method; lambda here is O(1) per window even
+  // at extreme --fault-rate settings, so no normal approximation is needed.
+  const double limit = std::exp(-lambda);
+  std::uint32_t k = 0;
+  double p = 1.0;
+  do {
+    ++k;
+    p *= rng_.uniform();
+  } while (p > limit && k < 4096);
+  return k - 1;
+}
+
+void FaultInjector::place_upset() {
+  const auto set = static_cast<std::uint32_t>(rng_.below(array_.num_sets()));
+  const auto way = static_cast<std::uint32_t>(rng_.below(array_.assoc()));
+  const auto bits =
+      static_cast<std::uint32_t>(std::min<std::uint64_t>(rng_.geometric(0.75), 8));
+  // Strikes on empty locations are harmless; corrupt_block reports whether a
+  // live block absorbed the upset.
+  array_.corrupt_block(set, way, bits);
+}
+
+void FaultInjector::tick(Cycle now) {
+  if (cfg_.transient_per_mcycle <= 0.0) return;
+  const double lambda =
+      cfg_.transient_per_mcycle * static_cast<double>(kCheckInterval) / 1e6;
+  while (now >= next_check_) {
+    for (std::uint32_t n = sample_poisson(lambda); n > 0; --n) place_upset();
+    next_check_ += kCheckInterval;
+  }
+}
+
+}  // namespace mobcache

@@ -1,0 +1,60 @@
+#pragma once
+/// \file fault_injector.hpp
+/// Deterministic seeded fault source for one cache array.
+///
+/// One FaultInjector is attached to one SetAssocCache (it installs itself as
+/// the array's ArrayFaultHooks) and owns all reliability randomness for that
+/// array: per-block retention variation, per-write bit errors, and Poisson
+/// transient upsets. All draws come from one xoshiro256** stream seeded from
+/// FaultConfig::seed, so a (trace, config, seed) triple replays exactly —
+/// including the fault-event stream.
+
+#include <cstdint>
+
+#include "cache/set_assoc_cache.hpp"
+#include "common/rng.hpp"
+#include "fault/fault_model.hpp"
+#include "fault/repair_controller.hpp"
+
+namespace mobcache {
+
+class FaultInjector final : public ArrayFaultHooks {
+ public:
+  /// Installs itself as `array`'s fault hooks. The injector must outlive the
+  /// array's use (the owning L2 wrapper holds both).
+  FaultInjector(const FaultConfig& cfg, SetAssocCache& array);
+
+  // ArrayFaultHooks --------------------------------------------------------
+  Cycle effective_retention(Addr line, Cycle nominal) override;
+  std::uint32_t write_upsets(Addr line, std::uint32_t set,
+                             std::uint32_t way) override;
+  FaultReadOutcome read_check(Addr line, std::uint32_t fault_bits) override;
+
+  /// Advances transient-upset time to `now`: upsets arrive as a Poisson
+  /// process over the whole array, sampled in coarse windows so the RNG cost
+  /// stays negligible. Call from the owning wrapper before each access.
+  void tick(Cycle now);
+
+  const FaultConfig& config() const { return cfg_; }
+  const EccModel& ecc() const { return ecc_; }
+  RepairController& repair() { return repair_; }
+  const RepairController& repair() const { return repair_; }
+
+ private:
+  /// Poisson window for transient sampling. Coarse is fine: upsets are rare
+  /// and nothing observes their sub-window placement.
+  static constexpr Cycle kCheckInterval = 100'000;
+
+  std::uint32_t sample_poisson(double lambda);
+  void place_upset();
+
+  FaultConfig cfg_;
+  EccModel ecc_;
+  SetAssocCache& array_;
+  RepairController repair_;
+  Rng rng_;
+  double sigma_eff_ = 0.0;  ///< retention sigma scaled to the active T
+  Cycle next_check_ = kCheckInterval;
+};
+
+}  // namespace mobcache

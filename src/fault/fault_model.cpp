@@ -1,0 +1,79 @@
+#include "fault/fault_model.hpp"
+
+namespace mobcache {
+
+std::optional<EccKind> parse_ecc_kind(std::string_view s) {
+  if (s == "none") return EccKind::None;
+  if (s == "parity") return EccKind::Parity;
+  if (s == "secded") return EccKind::Secded;
+  if (s == "dected") return EccKind::Dected;
+  return std::nullopt;
+}
+
+FaultReadOutcome EccModel::evaluate(std::uint32_t fault_bits) const {
+  switch (kind_) {
+    case EccKind::None:
+      // No check bits at all: corruption is always consumed silently.
+      return FaultReadOutcome::Silent;
+    case EccKind::Parity:
+      // Parity detects any odd number of bad bits but corrects nothing;
+      // even counts cancel and slip through.
+      return (fault_bits & 1u) != 0 ? FaultReadOutcome::Lost
+                                    : FaultReadOutcome::Silent;
+    case EccKind::Secded:
+      if (fault_bits == 1) return FaultReadOutcome::Corrected;
+      if (fault_bits == 2) return FaultReadOutcome::Lost;
+      // >= 3 bad bits alias into a valid-looking syndrome (miscorrection).
+      return FaultReadOutcome::Silent;
+    case EccKind::Dected:
+      if (fault_bits <= 2) return FaultReadOutcome::Corrected;
+      if (fault_bits == 3) return FaultReadOutcome::Lost;
+      return FaultReadOutcome::Silent;
+  }
+  return FaultReadOutcome::Silent;
+}
+
+Cycle EccModel::correction_latency() const {
+  switch (kind_) {
+    case EccKind::None:
+    case EccKind::Parity:
+      return 0;  // nothing is ever corrected
+    case EccKind::Secded:
+      return 3;  // syndrome decode + bit flip in the read pipeline
+    case EccKind::Dected:
+      return 7;  // BCH-class iterative decode
+  }
+  return 0;
+}
+
+double EccModel::correction_energy_nj() const {
+  switch (kind_) {
+    case EccKind::None:
+    case EccKind::Parity:
+      return 0.0;
+    case EccKind::Secded:
+      return 0.02;  // XOR tree + flip, small vs a 0.28 nJ array read
+    case EccKind::Dected:
+      return 0.06;
+  }
+  return 0.0;
+}
+
+FaultConfig FaultConfig::from_rate(double rate, EccKind ecc,
+                                   std::uint32_t way_disable_threshold,
+                                   std::uint64_t seed) {
+  FaultConfig c;
+  if (rate > 0.0) {
+    c.write_fault_prob = rate;
+    // Transient upsets are orders of magnitude rarer than write faults in
+    // relaxed-retention parts, but scale with the same cell margins.
+    c.transient_per_mcycle = rate * 50.0;
+    c.retention_sigma = 0.25;
+  }
+  c.ecc = ecc;
+  c.way_disable_threshold = way_disable_threshold;
+  c.seed = seed;
+  return c;
+}
+
+}  // namespace mobcache

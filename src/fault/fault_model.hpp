@@ -1,0 +1,101 @@
+#pragma once
+/// \file fault_model.hpp
+/// Reliability model for short-retention STT-RAM caches: fault sources,
+/// ECC schemes, and the knobs that tie them together.
+///
+/// The paper's headline saving leans on *relaxed-retention* STT-RAM, which
+/// deliberately shrinks the thermal stability factor Δ — exactly the regime
+/// where three fault mechanisms stop being corner cases:
+///   1. Retention decay: a cell's actual retention time is lognormally
+///      distributed around the class nominal; the left tail expires early.
+///   2. Write failures: the stochastic switching of the MTJ means a write
+///      pulse occasionally leaves bits unswitched.
+///   3. Transient upsets: particle strikes / read disturb flip resting
+///      cells at a small constant rate per bit·second.
+/// An ECC scheme per segment turns raw bit faults into one of three
+/// outcomes per read: corrected (latency+energy), detected-lost (the block
+/// is dropped; dirty data is unrecoverable), or silent corruption.
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+#include "cache/set_assoc_cache.hpp"  // FaultReadOutcome
+#include "common/types.hpp"
+
+namespace mobcache {
+
+/// Per-line error protection scheme of a cache segment.
+enum class EccKind : std::uint8_t {
+  None,    ///< no protection: every fault is silent corruption
+  Parity,  ///< detects odd bit counts; corrects nothing
+  Secded,  ///< single-error-correct, double-error-detect (Hamming+parity)
+  Dected,  ///< double-error-correct, triple-error-detect (BCH-class)
+};
+
+constexpr std::string_view to_string(EccKind k) {
+  switch (k) {
+    case EccKind::None: return "none";
+    case EccKind::Parity: return "parity";
+    case EccKind::Secded: return "secded";
+    case EccKind::Dected: return "dected";
+  }
+  return "?";
+}
+
+/// Parses the CLI spelling ("none" | "parity" | "secded" | "dected").
+std::optional<EccKind> parse_ecc_kind(std::string_view s);
+
+/// Decode behavior + correction costs of one ECC scheme. The per-line
+/// checker runs on every read for free (it is part of the sense path); only
+/// an actual correction costs extra latency and energy.
+class EccModel {
+ public:
+  explicit EccModel(EccKind kind) : kind_(kind) {}
+
+  EccKind kind() const { return kind_; }
+
+  /// Verdict for a line carrying `fault_bits` bad bits (>= 1).
+  FaultReadOutcome evaluate(std::uint32_t fault_bits) const;
+
+  /// Extra cycles a corrected read spends in the corrector.
+  Cycle correction_latency() const;
+  /// Energy of one correction (nJ), charged via EnergyAccountant::add_ecc.
+  double correction_energy_nj() const;
+
+ private:
+  EccKind kind_;
+};
+
+/// All fault-injection knobs of one cache segment. Default-constructed (or
+/// FaultConfig::from_rate(0.0)) means *disabled*: no injector is built and
+/// the simulation is bit-identical to a fault-free binary.
+struct FaultConfig {
+  /// Probability that one array write leaves faulty bits in the line.
+  double write_fault_prob = 0.0;
+  /// Expected transient upsets per million cycles over the whole array.
+  double transient_per_mcycle = 0.0;
+  /// Sigma (ln-space) of the lognormal per-block retention factor at the
+  /// nominal 318 K; scaled by (T/318)^2 at hotter junction temperatures.
+  double retention_sigma = 0.0;
+  EccKind ecc = EccKind::Secded;
+  /// Faults recorded against one way before the RepairController
+  /// quarantines it (0 = never quarantine).
+  std::uint32_t way_disable_threshold = 0;
+  std::uint64_t seed = 1;
+
+  bool enabled() const {
+    return write_fault_prob > 0.0 || transient_per_mcycle > 0.0 ||
+           retention_sigma > 0.0;
+  }
+
+  /// Maps one headline error-rate knob (the CLI's --fault-rate) onto the
+  /// three mechanisms: `rate` is the per-write fault probability; transient
+  /// and retention-variation intensities scale along with it. rate = 0
+  /// returns a disabled config.
+  static FaultConfig from_rate(double rate, EccKind ecc = EccKind::Secded,
+                               std::uint32_t way_disable_threshold = 0,
+                               std::uint64_t seed = 1);
+};
+
+}  // namespace mobcache

@@ -1,0 +1,43 @@
+#include "fault/repair_controller.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace mobcache {
+
+RepairController::RepairController(std::uint32_t assoc,
+                                   std::uint32_t threshold)
+    : faults_(assoc, 0),
+      healthy_(full_way_mask(assoc)),
+      threshold_(threshold) {}
+
+std::uint32_t RepairController::healthy_ways() const {
+  return static_cast<std::uint32_t>(std::popcount(healthy_));
+}
+
+bool RepairController::record_fault(std::uint32_t way) {
+  if (way >= faults_.size()) return false;
+  ++faults_[way];
+  if (threshold_ == 0 || faults_[way] != threshold_) return false;
+  // Already quarantined or queued ways don't re-trigger.
+  if ((healthy_ & way_bit(way)) == 0) return false;
+  if (std::find(pending_.begin(), pending_.end(), way) != pending_.end()) {
+    return false;
+  }
+  // Keep at least one way in service, counting ones already queued.
+  if (healthy_ways() <= 1 + static_cast<std::uint32_t>(pending_.size())) {
+    return false;
+  }
+  pending_.push_back(way);
+  return true;
+}
+
+std::uint32_t RepairController::take_pending() {
+  const std::uint32_t way = pending_.front();
+  pending_.erase(pending_.begin());
+  healthy_ &= ~way_bit(way);
+  ++quarantined_;
+  return way;
+}
+
+}  // namespace mobcache

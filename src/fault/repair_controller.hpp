@@ -1,0 +1,54 @@
+#pragma once
+/// \file repair_controller.hpp
+/// Way-disable repair policy: tracks per-way fault evidence and quarantines
+/// ways that keep producing faulty writes.
+///
+/// Real STT-RAM arrays ship with spare columns and way-disable fuses; at
+/// runtime the equivalent knob is dropping a weak way from the allocation
+/// masks. The controller only *decides*; the owning L2 wrapper performs the
+/// actual drain (invalidate + write back dirty blocks) at a safe point and
+/// emits the WayQuarantineEvent, because only it can account the energy.
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/cache_config.hpp"
+#include "common/types.hpp"
+
+namespace mobcache {
+
+class RepairController {
+ public:
+  /// `threshold` faults on one way trigger quarantine; 0 disables repair.
+  RepairController(std::uint32_t assoc, std::uint32_t threshold);
+
+  /// Records one fault observed on `way`. Returns true when this crossed the
+  /// threshold and the way is now pending quarantine. The last remaining
+  /// healthy way is never quarantined — a cache that degraded to one way is
+  /// still a cache.
+  bool record_fault(std::uint32_t way);
+
+  bool has_pending() const { return !pending_.empty(); }
+
+  /// Pops one pending way and marks it quarantined (removed from the healthy
+  /// mask). Call only when has_pending().
+  std::uint32_t take_pending();
+
+  /// Ways still trusted with data. Starts as full_way_mask(assoc).
+  WayMask healthy_mask() const { return healthy_; }
+  std::uint32_t healthy_ways() const;
+  std::uint32_t quarantined_ways() const { return quarantined_; }
+
+  std::uint32_t fault_count(std::uint32_t way) const {
+    return faults_[way];
+  }
+
+ private:
+  std::vector<std::uint32_t> faults_;
+  std::vector<std::uint32_t> pending_;
+  WayMask healthy_;
+  std::uint32_t threshold_;
+  std::uint32_t quarantined_ = 0;
+};
+
+}  // namespace mobcache

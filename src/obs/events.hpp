@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "cache/set_assoc_cache.hpp"  // EvictionEvent
@@ -42,6 +43,28 @@ struct RefreshBurstEvent {
   std::uint64_t refreshed = 0;       ///< blocks rewritten in place
   std::uint64_t expired_clean = 0;
   std::uint64_t expired_dirty = 0;   ///< expiries that cost a DRAM writeback
+  std::uint64_t repaired = 0;        ///< faulty blocks healed by the scrub
+  std::uint64_t fault_lost = 0;      ///< uncorrectable blocks the scrub found
+};
+
+/// A detected fault consumed on the read path (fault subsystem; silent
+/// corruptions are by definition not observable, so they never appear here).
+struct FaultEvent {
+  Cycle cycle = 0;
+  Addr line = 0;
+  Mode mode = Mode::User;                ///< requester that hit the fault
+  FaultReadOutcome outcome = FaultReadOutcome::Corrected;
+  bool dirty_lost = false;               ///< Lost block held dirty data
+};
+
+/// The RepairController took a weak way out of service.
+struct WayQuarantineEvent {
+  Cycle cycle = 0;
+  std::string segment;                   ///< cache array name
+  std::uint32_t way = 0;
+  std::uint32_t faults = 0;              ///< fault count that triggered it
+  std::uint32_t healthy_ways = 0;        ///< ways still in service after
+  std::uint64_t flush_writebacks = 0;    ///< dirty blocks drained to DRAM
 };
 
 /// Stream write-bypass verdict for a predicted-dead fill (E18).
@@ -81,6 +104,8 @@ class ObserverHub {
   using BypassFn = std::function<void(const BypassDecisionEvent&)>;
   using EvictionFn = std::function<void(const EvictionEvent&)>;
   using EpochFn = std::function<void(const EpochSample&)>;
+  using FaultFn = std::function<void(const FaultEvent&)>;
+  using QuarantineFn = std::function<void(const WayQuarantineEvent&)>;
 
   void on_partition_resize(PartitionResizeFn fn) {
     resize_.push_back(std::move(fn));
@@ -90,6 +115,10 @@ class ObserverHub {
   void on_bypass_decision(BypassFn fn) { bypass_.push_back(std::move(fn)); }
   void on_eviction(EvictionFn fn) { evict_.push_back(std::move(fn)); }
   void on_epoch_sample(EpochFn fn) { epoch_.push_back(std::move(fn)); }
+  void on_fault(FaultFn fn) { fault_.push_back(std::move(fn)); }
+  void on_way_quarantine(QuarantineFn fn) {
+    quarantine_.push_back(std::move(fn));
+  }
 
   void emit(const PartitionResizeEvent& e) const {
     for (const auto& fn : resize_) fn(e);
@@ -109,6 +138,12 @@ class ObserverHub {
   void emit(const EpochSample& e) const {
     for (const auto& fn : epoch_) fn(e);
   }
+  void emit(const FaultEvent& e) const {
+    for (const auto& fn : fault_) fn(e);
+  }
+  void emit(const WayQuarantineEvent& e) const {
+    for (const auto& fn : quarantine_) fn(e);
+  }
 
   bool wants_evictions() const { return !evict_.empty(); }
 
@@ -125,6 +160,8 @@ class ObserverHub {
   std::vector<BypassFn> bypass_;
   std::vector<EvictionFn> evict_;
   std::vector<EpochFn> epoch_;
+  std::vector<FaultFn> fault_;
+  std::vector<QuarantineFn> quarantine_;
 };
 
 }  // namespace mobcache

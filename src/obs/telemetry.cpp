@@ -22,6 +22,10 @@ void Telemetry::record(const RefreshBurstEvent& e) {
   metrics_.counter("l2.refresh.scrubbed").add(e.refreshed);
   metrics_.counter("l2.refresh.expired_clean").add(e.expired_clean);
   metrics_.counter("l2.refresh.expired_dirty").add(e.expired_dirty);
+  if (e.repaired != 0) metrics_.counter("l2.refresh.repaired").add(e.repaired);
+  if (e.fault_lost != 0) {
+    metrics_.counter("l2.refresh.fault_lost").add(e.fault_lost);
+  }
   hub_.emit(e);
 }
 
@@ -35,6 +39,23 @@ void Telemetry::record(const EvictionEvent& e) {
   metrics_.counter("l2.evictions").add();
   metrics_.histogram("l2.block.residency_cycles")
       .add(e.evict_cycle >= e.fill_cycle ? e.evict_cycle - e.fill_cycle : 0);
+  hub_.emit(e);
+}
+
+void Telemetry::record(const FaultEvent& e) {
+  if (e.outcome == FaultReadOutcome::Corrected) {
+    metrics_.counter("l2.fault.ecc_corrected").add();
+  } else if (e.outcome == FaultReadOutcome::Lost) {
+    metrics_.counter("l2.fault.lost").add();
+    if (e.dirty_lost) metrics_.counter("l2.fault.dirty_lost").add();
+  }
+  hub_.emit(e);
+}
+
+void Telemetry::record(const WayQuarantineEvent& e) {
+  metrics_.counter("l2.repair.quarantines").add();
+  metrics_.counter("l2.repair.flush_writebacks").add(e.flush_writebacks);
+  metrics_.gauge("l2.repair.healthy_ways").set(e.healthy_ways);
   hub_.emit(e);
 }
 

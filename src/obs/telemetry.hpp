@@ -57,6 +57,8 @@ class Telemetry {
   void record(const BypassDecisionEvent& e);
   void record(const EvictionEvent& e);
   void record(const EpochSample& s);
+  void record(const FaultEvent& e);
+  void record(const WayQuarantineEvent& e);
 
  private:
   MetricRegistry metrics_;

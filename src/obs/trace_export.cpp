@@ -73,7 +73,25 @@ void TraceSink::attach(Telemetry& t) {
     add(t, "refresh-burst", 'i', e.cycle,
         {num("refreshed", static_cast<double>(e.refreshed)),
          num("expired_clean", static_cast<double>(e.expired_clean)),
-         num("expired_dirty", static_cast<double>(e.expired_dirty))});
+         num("expired_dirty", static_cast<double>(e.expired_dirty)),
+         num("repaired", static_cast<double>(e.repaired)),
+         num("fault_lost", static_cast<double>(e.fault_lost))});
+  });
+  t.hub().on_fault([this, &t, num, str](const FaultEvent& e) {
+    add(t, "fault", 'i', e.cycle,
+        {str("line", hex_addr(e.line)),
+         str("mode", std::string(to_string(e.mode))),
+         str("outcome", e.outcome == FaultReadOutcome::Corrected
+                            ? "corrected"
+                            : (e.outcome == FaultReadOutcome::Lost ? "lost"
+                                                                   : "silent")),
+         num("dirty_lost", e.dirty_lost ? 1.0 : 0.0)});
+  });
+  t.hub().on_way_quarantine([this, &t, num, str](const WayQuarantineEvent& e) {
+    add(t, "way-quarantine", 'i', e.cycle,
+        {str("segment", e.segment), num("way", e.way),
+         num("faults", e.faults), num("healthy_ways", e.healthy_ways),
+         num("flush_writebacks", static_cast<double>(e.flush_writebacks))});
   });
   t.hub().on_bypass_decision(
       [this, &t, num, str](const BypassDecisionEvent& e) {

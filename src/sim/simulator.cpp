@@ -92,6 +92,7 @@ SimResult simulate(const Trace& trace, L2Interface& l2,
   res.l2_energy = hier.l2().energy();
   res.l1_energy_nj = hier.l1_energy_nj();
   res.l2_avg_enabled_bytes = hier.l2().avg_enabled_bytes();
+  res.l2_quarantined_ways = hier.l2().quarantined_ways();
   res.stall_l2_hit_cycles = hier.stall_l2_hit_cycles();
   res.stall_l2_miss_cycles = hier.stall_l2_miss_cycles();
   res.prefetches_issued = hier.prefetches_issued();

@@ -29,6 +29,8 @@ struct SimResult {
 
   std::uint64_t l2_capacity_bytes = 0;
   double l2_avg_enabled_bytes = 0.0;
+  /// Ways permanently disabled by fault repair (0 on fault-free runs).
+  std::uint32_t l2_quarantined_ways = 0;
 
   /// CPI stack: stall cycles split by where the data came from.
   Cycle stall_l2_hit_cycles = 0;

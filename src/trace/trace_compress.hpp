@@ -15,8 +15,12 @@
 #include <string>
 
 #include "trace/trace.hpp"
+#include "trace/trace_io.hpp"
 
 namespace mobcache {
+
+/// On-disk magic of the compressed format ("MOBCACZ1").
+inline constexpr std::uint64_t kTraceMagicZ = 0x315a4341'43424f4dull;
 
 /// Writes the compressed trace; returns false on I/O failure.
 bool write_trace_compressed(const Trace& trace, const std::string& path);
@@ -25,7 +29,15 @@ bool write_trace_compressed(const Trace& trace, const std::string& path);
 /// record whose mode contradicts its address half.
 std::optional<Trace> read_trace_compressed(const std::string& path);
 
+/// Typed-diagnostic variant of read_trace_compressed.
+TraceReadResult read_trace_compressed_detailed(const std::string& path);
+
 /// Convenience: picks the reader by file magic (.mct or .mctz).
 std::optional<Trace> read_trace_any(const std::string& path);
+
+/// Sniffs the magic and dispatches to the matching detailed reader, so an
+/// unreadable file reports *why* it is unreadable (a file whose magic
+/// matches neither format is BadMagic, not two stacked nullopts).
+TraceReadResult read_trace_any_detailed(const std::string& path);
 
 }  // namespace mobcache

@@ -108,6 +108,63 @@ TEST(Refresh, TickUpdatesCadence) {
   EXPECT_FALSE(ctl.due(150));
 }
 
+TEST(Refresh, ExactDeadlineBlockScrubbedOnceNotExpired) {
+  // A dirty block whose retention deadline lands exactly on the scrub tick
+  // must be refreshed once (one write charged) and must not ALSO be swept
+  // as expired in the same tick.
+  SetAssocCache cache = make_cache();
+  RefreshController ctl(RefreshPolicy::ScrubDirty, kPeriod);
+  TechParams tech = make_sttram(cfg().size_bytes, RetentionClass::Lo);
+  EnergyAccountant acct;
+
+  cache.access(0, AccessType::Write, Mode::User, 0);  // deadline = kPeriod
+  auto r = ctl.tick(cache, kPeriod, tech, acct);
+  EXPECT_EQ(r.refreshed, 1u);
+  EXPECT_EQ(r.expired_clean, 0u);
+  EXPECT_EQ(r.expired_dirty, 0u);
+  EXPECT_TRUE(cache.contains(0, kPeriod));
+  EXPECT_NEAR(acct.breakdown().refresh_nj, tech.write_energy_nj, 1e-12);
+  EXPECT_EQ(acct.breakdown().dram_nj, 0.0);
+}
+
+TEST(Refresh, SameCycleReentryDoesNoDoubleWork) {
+  // finalize() paths can tick the controller twice at the same cycle (the
+  // epoch boundary and the end-of-run settle); the second call must be a
+  // no-op, not a second refresh charge.
+  SetAssocCache cache = make_cache();
+  RefreshController ctl(RefreshPolicy::ScrubAll, kPeriod / 2);
+  TechParams tech = make_sttram(cfg().size_bytes, RetentionClass::Lo);
+  EnergyAccountant acct;
+
+  cache.access(0, AccessType::Write, Mode::User, 0);
+  auto first = ctl.tick(cache, 600, tech, acct);
+  EXPECT_EQ(first.refreshed, 1u);
+  const double nj_after_first = acct.breakdown().refresh_nj;
+
+  auto second = ctl.tick(cache, 600, tech, acct);
+  EXPECT_EQ(second.refreshed, 0u);
+  EXPECT_EQ(second.expired_clean + second.expired_dirty, 0u);
+  EXPECT_EQ(acct.breakdown().refresh_nj, nj_after_first);
+
+  // A later cycle ticks normally again.
+  auto third = ctl.tick(cache, 600 + kPeriod / 2, tech, acct);
+  EXPECT_EQ(third.refreshed, 1u);
+}
+
+TEST(Refresh, CleanBlockAtExactDeadlineExpiresExactlyOnce) {
+  SetAssocCache cache = make_cache();
+  RefreshController ctl(RefreshPolicy::ScrubDirty, kPeriod / 2);
+  TechParams tech = make_sttram(cfg().size_bytes, RetentionClass::Lo);
+  EnergyAccountant acct;
+
+  cache.access(0, AccessType::Read, Mode::User, 0);  // clean, deadline kPeriod
+  std::uint64_t expired = 0;
+  for (Cycle now = kPeriod; now <= 3 * kPeriod; now += kPeriod / 2)
+    expired += ctl.tick(cache, now, tech, acct).expired_clean;
+  EXPECT_EQ(expired, 1u);
+  EXPECT_FALSE(cache.contains(0, 3 * kPeriod));
+}
+
 TEST(Refresh, RefreshEnergyProportionalToScrubbedBlocks) {
   SetAssocCache cache = make_cache();
   RefreshController ctl(RefreshPolicy::ScrubAll, kPeriod / 2);

@@ -121,5 +121,40 @@ TEST_F(TraceCompressTest, MixedThreadsAndModesSurvive) {
   }
 }
 
+TEST_F(TraceCompressTest, AnyDetailedSniffsBothFormats) {
+  const Trace t = generate_app_trace(AppId::Browser, 5'000, 3);
+  ASSERT_TRUE(write_trace(t, path("s.mct")));
+  ASSERT_TRUE(write_trace_compressed(t, path("s.mctz")));
+  EXPECT_TRUE(read_trace_any_detailed(path("s.mct")).ok());
+  EXPECT_TRUE(read_trace_any_detailed(path("s.mctz")).ok());
+
+  EXPECT_EQ(read_trace_any_detailed(path("missing.mctz")).status,
+            TraceIoStatus::FileNotFound);
+
+  std::ofstream junk(path("j.mct"), std::ios::binary);
+  const char garbage[32] = "neither format's magic header";
+  junk.write(garbage, sizeof garbage);
+  junk.close();
+  EXPECT_EQ(read_trace_any_detailed(path("j.mct")).status,
+            TraceIoStatus::BadMagic);
+
+  std::ofstream tiny(path("tiny.mct"), std::ios::binary);
+  tiny.write("abc", 3);
+  tiny.close();
+  EXPECT_EQ(read_trace_any_detailed(path("tiny.mct")).status,
+            TraceIoStatus::CorruptHeader);
+}
+
+TEST_F(TraceCompressTest, CompressedDetailedClassifiesTruncation) {
+  const Trace t = generate_app_trace(AppId::Browser, 5'000, 3);
+  ASSERT_TRUE(write_trace_compressed(t, path("tr.mctz")));
+  const auto full = std::filesystem::file_size(path("tr.mctz"));
+  std::filesystem::resize_file(path("tr.mctz"), full - 16);
+  const TraceReadResult r = read_trace_compressed_detailed(path("tr.mctz"));
+  EXPECT_EQ(r.status, TraceIoStatus::TruncatedRecords);
+  EXPECT_FALSE(r.detail.empty());
+}
+
 }  // namespace
 }  // namespace mobcache
+

@@ -95,5 +95,87 @@ TEST_F(TraceIoTest, WriteToUnwritablePathFails) {
   EXPECT_FALSE(write_trace(sample_trace(), "/nonexistent_dir_xyz/t.mct"));
 }
 
+// ---- typed-diagnostic API ------------------------------------------------
+
+/// Overwrites `len` bytes at `off` in an existing file.
+void patch_file(const std::string& path, std::uint64_t off, const void* bytes,
+                std::size_t len) {
+  std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+  ASSERT_TRUE(f);
+  f.seekp(static_cast<std::streamoff>(off));
+  f.write(static_cast<const char*>(bytes), static_cast<std::streamsize>(len));
+}
+
+TEST_F(TraceIoTest, DetailedMissingFile) {
+  const TraceReadResult r = read_trace_detailed(path("nope.mct"));
+  EXPECT_EQ(r.status, TraceIoStatus::FileNotFound);
+  EXPECT_FALSE(r.trace.has_value());
+  EXPECT_FALSE(r.detail.empty());
+}
+
+TEST_F(TraceIoTest, DetailedZeroLengthFile) {
+  std::ofstream(path("zero.mct"), std::ios::binary).close();
+  const TraceReadResult r = read_trace_detailed(path("zero.mct"));
+  EXPECT_EQ(r.status, TraceIoStatus::CorruptHeader);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(TraceIoTest, DetailedBadMagic) {
+  std::ofstream f(path("bad.mct"), std::ios::binary);
+  const char garbage[64] = "this is not a mobcache trace file at all";
+  f.write(garbage, sizeof garbage);
+  f.close();
+  EXPECT_EQ(read_trace_detailed(path("bad.mct")).status,
+            TraceIoStatus::BadMagic);
+}
+
+TEST_F(TraceIoTest, DetailedBogusCountRejectedBeforeAllocation) {
+  ASSERT_TRUE(write_trace(sample_trace(), path("c.mct")));
+  // count lives after magic(8) + name_len(4) + name("roundtrip" = 9).
+  const std::uint64_t huge = 1ull << 40;
+  patch_file(path("c.mct"), 8 + 4 + 9, &huge, sizeof huge);
+  const TraceReadResult r = read_trace_detailed(path("c.mct"));
+  EXPECT_EQ(r.status, TraceIoStatus::TruncatedRecords);
+  EXPECT_NE(r.detail.find("promises"), std::string::npos);
+}
+
+TEST_F(TraceIoTest, DetailedTruncatedTail) {
+  ASSERT_TRUE(write_trace(sample_trace(), path("t2.mct")));
+  const auto full = std::filesystem::file_size(path("t2.mct"));
+  std::filesystem::resize_file(path("t2.mct"), full - 10);
+  EXPECT_EQ(read_trace_detailed(path("t2.mct")).status,
+            TraceIoStatus::TruncatedRecords);
+}
+
+TEST_F(TraceIoTest, DetailedBadRecordFields) {
+  ASSERT_TRUE(write_trace(sample_trace(), path("r.mct")));
+  // Record 0 starts at header end (8 + 4 + 9 + 8); its type byte is 16 in.
+  const std::uint8_t bogus = 9;
+  patch_file(path("r.mct"), 8 + 4 + 9 + 8 + 16, &bogus, sizeof bogus);
+  EXPECT_EQ(read_trace_detailed(path("r.mct")).status,
+            TraceIoStatus::BadRecord);
+}
+
+TEST_F(TraceIoTest, DetailedInconsistentModes) {
+  Trace t("bm");
+  Access a;
+  a.addr = 0x1000;  // user half
+  a.mode = Mode::Kernel;
+  t.push(a);
+  ASSERT_TRUE(write_trace(t, path("m2.mct")));
+  EXPECT_EQ(read_trace_detailed(path("m2.mct")).status,
+            TraceIoStatus::InconsistentModes);
+}
+
+TEST_F(TraceIoTest, DetailedOkCarriesTrace) {
+  const Trace original = sample_trace();
+  ASSERT_TRUE(write_trace(original, path("ok.mct")));
+  const TraceReadResult r = read_trace_detailed(path("ok.mct"));
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r.trace.has_value());
+  EXPECT_EQ(r.trace->size(), original.size());
+  EXPECT_EQ(to_string(r.status), std::string("ok"));
+}
+
 }  // namespace
 }  // namespace mobcache

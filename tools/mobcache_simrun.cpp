@@ -7,6 +7,8 @@
 ///   mobcache_simrun <trace.mct|app[,app...]> [scheme|all] [records] [seed]
 ///                   [--trace-out=FILE[,FORMAT]] [--metrics[=FILE]]
 ///                   [--sample=N] [--trace-evictions]
+///                   [--fault-rate=R] [--ecc=KIND] [--fault-seed=N]
+///                   [--way-disable-threshold=N] [--fault-sweep=R1,R2,...]
 /// Schemes: base shrunk sharedstt sp spmrstt dp dpstt all (default: all)
 ///
 /// Observability flags (docs/OBSERVABILITY.md):
@@ -22,8 +24,26 @@
 ///                              dynamic L2 always samples at its epochs).
 ///   --trace-evictions          include per-block eviction events in the
 ///                              trace (high volume; off by default).
+///
+/// Resilience flags (docs/RELIABILITY.md):
+///   --fault-rate=R             per-write fault probability; scales the
+///                              transient and retention-variation intensity
+///                              with it (0 = off, bit-identical to a
+///                              fault-free run).
+///   --ecc=KIND                 none | parity | secded | dected (default
+///                              secded).
+///   --fault-seed=N             fault-stream RNG seed (default 1).
+///   --way-disable-threshold=N  write faults on one way before it is
+///                              quarantined (0 = never).
+///   --fault-sweep=R1,R2,...    error-rate sweep: rerun each selected
+///                              scheme at every rate, normalized against
+///                              its own rate-0 run (bench E21 from the CLI).
+///
+/// Exit codes: 0 ok, 1 corrupt/unreadable input (typed diagnostic on
+/// stderr), 2 usage error.
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <optional>
@@ -33,6 +53,7 @@
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "core/scheme.hpp"
+#include "exp/runner.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/trace_export.hpp"
 #include "sim/simulator.hpp"
@@ -56,7 +77,15 @@ std::optional<SchemeKind> parse_scheme(const char* s) {
 
 Trace load_or_generate(const std::string& spec, std::uint64_t records,
                        std::uint64_t seed) {
-  if (auto t = read_trace_any(spec)) return std::move(*t);
+  TraceReadResult r = read_trace_any_detailed(spec);
+  if (r.ok()) return std::move(*r.trace);
+  if (r.status != TraceIoStatus::FileNotFound) {
+    // The path exists but does not decode: refusing loudly beats silently
+    // regenerating a different workload under the same name.
+    std::fprintf(stderr, "cannot load trace '%s': %s (%s)\n", spec.c_str(),
+                 to_string(r.status), r.detail.c_str());
+    std::exit(1);
+  }
   for (AppId id : all_apps()) {
     if (spec == app_name(id)) return generate_app_trace(id, records, seed);
   }
@@ -93,8 +122,19 @@ struct CliFlags {
   std::uint64_t sample_interval = 0;
   bool trace_evictions = false;
 
+  double fault_rate = 0.0;
+  EccKind ecc = EccKind::Secded;
+  std::uint64_t fault_seed = 1;
+  std::uint32_t way_disable_threshold = 0;
+  std::vector<double> sweep_rates;
+
   bool telemetry_needed() const {
     return !trace_out.empty() || want_metrics || sample_interval != 0;
+  }
+
+  FaultConfig fault_config(double rate) const {
+    return FaultConfig::from_rate(rate, ecc, way_disable_threshold,
+                                  fault_seed);
   }
 };
 
@@ -134,6 +174,38 @@ std::vector<std::string> parse_flags(int argc, char** argv, CliFlags& f) {
           std::strtoull(a.c_str() + std::strlen("--sample="), nullptr, 10);
     } else if (a == "--trace-evictions") {
       f.trace_evictions = true;
+    } else if (a.rfind("--fault-rate=", 0) == 0) {
+      f.fault_rate =
+          std::strtod(a.c_str() + std::strlen("--fault-rate="), nullptr);
+      if (f.fault_rate < 0.0 || f.fault_rate > 1.0) {
+        std::fprintf(stderr, "--fault-rate must be in [0, 1]\n");
+        std::exit(2);
+      }
+    } else if (a.rfind("--ecc=", 0) == 0) {
+      const std::string kind = a.substr(std::strlen("--ecc="));
+      if (auto k = parse_ecc_kind(kind)) {
+        f.ecc = *k;
+      } else {
+        std::fprintf(stderr,
+                     "unknown --ecc '%s' (none|parity|secded|dected)\n",
+                     kind.c_str());
+        std::exit(2);
+      }
+    } else if (a.rfind("--fault-seed=", 0) == 0) {
+      f.fault_seed =
+          std::strtoull(a.c_str() + std::strlen("--fault-seed="), nullptr, 10);
+    } else if (a.rfind("--way-disable-threshold=", 0) == 0) {
+      f.way_disable_threshold = static_cast<std::uint32_t>(std::strtoul(
+          a.c_str() + std::strlen("--way-disable-threshold="), nullptr, 10));
+    } else if (a.rfind("--fault-sweep=", 0) == 0) {
+      for (const std::string& r :
+           split_commas(a.substr(std::strlen("--fault-sweep=")))) {
+        f.sweep_rates.push_back(std::strtod(r.c_str(), nullptr));
+      }
+      if (f.sweep_rates.empty()) {
+        std::fprintf(stderr, "--fault-sweep needs at least one rate\n");
+        std::exit(2);
+      }
     } else {
       std::fprintf(stderr, "unknown flag '%s'\n", a.c_str());
       std::exit(2);
@@ -180,6 +252,40 @@ void print_metrics_table(const MetricRegistry& reg) {
   }
 }
 
+/// --fault-sweep mode: error-rate vs energy/CPI per selected scheme, each
+/// point normalized against that scheme's own fault-free run.
+int run_sweep_mode(const CliFlags& flags, std::vector<Trace> traces,
+                   const std::vector<SchemeKind>& kinds) {
+  ExperimentRunner runner(std::move(traces));
+  SchemeParams tmpl;
+  tmpl.fault = flags.fault_config(0.0);
+  tmpl.fault.ecc = flags.ecc;
+  tmpl.fault.way_disable_threshold = flags.way_disable_threshold;
+  tmpl.fault.seed = flags.fault_seed;
+
+  for (SchemeKind k : kinds) {
+    const std::vector<FaultSweepPoint> pts =
+        run_fault_sweep(runner, k, flags.sweep_rates, tmpl);
+    std::printf("fault sweep: %s (ecc=%s, threshold=%u)\n", scheme_name(k),
+                std::string(to_string(flags.ecc)).c_str(),
+                flags.way_disable_threshold);
+    TablePrinter t({"rate", "cache E vs clean", "time vs clean", "L2 miss",
+                    "corrected", "lost", "dirty lost", "scrub repair",
+                    "ways out"});
+    for (const FaultSweepPoint& p : pts) {
+      t.add_row({format_double(p.rate, 6), format_double(p.norm_cache_energy, 3),
+                 format_double(p.norm_exec_time, 3),
+                 format_percent(p.avg_miss_rate),
+                 format_count(p.ecc_corrections), format_count(p.fault_losses),
+                 format_count(p.dirty_losses), format_count(p.scrub_repairs),
+                 format_count(p.quarantined_ways)});
+    }
+    t.print();
+    std::printf("\n");
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -190,7 +296,10 @@ int main(int argc, char** argv) {
         stderr,
         "usage: %s <trace.mct|app[,app...]> [scheme|all] [records] [seed]\n"
         "          [--trace-out=FILE[,jsonl|chrome]] [--metrics[=FILE]]\n"
-        "          [--sample=N] [--trace-evictions]\n",
+        "          [--sample=N] [--trace-evictions]\n"
+        "          [--fault-rate=R] [--ecc=none|parity|secded|dected]\n"
+        "          [--fault-seed=N] [--way-disable-threshold=N]\n"
+        "          [--fault-sweep=R1,R2,...]\n",
         argv[0]);
     return 2;
   }
@@ -214,6 +323,13 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  if (!flags.sweep_rates.empty())
+    return run_sweep_mode(flags, std::move(traces), kinds);
+
+  SchemeParams params;
+  params.fault = flags.fault_config(flags.fault_rate);
+  const bool faulted = params.fault.enabled();
+
   TraceSinkOptions sink_opts;
   sink_opts.include_evictions = flags.trace_evictions;
   TraceSink sink(flags.trace_format, sink_opts);
@@ -230,6 +346,9 @@ int main(int argc, char** argv) {
     TablePrinter t({"scheme", "L2 miss", "cycles", "CPI", "leak uJ", "dyn uJ",
                     "refresh uJ", "DRAM uJ", "cache E vs base",
                     "time vs base"});
+    TablePrinter ft({"scheme", "write faults", "transients", "corrected",
+                     "lost", "dirty lost", "scrub repair", "silent",
+                     "ways out"});
     std::optional<SimResult> base;
     for (SchemeKind k : kinds) {
       SimOptions opts;
@@ -240,7 +359,7 @@ int main(int argc, char** argv) {
         if (!flags.trace_out.empty()) sink.attach(tel);
         opts.telemetry = &tel;
       }
-      const SimResult r = simulate(trace, build_scheme(k), opts);
+      const SimResult r = simulate(trace, build_scheme(k, params), opts);
       if (!base) base = r;
       const EnergyBreakdown& e = r.l2_energy;
       t.add_row({scheme_name(k), format_percent(r.l2_miss_rate()),
@@ -253,9 +372,25 @@ int main(int argc, char** argv) {
                  format_double(static_cast<double>(r.cycles) /
                                    static_cast<double>(base->cycles),
                                3)});
+      if (faulted) {
+        ft.add_row({scheme_name(k), format_count(r.l2.write_faults),
+                    format_count(r.l2.transient_upsets),
+                    format_count(r.l2.ecc_corrections),
+                    format_count(r.l2.fault_losses),
+                    format_count(r.l2.fault_lost_dirty),
+                    format_count(r.l2.scrub_repairs),
+                    format_count(r.l2.silent_faults),
+                    format_count(r.l2_quarantined_ways)});
+      }
     }
     t.print();
     std::printf("\n");
+    if (faulted) {
+      std::printf("resilience (fault rate %g, ecc %s)\n", flags.fault_rate,
+                  std::string(to_string(flags.ecc)).c_str());
+      ft.print();
+      std::printf("\n");
+    }
   }
 
   if (!flags.trace_out.empty()) {
