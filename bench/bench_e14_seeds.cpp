@@ -2,9 +2,14 @@
 /// E14 (extension) — statistical robustness: the headline designs across
 /// five workload seeds. Reported as mean ± stddev [min, max]; the paper's
 /// orderings must hold outside the seed-noise band, not just at one seed.
+///
+/// run_multi_seed shards its (seed × scheme) grid through a SweepExecutor
+/// (`--jobs=N` / MOBCACHE_JOBS); stats accumulate in seed order after the
+/// sweep, so the reported numbers are identical for every job count.
 
 #include "common/stats.hpp"
 #include "common/table.hpp"
+#include "exp/bench_harness.hpp"
 #include "exp/report.hpp"
 #include "exp/runner.hpp"
 
@@ -21,7 +26,9 @@ std::string pm(const SeedStat& s, int decimals = 3) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const unsigned jobs = bench_jobs(argc, argv);
+  BenchReport bench("e14_seeds", jobs);
   print_banner("E14", "Seed robustness of the headline results");
   const std::uint64_t len = bench_trace_len();
   const std::vector<std::uint64_t> seeds = {11, 22, 42, 1234, 98765};
@@ -32,7 +39,8 @@ int main() {
       SchemeKind::DynamicStt};
 
   const auto results =
-      run_multi_seed(interactive_apps(), len, seeds, schemes);
+      run_multi_seed(interactive_apps(), len, seeds, schemes, {}, jobs);
+  bench.set_points(static_cast<std::uint64_t>(seeds.size() * schemes.size()));
 
   TablePrinter t({"scheme", "norm cache energy (mean +- sd [min,max])",
                   "norm exec time", "miss rate"});
@@ -57,5 +65,11 @@ int main() {
               mrstt.cache_energy.mean + mrstt.cache_energy.stddev
           ? "yes"
           : "NO");
+
+  bench.add_result("sp_mrstt_energy_mean", mrstt.cache_energy.mean);
+  bench.add_result("sp_mrstt_energy_max", mrstt.cache_energy.max);
+  bench.add_result("dp_stt_energy_mean", dpstt.cache_energy.mean);
+  bench.add_result("dp_stt_energy_max", dpstt.cache_energy.max);
+  bench.write();
   return 0;
 }

@@ -48,7 +48,7 @@ int main() {
     LifetimeRecorder rec;
     SimOptions opts;
     opts.l2_eviction_observer = rec.observer();
-    simulate(runner.traces()[0], build_scheme(SchemeKind::StaticPartSram),
+    simulate(runner.trace(0), build_scheme(SchemeKind::StaticPartSram),
              opts);
     const RetentionClass user_rec =
         RetentionAdvisor::recommend(rec.liveness(Mode::User));

@@ -4,10 +4,15 @@
 /// factor, which raises raw bit-error rates; this bench quantifies the cost
 /// of riding that curve: error rate vs cache energy and execution time under
 /// ECC + scrub repair + way-disable quarantine (docs/RELIABILITY.md).
+///
+/// run_fault_sweep shards its (rate × workload) grid through the runner's
+/// SweepExecutor; `--jobs=N` / MOBCACHE_JOBS set the worker count. Output is
+/// keyed by grid index, so every job count emits identical tables and JSON.
 
 #include <vector>
 
 #include "common/table.hpp"
+#include "exp/bench_harness.hpp"
 #include "exp/report.hpp"
 #include "exp/runner.hpp"
 
@@ -15,10 +20,9 @@ using namespace mobcache;
 
 namespace {
 
-void sweep_table(ExperimentRunner& runner, SchemeKind kind,
-                 const std::vector<double>& rates, const SchemeParams& tmpl,
-                 TablePrinter& t) {
-  for (const FaultSweepPoint& p : run_fault_sweep(runner, kind, rates, tmpl)) {
+void sweep_rows(SchemeKind kind, const std::vector<FaultSweepPoint>& pts,
+                TablePrinter& t, JsonWriter& json) {
+  for (const FaultSweepPoint& p : pts) {
     t.add_row({scheme_name(kind), format_double(p.rate, 4),
                format_double(p.norm_cache_energy, 3),
                format_double(p.norm_exec_time, 3),
@@ -26,38 +30,64 @@ void sweep_table(ExperimentRunner& runner, SchemeKind kind,
                format_count(p.fault_losses), format_count(p.dirty_losses),
                format_count(p.scrub_repairs),
                format_count(p.quarantined_ways)});
+    json.begin_object();
+    json.key("scheme").value(scheme_name(kind));
+    json.key("rate").value(p.rate);
+    json.key("norm_cache_energy").value(p.norm_cache_energy);
+    json.key("norm_exec_time").value(p.norm_exec_time);
+    json.key("miss_rate").value(p.avg_miss_rate);
+    json.key("ecc_corrections").value(p.ecc_corrections);
+    json.key("fault_losses").value(p.fault_losses);
+    json.key("scrub_repairs").value(p.scrub_repairs);
+    json.key("quarantined_ways").value(p.quarantined_ways);
+    json.end_object();
   }
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const unsigned jobs = bench_jobs(argc, argv);
+  BenchReport bench("e21_resilience", jobs);
   print_banner("E21", "Error rate vs energy/CPI under ECC + repair");
   const std::uint64_t len = bench_trace_len(400'000);
   ExperimentRunner runner({AppId::Browser, AppId::Game}, len, 21);
+  runner.jobs = jobs;
 
   const std::vector<double> rates = {0.0, 1e-4, 1e-3, 5e-3, 2e-2};
   SchemeParams tmpl;
   tmpl.fault.ecc = EccKind::Secded;
   tmpl.fault.way_disable_threshold = 4;
 
+  JsonWriter json;
+  json.begin_object();
+  json.key("bench").value("e21_resilience");
+  json.key("points");
+  json.begin_array();
+
   TablePrinter t({"scheme", "rate", "cache E vs clean", "time vs clean",
                   "L2 miss", "corrected", "lost", "dirty lost", "scrub repair",
                   "ways out"});
-  sweep_table(runner, SchemeKind::StaticPartMrstt, rates, tmpl, t);
-  sweep_table(runner, SchemeKind::DynamicStt, rates, tmpl, t);
+  const std::vector<FaultSweepPoint> sp_pts =
+      run_fault_sweep(runner, SchemeKind::StaticPartMrstt, rates, tmpl);
+  const std::vector<FaultSweepPoint> dp_pts =
+      run_fault_sweep(runner, SchemeKind::DynamicStt, rates, tmpl);
+  sweep_rows(SchemeKind::StaticPartMrstt, sp_pts, t, json);
+  sweep_rows(SchemeKind::DynamicStt, dp_pts, t, json);
   emit(t, "e21_resilience.csv");
 
   // Same injection stream, different protection: what each ECC tier buys.
   std::printf("\nECC scheme comparison at rate 5e-3 (SP-MRSTT)\n");
   TablePrinter e({"ecc", "cache E vs clean", "time vs clean", "L2 miss",
                   "corrected", "lost", "silent-ish scrubs", "ways out"});
+  std::uint64_t ecc_points = 0;
   for (EccKind ecc : {EccKind::None, EccKind::Parity, EccKind::Secded,
                       EccKind::Dected}) {
     SchemeParams p = tmpl;
     p.fault.ecc = ecc;
     const std::vector<FaultSweepPoint> pts =
         run_fault_sweep(runner, SchemeKind::StaticPartMrstt, {5e-3}, p);
+    ecc_points += pts.size();
     const FaultSweepPoint& pt = pts.front();
     e.add_row({std::string(to_string(ecc)),
                format_double(pt.norm_cache_energy, 3),
@@ -68,6 +98,18 @@ int main() {
                format_count(pt.quarantined_ways)});
   }
   e.print();
+
+  json.end_array();
+  json.end_object();
+  write_json_results(json, "e21_resilience.json");
+
+  bench.set_points(static_cast<std::uint64_t>(sp_pts.size() + dp_pts.size()) +
+                   ecc_points);
+  bench.add_result("sp_mrstt_worst_energy", sp_pts.back().norm_cache_energy);
+  bench.add_result("sp_mrstt_worst_time", sp_pts.back().norm_exec_time);
+  bench.add_result("dp_stt_worst_energy", dp_pts.back().norm_cache_energy);
+  bench.add_result("dp_stt_worst_time", dp_pts.back().norm_exec_time);
+  bench.write();
 
   std::printf(
       "\nReading: SECDED absorbs the low-rate regime almost for free (the "

@@ -2,15 +2,24 @@
 /// E6 (paper Fig. 5) — retention-class assignment sweep for the static
 /// partition: all 3×3 (user, kernel) class pairings, validating the
 /// advisor's (MID, LO) pick as the energy/performance sweet spot.
+///
+/// Sweep points (the baseline plus the nine pairings) run through a
+/// SweepExecutor: pass `--jobs=N` (or MOBCACHE_JOBS) to spread them over
+/// worker threads. Results are keyed by point index, so the emitted table,
+/// CSV and JSON are byte-identical for every job count.
 
 #include "common/stats.hpp"
 #include "common/table.hpp"
+#include "exp/bench_harness.hpp"
+#include "exp/parallel.hpp"
 #include "exp/report.hpp"
 #include "exp/runner.hpp"
 
 using namespace mobcache;
 
-int main() {
+int main(int argc, char** argv) {
+  const unsigned jobs = bench_jobs(argc, argv);
+  BenchReport bench("e6_retention_sweep", jobs);
   print_banner("E6", "Multi-retention pairing sweep for the static design");
   // Session-length traces (see E5): shorter runs hide user-block expiry
   // under LO retention. A four-app subset keeps the 9-pairing sweep fast.
@@ -18,10 +27,24 @@ int main() {
 
   ExperimentRunner runner(
       {AppId::Launcher, AppId::Browser, AppId::Email, AppId::Maps}, len, 42);
-  auto base = runner.run_scheme(SchemeKind::BaselineSram);
 
   const RetentionClass classes[] = {RetentionClass::Lo, RetentionClass::Mid,
                                     RetentionClass::Hi};
+
+  // Point 0 is the SRAM baseline; points 1..9 the (user, kernel) pairings
+  // in row-major class order. Each cell depends only on its index.
+  const std::size_t n_points = 1 + 3 * 3;
+  SweepExecutor ex(jobs);
+  const std::vector<SchemeSuiteResult> cells =
+      ex.map(n_points, [&](std::size_t i) {
+        if (i == 0) return runner.run_scheme(SchemeKind::BaselineSram);
+        SchemeParams p;
+        p.mrstt_user = classes[(i - 1) / 3];
+        p.mrstt_kernel = classes[(i - 1) % 3];
+        return runner.run_scheme(SchemeKind::StaticPartMrstt, p);
+      });
+  bench.set_points(static_cast<std::uint64_t>(n_points));
+
   TablePrinter t({"user class", "kernel class", "L2 miss",
                   "norm cache energy", "norm exec time", "refresh uJ",
                   "expired blocks"});
@@ -33,32 +56,44 @@ int main() {
     std::string pair;
   };
   std::vector<Candidate> candidates;
-  for (RetentionClass u : classes) {
-    for (RetentionClass k : classes) {
-      SchemeParams p;
-      p.mrstt_user = u;
-      p.mrstt_kernel = k;
-      auto r = runner.run_scheme(SchemeKind::StaticPartMrstt, p);
-      std::vector<SchemeSuiteResult> v{base, r};
-      ExperimentRunner::normalize(v);
 
-      double refresh_nj = 0.0;
-      std::uint64_t expired = 0;
-      for (const SimResult& s : r.per_workload) {
-        refresh_nj += s.l2_energy.refresh_nj;
-        expired += s.l2.expired_blocks;
-      }
-      candidates.push_back({v[1].norm_cache_energy, v[1].norm_exec_time,
-                            expired,
-                            std::string(to_string(u)) + " / " +
-                                std::string(to_string(k))});
-      t.add_row({std::string(to_string(u)), std::string(to_string(k)),
-                 format_percent(r.avg_miss_rate),
-                 format_double(v[1].norm_cache_energy, 3),
-                 format_double(v[1].norm_exec_time, 3),
-                 format_double(refresh_nj / 1e3, 1), format_count(expired)});
+  JsonWriter json;
+  json.begin_object();
+  json.key("bench").value("e6_retention_sweep");
+  json.key("points");
+  json.begin_array();
+  for (std::size_t i = 1; i < n_points; ++i) {
+    const RetentionClass u = classes[(i - 1) / 3];
+    const RetentionClass k = classes[(i - 1) % 3];
+    std::vector<SchemeSuiteResult> v{cells[0], cells[i]};
+    ExperimentRunner::normalize(v);
+
+    double refresh_nj = 0.0;
+    std::uint64_t expired = 0;
+    for (const SimResult& s : cells[i].per_workload) {
+      refresh_nj += s.l2_energy.refresh_nj;
+      expired += s.l2.expired_blocks;
     }
+    candidates.push_back(
+        {v[1].norm_cache_energy, v[1].norm_exec_time, expired,
+         std::string(to_string(u)) + " / " + std::string(to_string(k))});
+    t.add_row({std::string(to_string(u)), std::string(to_string(k)),
+               format_percent(cells[i].avg_miss_rate),
+               format_double(v[1].norm_cache_energy, 3),
+               format_double(v[1].norm_exec_time, 3),
+               format_double(refresh_nj / 1e3, 1), format_count(expired)});
+
+    json.begin_object();
+    json.key("user").value(std::string(to_string(u)));
+    json.key("kernel").value(std::string(to_string(k)));
+    json.key("miss_rate").value(cells[i].avg_miss_rate);
+    json.key("norm_cache_energy").value(v[1].norm_cache_energy);
+    json.key("norm_exec_time").value(v[1].norm_exec_time);
+    json.key("refresh_uj").value(refresh_nj / 1e3);
+    json.key("expired_blocks").value(expired);
+    json.end_object();
   }
+  json.end_array();
 
   emit(t, "e6_retention_sweep.csv");
 
@@ -79,5 +114,16 @@ int main() {
       "segment. (HI,HI)\nwastes write energy; (LO,*) on the user side trades "
       "its cheaper writes for\nuser-block expiry misses.\n",
       best->pair.c_str());
+
+  json.key("chosen_pairing").value(best->pair);
+  json.key("min_norm_energy").value(min_e);
+  json.end_object();
+  write_json_results(json, "e6_retention_sweep.json");
+
+  bench.add_result("min_norm_energy", min_e);
+  bench.add_result("chosen_norm_energy", best->energy);
+  bench.add_result("chosen_norm_time", best->time);
+  bench.add_result("base_miss_rate", cells[0].avg_miss_rate);
+  bench.write();
   return 0;
 }

@@ -1,0 +1,149 @@
+#!/usr/bin/env python3
+"""Validate BENCH_*.json perf reports and gate determinism + speedup in CI.
+
+A BENCH report (src/exp/bench_harness.hpp) splits into timing fields that
+vary run to run (jobs, wall_ms, points_per_sec) and a "results" object that
+must be a pure function of the sweep definition. This script enforces both
+halves:
+
+  validate FILE...          structural check of each report: required
+                            fields present, points > 0, wall_ms > 0, and
+                            every "results" value finite and non-null (the
+                            JsonWriter degrades NaN/inf to null, so a null
+                            here means a poisoned metric).
+  compare SERIAL PARALLEL   the two reports name the same bench, their
+                            "results" objects are exactly equal (the
+                            parallel engine's determinism contract), and
+                            the wall-clock speedup is printed. With
+                            --min-speedup=X, speedup below X fails.
+  identical A B             byte-for-byte file comparison — for the
+                            deterministic result artifacts (CSV / result
+                            JSON) emitted by a --jobs=1 vs --jobs=N run.
+
+Exits 0 with a one-line summary per check; exits 1 with the first failure.
+"""
+
+import argparse
+import json
+import math
+import sys
+
+REQUIRED_FIELDS = ("bench", "schema_version", "jobs", "points", "wall_ms",
+                   "points_per_sec", "results")
+
+
+def fail(msg):
+    print(f"check_bench: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load_report(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            # Refuse the non-standard NaN/Infinity literals outright: a
+            # report containing them is as poisoned as one containing null.
+            doc = json.load(
+                f, parse_constant=lambda c: fail(f"{path}: literal {c}"))
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: {e}")
+    if not isinstance(doc, dict):
+        fail(f"{path}: top level is not an object")
+    for field in REQUIRED_FIELDS:
+        if field not in doc:
+            fail(f"{path}: missing field '{field}'")
+    return doc
+
+
+def validate(path):
+    doc = load_report(path)
+    if not isinstance(doc["points"], int) or doc["points"] <= 0:
+        fail(f"{path}: points must be a positive integer "
+             f"(got {doc['points']!r}) — a zero-point sweep ran nothing")
+    if not isinstance(doc["wall_ms"], (int, float)) or doc["wall_ms"] <= 0:
+        fail(f"{path}: wall_ms must be positive (got {doc['wall_ms']!r})")
+    results = doc["results"]
+    if not isinstance(results, dict) or not results:
+        fail(f"{path}: 'results' must be a non-empty object")
+    for key, value in results.items():
+        if value is None:
+            fail(f"{path}: results.{key} is null (NaN/inf degraded by the "
+                 f"JSON writer)")
+        if not isinstance(value, (int, float)) or not math.isfinite(value):
+            fail(f"{path}: results.{key} is not a finite number "
+                 f"(got {value!r})")
+    print(f"check_bench: OK: {path} ({doc['bench']}, jobs={doc['jobs']}, "
+          f"{doc['points']} points, {doc['wall_ms']:.0f} ms, "
+          f"{len(results)} metrics)")
+
+
+def compare(serial_path, parallel_path, min_speedup):
+    serial = load_report(serial_path)
+    parallel = load_report(parallel_path)
+    if serial["bench"] != parallel["bench"]:
+        fail(f"bench mismatch: {serial['bench']} vs {parallel['bench']}")
+    if serial["points"] != parallel["points"]:
+        fail(f"{serial['bench']}: point counts differ "
+             f"({serial['points']} vs {parallel['points']})")
+    if serial["results"] != parallel["results"]:
+        keys = set(serial["results"]) | set(parallel["results"])
+        for key in sorted(keys):
+            a = serial["results"].get(key)
+            b = parallel["results"].get(key)
+            if a != b:
+                fail(f"{serial['bench']}: results.{key} differs between "
+                     f"jobs={serial['jobs']} and jobs={parallel['jobs']}: "
+                     f"{a!r} vs {b!r} — the parallel engine broke "
+                     f"determinism")
+        fail(f"{serial['bench']}: results objects differ")
+    speedup = serial["wall_ms"] / parallel["wall_ms"]
+    print(f"check_bench: OK: {serial['bench']} deterministic across "
+          f"jobs={serial['jobs']}/jobs={parallel['jobs']}; speedup "
+          f"{speedup:.2f}x ({serial['wall_ms']:.0f} ms -> "
+          f"{parallel['wall_ms']:.0f} ms)")
+    if min_speedup is not None and speedup < min_speedup:
+        fail(f"{serial['bench']}: speedup {speedup:.2f}x below required "
+             f"{min_speedup:.2f}x")
+
+
+def identical(path_a, path_b):
+    try:
+        with open(path_a, "rb") as f:
+            a = f.read()
+        with open(path_b, "rb") as f:
+            b = f.read()
+    except OSError as e:
+        fail(str(e))
+    if a != b:
+        fail(f"{path_a} and {path_b} differ — parallel output is not "
+             f"byte-identical to serial")
+    print(f"check_bench: OK: {path_a} == {path_b} ({len(a)} bytes)")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_validate = sub.add_parser("validate", help="structural check")
+    p_validate.add_argument("files", nargs="+")
+
+    p_compare = sub.add_parser("compare", help="serial vs parallel report")
+    p_compare.add_argument("serial")
+    p_compare.add_argument("parallel")
+    p_compare.add_argument("--min-speedup", type=float, default=None)
+
+    p_identical = sub.add_parser("identical", help="byte-compare two files")
+    p_identical.add_argument("a")
+    p_identical.add_argument("b")
+
+    args = parser.parse_args()
+    if args.command == "validate":
+        for path in args.files:
+            validate(path)
+    elif args.command == "compare":
+        compare(args.serial, args.parallel, args.min_speedup)
+    else:
+        identical(args.a, args.b)
+
+
+if __name__ == "__main__":
+    main()

@@ -8,7 +8,10 @@ namespace {
 
 using namespace tech_constants;
 
-TechnologyConfig g_technology{};
+/// Thread-local so concurrent sweep workers can hold different overrides
+/// (sensitivity/DVFS points) without racing. SweepExecutor re-applies the
+/// submitting thread's active configuration on every worker it spawns.
+thread_local TechnologyConfig g_technology{};
 
 constexpr double kRefBytes = 2.0 * 1024 * 1024;  // 2 MB reference point
 

@@ -153,8 +153,12 @@ double delta_at_temperature(RetentionClass r);
 /// at 1 GHz; a faster clock waits more cycles for the same wall time).
 Cycle dram_visible_stall_cycles();
 
-/// The active technology configuration (process-global; simulations are
-/// single-threaded). Prefer ScopedTechnology over mutating directly.
+/// The active technology configuration. Thread-local: each thread starts at
+/// the defaults, and ScopedTechnology only affects the calling thread.
+/// SweepExecutor (exp/parallel.hpp) captures the submitting thread's
+/// configuration and re-applies it on its workers, so scoped overrides
+/// compose with parallel sweeps. Prefer ScopedTechnology over mutating
+/// directly.
 const TechnologyConfig& technology();
 
 /// RAII override of the active configuration; restores on destruction.

@@ -1,0 +1,79 @@
+#include "exp/bench_harness.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "exp/parallel.hpp"
+#include "exp/report.hpp"
+
+namespace mobcache {
+
+unsigned bench_jobs(int argc, char** argv) {
+  unsigned requested = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
+      const unsigned long v = std::strtoul(argv[i] + 7, nullptr, 10);
+      if (v > 0) requested = static_cast<unsigned>(v);
+    }
+  }
+  return effective_jobs(requested);
+}
+
+bool write_json_results(const JsonWriter& w, const std::string& filename) {
+  const std::string path = results_path(filename);
+  std::error_code ec;
+  const auto parent = std::filesystem::path(path).parent_path();
+  if (!parent.empty()) std::filesystem::create_directories(parent, ec);
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) return false;
+  f << w.str() << '\n';
+  return static_cast<bool>(f);
+}
+
+BenchReport::BenchReport(std::string name, unsigned jobs)
+    : name_(std::move(name)),
+      jobs_(jobs),
+      start_(std::chrono::steady_clock::now()) {}
+
+void BenchReport::add_result(const std::string& key, double value) {
+  results_.emplace_back(key, value);
+}
+
+double BenchReport::wall_ms() const {
+  const auto dt = std::chrono::steady_clock::now() - start_;
+  return std::chrono::duration<double, std::milli>(dt).count();
+}
+
+bool BenchReport::write() {
+  const double ms = wall_ms();
+  JsonWriter w;
+  w.begin_object();
+  w.key("bench").value(name_);
+  w.key("schema_version").value(std::uint64_t{1});
+  w.key("jobs").value(static_cast<std::uint64_t>(jobs_));
+  w.key("points").value(points_);
+  w.key("wall_ms").value(ms);
+  w.key("points_per_sec")
+      .value(ms > 0.0 ? static_cast<double>(points_) * 1e3 / ms : 0.0);
+  w.key("results");
+  w.begin_object();
+  for (const auto& [key, value] : results_) w.key(key).value(value);
+  w.end_object();
+  w.end_object();
+
+  const std::string filename = "BENCH_" + name_ + ".json";
+  const bool ok = write_json_results(w, filename);
+  if (ok) {
+    std::printf("[bench] %s (jobs=%u, %.0f ms, %.2f points/s)\n",
+                results_path(filename).c_str(), jobs_, ms,
+                ms > 0.0 ? static_cast<double>(points_) * 1e3 / ms : 0.0);
+  } else {
+    std::printf("[bench] failed to write %s\n", results_path(filename).c_str());
+  }
+  return ok;
+}
+
+}  // namespace mobcache

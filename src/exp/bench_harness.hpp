@@ -1,0 +1,60 @@
+#pragma once
+/// \file bench_harness.hpp
+/// Shared CLI + perf-report plumbing for the bench binaries: --jobs parsing
+/// (with the MOBCACHE_JOBS environment override) and the machine-readable
+/// BENCH_<name>.json consumed by CI's perf-regression gate
+/// (scripts/check_bench.py, docs/PARALLELISM.md).
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/json_writer.hpp"
+
+namespace mobcache {
+
+/// Worker count for a bench binary: --jobs=N from argv when present, else
+/// effective_jobs(0) (MOBCACHE_JOBS, then hardware concurrency). Other
+/// arguments are left alone so benches stay forgiving about extra flags.
+unsigned bench_jobs(int argc, char** argv);
+
+/// Writes a finished JsonWriter document under the results directory
+/// (results_path(filename)); returns success.
+bool write_json_results(const JsonWriter& w, const std::string& filename);
+
+/// Wall-clock + headline-metric record for one bench run, written as
+/// results_path("BENCH_<name>.json").
+///
+/// Layout contract: the top-level timing fields (jobs, wall_ms,
+/// points_per_sec) vary run to run; everything under "results" must be a
+/// deterministic function of the sweep definition — check_bench.py asserts
+/// the "results" objects of a --jobs=1 and a --jobs=N run are identical,
+/// and computes the wall-clock speedup from the timing fields.
+class BenchReport {
+ public:
+  /// Starts the wall clock. `name` becomes BENCH_<name>.json.
+  BenchReport(std::string name, unsigned jobs);
+
+  /// Number of sweep points executed (0 points fails the CI gate).
+  void set_points(std::uint64_t points) { points_ = points; }
+
+  /// Adds one deterministic headline metric to the "results" section.
+  void add_result(const std::string& key, double value);
+
+  double wall_ms() const;
+
+  /// Stops the clock and writes BENCH_<name>.json; returns success and
+  /// prints the path (mirrors emit()'s [csv] line).
+  bool write();
+
+ private:
+  std::string name_;
+  unsigned jobs_;
+  std::uint64_t points_ = 0;
+  std::vector<std::pair<std::string, double>> results_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace mobcache

@@ -1,0 +1,134 @@
+#include "exp/parallel.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <deque>
+#include <limits>
+#include <mutex>
+#include <thread>
+
+#include "energy/technology.hpp"
+
+namespace mobcache {
+
+unsigned effective_jobs(unsigned requested) {
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("MOBCACHE_JOBS")) {
+    const unsigned long v = std::strtoul(env, nullptr, 10);
+    if (v > 0) return static_cast<unsigned>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+std::uint64_t sweep_point_seed(std::uint64_t base_seed,
+                               std::uint64_t point_index) {
+  // splitmix64 over a golden-ratio stride: adjacent indices land far apart
+  // in state space, and index 0 does not collapse onto the base seed.
+  std::uint64_t z = base_seed + 0x9e3779b97f4a7c15ull * (point_index + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+std::vector<std::uint64_t> derived_seeds(std::uint64_t base_seed,
+                                         std::size_t count) {
+  std::vector<std::uint64_t> seeds;
+  seeds.reserve(count);
+  for (std::size_t i = 0; i < count; ++i)
+    seeds.push_back(sweep_point_seed(base_seed, i));
+  return seeds;
+}
+
+SweepExecutor::SweepExecutor(unsigned jobs) : jobs_(effective_jobs(jobs)) {}
+
+namespace {
+
+/// One worker's share of the point indices. A plain mutex per shard is
+/// plenty: sweep points are whole simulations, so queue operations are
+/// nanoseconds against milliseconds-to-seconds of work.
+struct Shard {
+  std::mutex m;
+  std::deque<std::size_t> q;
+};
+
+}  // namespace
+
+void SweepExecutor::for_each(
+    std::size_t n, const std::function<void(std::size_t)>& fn) const {
+  if (n == 0) return;
+  const std::size_t workers =
+      std::min<std::size_t>(jobs_, n) > 0 ? std::min<std::size_t>(jobs_, n)
+                                          : 1;
+  if (workers == 1) {
+    // Serial reference path: in index order, exceptions propagate directly.
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  // Deterministic block sharding: worker w owns [w*n/W, (w+1)*n/W). The
+  // assignment is a pure function of (n, workers); only the *stealing* is
+  // timing-dependent, and results are keyed by index, so output never is.
+  std::vector<Shard> shards(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    const std::size_t lo = w * n / workers;
+    const std::size_t hi = (w + 1) * n / workers;
+    for (std::size_t i = lo; i < hi; ++i) shards[w].q.push_back(i);
+  }
+
+  std::atomic<bool> cancelled{false};
+  std::mutex err_m;
+  std::exception_ptr err;
+  std::size_t err_index = std::numeric_limits<std::size_t>::max();
+
+  // Sweeps must see the submitting thread's technology overrides
+  // (ScopedTechnology is thread-local); capture once, re-apply per worker.
+  const TechnologyConfig tech = technology();
+
+  auto take_own = [&](std::size_t w) -> std::optional<std::size_t> {
+    std::lock_guard<std::mutex> lock(shards[w].m);
+    if (shards[w].q.empty()) return std::nullopt;
+    const std::size_t i = shards[w].q.front();
+    shards[w].q.pop_front();
+    return i;
+  };
+  auto steal = [&](std::size_t w) -> std::optional<std::size_t> {
+    for (std::size_t off = 1; off < workers; ++off) {
+      Shard& victim = shards[(w + off) % workers];
+      std::lock_guard<std::mutex> lock(victim.m);
+      if (victim.q.empty()) continue;
+      const std::size_t i = victim.q.back();
+      victim.q.pop_back();
+      return i;
+    }
+    return std::nullopt;
+  };
+
+  auto worker = [&](std::size_t w) {
+    ScopedTechnology scope(tech);
+    while (!cancelled.load(std::memory_order_relaxed)) {
+      std::optional<std::size_t> i = take_own(w);
+      if (!i) i = steal(w);
+      if (!i) return;  // every shard drained — done
+      try {
+        fn(*i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(err_m);
+        if (*i < err_index) {
+          err_index = *i;
+          err = std::current_exception();
+        }
+        cancelled.store(true, std::memory_order_relaxed);
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers - 1);
+  for (std::size_t w = 1; w < workers; ++w) pool.emplace_back(worker, w);
+  worker(0);
+  for (std::thread& t : pool) t.join();
+  if (err) std::rethrow_exception(err);
+}
+
+}  // namespace mobcache

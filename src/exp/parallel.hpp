@@ -1,0 +1,85 @@
+#pragma once
+/// \file parallel.hpp
+/// Work-stealing sweep execution engine.
+///
+/// Every paper result in this repo is a sweep over independent points
+/// (retention pairing × workload, fault rate × workload, seed × scheme, …).
+/// SweepExecutor shards such a point vector across worker threads and
+/// assembles results in *point-index* order, so a parallel run is
+/// bit-identical to a serial one. Two disciplines make that hold:
+///
+///  1. **Index-pure points.** A point's work must be a pure function of its
+///     index (and of state captured before the sweep starts). Any randomness
+///     must be seeded via sweep_point_seed(base, index) — never from a
+///     running counter or from execution order.
+///  2. **Thread-confined state.** The active TechnologyConfig is
+///     thread-local; the executor captures the submitting thread's
+///     configuration and re-applies it on every worker, so ScopedTechnology
+///     overrides (sensitivity/DVFS sweeps) compose with parallelism.
+///
+/// See docs/PARALLELISM.md for the full contract.
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+namespace mobcache {
+
+/// Resolves a worker count: `requested` when nonzero, else the MOBCACHE_JOBS
+/// environment variable, else std::thread::hardware_concurrency() (min 1).
+unsigned effective_jobs(unsigned requested = 0);
+
+/// Deterministic per-point seed: a splitmix64-style mix of
+/// (base_seed, point_index). Distinct indices give decorrelated streams and
+/// the result never depends on which worker runs the point, or when.
+std::uint64_t sweep_point_seed(std::uint64_t base_seed,
+                               std::uint64_t point_index);
+
+/// `count` seeds derived from one base seed — the canonical way to build a
+/// multi-seed sweep (seed i is a pure function of (base_seed, i), so the
+/// serial and parallel paths agree by construction).
+std::vector<std::uint64_t> derived_seeds(std::uint64_t base_seed,
+                                         std::size_t count);
+
+/// Shards [0, n) across workers. Worker w starts on the contiguous block
+/// shard w and steals from the tail of other shards when its own runs dry,
+/// so imbalanced sweeps (points with very different costs) still saturate
+/// the pool. The calling thread participates as worker 0.
+class SweepExecutor {
+ public:
+  /// jobs = 0 resolves via effective_jobs() (env override, then hardware).
+  explicit SweepExecutor(unsigned jobs = 0);
+
+  unsigned jobs() const { return jobs_; }
+
+  /// Runs fn(i) for every i in [0, n); results are returned in index order
+  /// regardless of execution order. If any point throws, the sweep stops
+  /// handing out new points, all workers are joined, and the exception from
+  /// the lowest-indexed point *observed* to fail is rethrown (fail-fast:
+  /// points not yet started are skipped, so an even lower-indexed point may
+  /// never have run) — a throwing point fails the sweep, it never deadlocks
+  /// it.
+  template <typename Fn>
+  auto map(std::size_t n, Fn&& fn) const
+      -> std::vector<decltype(fn(std::size_t{0}))> {
+    using R = decltype(fn(std::size_t{0}));
+    std::vector<std::optional<R>> slots(n);
+    for_each(n, [&](std::size_t i) { slots[i].emplace(fn(i)); });
+    std::vector<R> out;
+    out.reserve(n);
+    for (auto& s : slots) out.push_back(std::move(*s));
+    return out;
+  }
+
+  /// Void flavour of map() with the same sharding/exception semantics.
+  /// With jobs() == 1 (or n <= 1) everything runs inline on the caller —
+  /// the serial path is the same code the parallel path must match.
+  void for_each(std::size_t n,
+                const std::function<void(std::size_t)>& fn) const;
+
+ private:
+  unsigned jobs_ = 1;
+};
+
+}  // namespace mobcache

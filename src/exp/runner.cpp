@@ -1,6 +1,7 @@
 #include "exp/runner.hpp"
 
 #include "common/stats.hpp"
+#include "exp/parallel.hpp"
 
 namespace mobcache {
 
@@ -15,13 +16,26 @@ MetricRegistry SchemeSuiteResult::merged_metrics() const {
 ExperimentRunner::ExperimentRunner(std::vector<AppId> apps,
                                    std::uint64_t accesses, std::uint64_t seed)
     : apps_(std::move(apps)),
-      traces_(generate_suite(apps_, accesses, seed)) {}
+      traces_(cached_suite(apps_, accesses, seed)) {}
 
-ExperimentRunner::ExperimentRunner(std::vector<Trace> traces)
-    : traces_(std::move(traces)) {}
+ExperimentRunner::ExperimentRunner(std::vector<Trace> traces) {
+  traces_.reserve(traces.size());
+  for (Trace& t : traces)
+    traces_.push_back(std::make_shared<const Trace>(std::move(t)));
+}
+
+namespace {
+
+/// One (scheme/design, workload) execution — the unit SweepExecutor shards.
+struct SuiteCell {
+  SimResult res;
+  std::shared_ptr<Telemetry> tel;
+};
+
+}  // namespace
 
 SchemeSuiteResult ExperimentRunner::run_scheme(SchemeKind kind,
-                                               const SchemeParams& params) {
+                                               const SchemeParams& params) const {
   SchemeSuiteResult r = run_custom(
       scheme_name(kind), [&] { return build_scheme(kind, params); });
   r.kind = kind;
@@ -30,33 +44,81 @@ SchemeSuiteResult ExperimentRunner::run_scheme(SchemeKind kind,
 
 SchemeSuiteResult ExperimentRunner::run_custom(
     const std::string& name,
-    const std::function<std::unique_ptr<L2Interface>()>& builder) {
+    const std::function<std::unique_ptr<L2Interface>()>& builder) const {
   SchemeSuiteResult out;
   out.name = name;
-  out.per_workload.reserve(traces_.size());
-  double miss_sum = 0.0;
-  for (const Trace& t : traces_) {
+
+  SweepExecutor ex(jobs);
+  std::vector<SuiteCell> cells = ex.map(traces_.size(), [&](std::size_t i) {
     SimOptions opts = sim_options;
-    std::shared_ptr<Telemetry> tel;
+    SuiteCell cell;
     if (collect_telemetry) {
-      tel = std::make_shared<Telemetry>();
-      tel->set_sample_interval(telemetry_sample_interval);
-      opts.telemetry = tel.get();
+      cell.tel = std::make_shared<Telemetry>();
+      cell.tel->set_sample_interval(telemetry_sample_interval);
+      opts.telemetry = cell.tel.get();
     }
-    SimResult res = simulate(t, builder(), opts);
-    miss_sum += res.l2_miss_rate();
-    out.per_workload.push_back(std::move(res));
-    if (collect_telemetry) out.per_workload_telemetry.push_back(std::move(tel));
+    cell.res = simulate(*traces_[i], builder(), opts);
+    return cell;
+  });
+
+  out.per_workload.reserve(cells.size());
+  double miss_sum = 0.0;
+  for (SuiteCell& cell : cells) {
+    miss_sum += cell.res.l2_miss_rate();
+    out.per_workload.push_back(std::move(cell.res));
+    if (collect_telemetry)
+      out.per_workload_telemetry.push_back(std::move(cell.tel));
   }
   if (!traces_.empty())
     out.avg_miss_rate = miss_sum / static_cast<double>(traces_.size());
   return out;
 }
 
+std::vector<SchemeSuiteResult> ExperimentRunner::run_schemes(
+    const std::vector<SchemeKind>& kinds, const SchemeParams& params) const {
+  const std::size_t w_count = traces_.size();
+
+  // One flat (scheme × workload) sweep: cell c = (kinds[c / W], c % W).
+  SweepExecutor ex(jobs);
+  std::vector<SuiteCell> cells =
+      ex.map(kinds.size() * w_count, [&](std::size_t c) {
+        const SchemeKind kind = kinds[c / w_count];
+        const std::size_t w = c % w_count;
+        SimOptions opts = sim_options;
+        SuiteCell cell;
+        if (collect_telemetry) {
+          cell.tel = std::make_shared<Telemetry>();
+          cell.tel->set_sample_interval(telemetry_sample_interval);
+          opts.telemetry = cell.tel.get();
+        }
+        cell.res = simulate(*traces_[w], build_scheme(kind, params), opts);
+        return cell;
+      });
+
+  std::vector<SchemeSuiteResult> out;
+  out.reserve(kinds.size());
+  for (std::size_t k = 0; k < kinds.size(); ++k) {
+    SchemeSuiteResult r;
+    r.kind = kinds[k];
+    r.name = scheme_name(kinds[k]);
+    r.per_workload.reserve(w_count);
+    double miss_sum = 0.0;
+    for (std::size_t w = 0; w < w_count; ++w) {
+      SuiteCell& cell = cells[k * w_count + w];
+      miss_sum += cell.res.l2_miss_rate();
+      r.per_workload.push_back(std::move(cell.res));
+      if (collect_telemetry)
+        r.per_workload_telemetry.push_back(std::move(cell.tel));
+    }
+    if (w_count > 0) r.avg_miss_rate = miss_sum / static_cast<double>(w_count);
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
 std::vector<SchemeSuiteResult> ExperimentRunner::run_headline(
-    const SchemeParams& params) {
-  std::vector<SchemeSuiteResult> all;
-  for (SchemeKind k : headline_schemes()) all.push_back(run_scheme(k, params));
+    const SchemeParams& params) const {
+  std::vector<SchemeSuiteResult> all = run_schemes(headline_schemes(), params);
   normalize(all);
   return all;
 }
@@ -83,32 +145,47 @@ void ExperimentRunner::normalize(std::vector<SchemeSuiteResult>& results) {
   }
 }
 
-std::vector<FaultSweepPoint> run_fault_sweep(ExperimentRunner& runner,
+std::vector<FaultSweepPoint> run_fault_sweep(const ExperimentRunner& runner,
                                              SchemeKind kind,
                                              const std::vector<double>& rates,
                                              const SchemeParams& tmpl) {
-  // Rate-0 reference over the same traces: the sweep reports degradation
-  // caused by faults, not by the scheme itself.
+  // Per-rate parameter sets, rate-0 reference first: the sweep reports
+  // degradation caused by faults, not by the scheme itself. Each is a pure
+  // function of its index, so the flat (rate × workload) sweep below is
+  // execution-order independent.
+  std::vector<SchemeParams> per_rate;
+  per_rate.reserve(rates.size() + 1);
   SchemeParams clean = tmpl;
   clean.fault = FaultConfig{};
-  const SchemeSuiteResult base = runner.run_scheme(kind, clean);
-
-  std::vector<FaultSweepPoint> out;
-  out.reserve(rates.size());
+  per_rate.push_back(clean);
   for (double rate : rates) {
     SchemeParams p = tmpl;
     p.fault = FaultConfig::from_rate(rate, tmpl.fault.ecc,
                                      tmpl.fault.way_disable_threshold,
                                      tmpl.fault.seed);
-    const SchemeSuiteResult r = runner.run_scheme(kind, p);
+    per_rate.push_back(p);
+  }
 
+  const auto& traces = runner.traces();
+  const std::size_t w_count = traces.size();
+  SweepExecutor ex(runner.jobs);
+  const std::vector<SimResult> cells =
+      ex.map(per_rate.size() * w_count, [&](std::size_t c) {
+        const SchemeParams& p = per_rate[c / w_count];
+        return simulate(*traces[c % w_count], build_scheme(kind, p),
+                        runner.sim_options);
+      });
+
+  std::vector<FaultSweepPoint> out;
+  out.reserve(rates.size());
+  for (std::size_t ri = 0; ri < rates.size(); ++ri) {
     FaultSweepPoint pt;
-    pt.rate = rate;
+    pt.rate = rates[ri];
     std::vector<double> e_ratios, t_ratios;
     double miss_sum = 0.0;
-    for (std::size_t w = 0; w < r.per_workload.size(); ++w) {
-      const SimResult& s = r.per_workload[w];
-      const SimResult& b = base.per_workload[w];
+    for (std::size_t w = 0; w < w_count; ++w) {
+      const SimResult& s = cells[(ri + 1) * w_count + w];
+      const SimResult& b = cells[w];  // rate-0 reference row
       if (b.l2_energy.cache_nj() > 0)
         e_ratios.push_back(s.l2_energy.cache_nj() / b.l2_energy.cache_nj());
       if (b.cycles > 0) {
@@ -124,8 +201,8 @@ std::vector<FaultSweepPoint> run_fault_sweep(ExperimentRunner& runner,
     }
     pt.norm_cache_energy = geomean(e_ratios);
     pt.norm_exec_time = geomean(t_ratios);
-    if (!r.per_workload.empty())
-      pt.avg_miss_rate = miss_sum / static_cast<double>(r.per_workload.size());
+    if (w_count > 0)
+      pt.avg_miss_rate = miss_sum / static_cast<double>(w_count);
     out.push_back(pt);
   }
   return out;
@@ -142,27 +219,40 @@ SeedStat to_stat(const RunningStat& r) {
 std::vector<MultiSeedResult> run_multi_seed(
     const std::vector<AppId>& apps, std::uint64_t accesses,
     const std::vector<std::uint64_t>& seeds,
-    const std::vector<SchemeKind>& schemes, const SchemeParams& params) {
-  std::vector<RunningStat> energy(schemes.size());
-  std::vector<RunningStat> time(schemes.size());
-  std::vector<RunningStat> miss(schemes.size());
+    const std::vector<SchemeKind>& schemes, const SchemeParams& params,
+    unsigned jobs) {
+  const std::size_t s_count = schemes.size();
 
-  for (std::uint64_t seed : seeds) {
-    ExperimentRunner runner(apps, accesses, seed);
-    std::vector<SchemeSuiteResult> results;
-    results.reserve(schemes.size());
-    for (SchemeKind k : schemes) results.push_back(runner.run_scheme(k, params));
-    ExperimentRunner::normalize(results);
-    for (std::size_t i = 0; i < schemes.size(); ++i) {
-      energy[i].add(results[i].norm_cache_energy);
-      time[i].add(results[i].norm_exec_time);
-      miss[i].add(results[i].avg_miss_rate);
+  // Flat (seed × scheme) sweep. Each cell derives everything from its index
+  // — suite seed seeds[c / S], scheme schemes[c % S] — and the TraceCache
+  // makes concurrent cells of one seed share a single generated suite.
+  SweepExecutor ex(jobs);
+  std::vector<SchemeSuiteResult> cells =
+      ex.map(seeds.size() * s_count, [&](std::size_t c) {
+        ExperimentRunner runner(apps, accesses, seeds[c / s_count]);
+        return runner.run_scheme(schemes[c % s_count], params);
+      });
+
+  // Normalize per seed, then accumulate in seed order — deterministic
+  // regardless of which worker finished first.
+  std::vector<RunningStat> energy(s_count);
+  std::vector<RunningStat> time(s_count);
+  std::vector<RunningStat> miss(s_count);
+  for (std::size_t si = 0; si < seeds.size(); ++si) {
+    std::vector<SchemeSuiteResult> per_seed(
+        std::make_move_iterator(cells.begin() + si * s_count),
+        std::make_move_iterator(cells.begin() + (si + 1) * s_count));
+    ExperimentRunner::normalize(per_seed);
+    for (std::size_t i = 0; i < s_count; ++i) {
+      energy[i].add(per_seed[i].norm_cache_energy);
+      time[i].add(per_seed[i].norm_exec_time);
+      miss[i].add(per_seed[i].avg_miss_rate);
     }
   }
 
   std::vector<MultiSeedResult> out;
-  out.reserve(schemes.size());
-  for (std::size_t i = 0; i < schemes.size(); ++i) {
+  out.reserve(s_count);
+  for (std::size_t i = 0; i < s_count; ++i) {
     MultiSeedResult r;
     r.kind = schemes[i];
     r.name = scheme_name(schemes[i]);

@@ -2,6 +2,13 @@
 /// \file runner.hpp
 /// Workload-suite × scheme experiment driver with baseline normalization —
 /// the engine behind every bench binary.
+///
+/// All suite/sweep execution flows through SweepExecutor (exp/parallel.hpp):
+/// set `jobs` > 1 (or 0 = auto) and the (scheme × workload) cells of a run
+/// are sharded across worker threads. Results are assembled in cell-index
+/// order and every cell is a pure function of its index, so a parallel run
+/// is bit-identical to `jobs = 1`. Traces come from the process-wide
+/// TraceCache via cached_suite(): generated once, shared read-only.
 
 #include <functional>
 #include <memory>
@@ -40,8 +47,9 @@ struct SchemeSuiteResult {
 
 class ExperimentRunner {
  public:
-  /// `apps` defines the suite; traces are generated once and shared by all
-  /// schemes. `accesses` is records per app.
+  /// `apps` defines the suite; traces come from the TraceCache (generated
+  /// once process-wide for this (apps, accesses, seed), shared read-only by
+  /// all schemes and all concurrently-running runners).
   ExperimentRunner(std::vector<AppId> apps, std::uint64_t accesses,
                    std::uint64_t seed = 1);
 
@@ -50,28 +58,50 @@ class ExperimentRunner {
   explicit ExperimentRunner(std::vector<Trace> traces);
 
   /// Runs one scheme (fresh L2 per workload via the factory).
-  SchemeSuiteResult run_scheme(SchemeKind kind, const SchemeParams& params = {});
+  SchemeSuiteResult run_scheme(SchemeKind kind,
+                               const SchemeParams& params = {}) const;
 
-  /// Runs a custom design (the builder is invoked once per workload).
+  /// Runs a custom design. The builder is invoked once per workload — from
+  /// worker threads when jobs != 1, so it must be safe to call concurrently
+  /// (building fresh objects from captured read-only state is fine).
   SchemeSuiteResult run_custom(
       const std::string& name,
-      const std::function<std::unique_ptr<L2Interface>()>& builder);
+      const std::function<std::unique_ptr<L2Interface>()>& builder) const;
+
+  /// Runs several schemes as one flat (scheme × workload) sweep — the
+  /// maximum-parallelism path. No normalization is applied.
+  std::vector<SchemeSuiteResult> run_schemes(
+      const std::vector<SchemeKind>& kinds,
+      const SchemeParams& params = {}) const;
 
   /// Runs all headline schemes and normalizes against the first (baseline).
-  std::vector<SchemeSuiteResult> run_headline(const SchemeParams& params = {});
+  std::vector<SchemeSuiteResult> run_headline(
+      const SchemeParams& params = {}) const;
 
   /// Normalizes `results` in place against `results[0]` per workload, then
   /// geomeans across workloads.
   static void normalize(std::vector<SchemeSuiteResult>& results);
 
-  const std::vector<Trace>& traces() const { return traces_; }
+  const std::vector<std::shared_ptr<const Trace>>& traces() const {
+    return traces_;
+  }
+  /// Convenience view of one suite trace.
+  const Trace& trace(std::size_t i) const { return *traces_[i]; }
   const std::vector<AppId>& apps() const { return apps_; }
 
   SimOptions sim_options;  ///< shared hierarchy/timing configuration
 
+  /// Worker threads for this runner's (scheme × workload) cells. 1 = serial
+  /// (the default — library users opt in), 0 = auto (MOBCACHE_JOBS env,
+  /// then hardware concurrency), N = exactly N. Results are identical for
+  /// every value; only wall-clock changes.
+  unsigned jobs = 1;
+
   /// When true, every simulate() call gets a fresh Telemetry session,
   /// returned on SchemeSuiteResult::per_workload_telemetry. Off by default:
-  /// the no-sink fast path keeps sweeps at full speed.
+  /// the no-sink fast path keeps sweeps at full speed. Sessions are created
+  /// and filled on the worker that runs the cell (one session per cell, no
+  /// cross-thread sharing), then handed back in suite order.
   bool collect_telemetry = false;
   /// Trace-record sampling cadence for the collected sessions (0 = only
   /// scheme-internal epochs sample; see Telemetry::set_sample_interval).
@@ -79,7 +109,7 @@ class ExperimentRunner {
 
  private:
   std::vector<AppId> apps_;
-  std::vector<Trace> traces_;
+  std::vector<std::shared_ptr<const Trace>> traces_;
 };
 
 /// One point of the error-rate × energy/CPI resilience sweep (bench E21):
@@ -103,7 +133,8 @@ struct FaultSweepPoint {
 /// quarantine threshold, seed); each point swaps in
 /// FaultConfig::from_rate(rate, ...) derived from it. rates containing 0.0
 /// produce an exactly-1.0 normalized point — the bit-identity anchor.
-std::vector<FaultSweepPoint> run_fault_sweep(ExperimentRunner& runner,
+/// Executes as one flat (rate × workload) sweep on `runner.jobs` workers.
+std::vector<FaultSweepPoint> run_fault_sweep(const ExperimentRunner& runner,
                                              SchemeKind kind,
                                              const std::vector<double>& rates,
                                              const SchemeParams& tmpl = {});
@@ -129,10 +160,17 @@ struct MultiSeedResult {
 /// against schemes.front() per seed, and aggregates across seeds. This is
 /// the statistical-rigor pass: a conclusion that does not survive the seed
 /// noise band is not a conclusion (bench E14).
+///
+/// Every (seed, scheme) cell is a pure function of its index — the suite
+/// seed is seeds[cell / schemes.size()], never a running counter — and the
+/// cross-seed statistics are accumulated in seed order after all cells
+/// finish, so `jobs` does not change a single output bit. Use
+/// derived_seeds(base, n) (exp/parallel.hpp) to build the seed list from
+/// one base seed.
 std::vector<MultiSeedResult> run_multi_seed(
     const std::vector<AppId>& apps, std::uint64_t accesses,
     const std::vector<std::uint64_t>& seeds,
     const std::vector<SchemeKind>& schemes,
-    const SchemeParams& params = {});
+    const SchemeParams& params = {}, unsigned jobs = 1);
 
 }  // namespace mobcache

@@ -1,0 +1,166 @@
+#include "trace/trace_cache.hpp"
+
+#include <cstdlib>
+#include <future>
+#include <mutex>
+#include <unordered_map>
+
+namespace mobcache {
+
+namespace {
+
+struct KeyHash {
+  std::size_t operator()(const TraceCacheKey& k) const {
+    // splitmix64-style combine; the three fields are small integers, so a
+    // multiplicative mix is enough to spread buckets.
+    std::uint64_t h = k.domain * 0x9e3779b97f4a7c15ull;
+    h ^= k.accesses + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    h *= 0xbf58476d1ce4e5b9ull;
+    h ^= k.seed + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    return static_cast<std::size_t>(h ^ (h >> 31));
+  }
+};
+
+std::uint64_t default_capacity_bytes() {
+  if (const char* env = std::getenv("MOBCACHE_TRACE_CACHE_MB")) {
+    const unsigned long long mb = std::strtoull(env, nullptr, 10);
+    if (mb > 0) return mb << 20;
+  }
+  return 1024ull << 20;  // 1 GiB
+}
+
+std::uint64_t trace_bytes(const Trace& t) {
+  return t.accesses().capacity() * sizeof(Access) + t.name().size() +
+         sizeof(Trace);
+}
+
+}  // namespace
+
+struct TraceCache::Impl {
+  struct Entry {
+    /// Ready or in flight; waiters block on the future, not on the lock.
+    std::shared_future<std::shared_ptr<const Trace>> fut;
+    std::uint64_t bytes = 0;  ///< 0 while generation is in flight
+    std::uint64_t last_use = 0;
+  };
+
+  mutable std::mutex m;
+  std::unordered_map<TraceCacheKey, Entry, KeyHash> map;
+  std::uint64_t capacity = default_capacity_bytes();
+  std::uint64_t resident = 0;
+  std::uint64_t tick = 0;
+  Stats counters;
+
+  /// Evicts LRU entries that are ready and externally unreferenced until
+  /// the budget holds (or nothing more can go). Caller holds `m`.
+  void evict_to_budget() {
+    while (resident > capacity) {
+      auto victim = map.end();
+      for (auto it = map.begin(); it != map.end(); ++it) {
+        Entry& e = it->second;
+        if (e.bytes == 0) continue;  // in flight
+        // use_count == 1 ⇔ only the future's stored copy remains.
+        if (e.fut.get().use_count() > 1) continue;
+        if (victim == map.end() || e.last_use < victim->second.last_use)
+          victim = it;
+      }
+      if (victim == map.end()) return;  // everything pinned or in flight
+      resident -= victim->second.bytes;
+      ++counters.evictions;
+      map.erase(victim);
+    }
+  }
+};
+
+TraceCache::TraceCache() : impl_(new Impl) {}
+TraceCache::~TraceCache() = default;
+
+TraceCache& TraceCache::instance() {
+  static TraceCache cache;
+  return cache;
+}
+
+std::shared_ptr<const Trace> TraceCache::get_or_generate(
+    const TraceCacheKey& key, const std::function<Trace()>& generate) {
+  std::shared_future<std::shared_ptr<const Trace>> fut;
+  std::promise<std::shared_ptr<const Trace>> promise;
+  bool owner = false;
+  {
+    std::lock_guard<std::mutex> lock(impl_->m);
+    auto it = impl_->map.find(key);
+    if (it != impl_->map.end()) {
+      ++impl_->counters.hits;
+      it->second.last_use = ++impl_->tick;
+      fut = it->second.fut;
+    } else {
+      ++impl_->counters.misses;
+      owner = true;
+      fut = promise.get_future().share();
+      Impl::Entry e;
+      e.fut = fut;
+      e.last_use = ++impl_->tick;
+      impl_->map.emplace(key, std::move(e));
+    }
+  }
+
+  if (!owner) return fut.get();  // waits if generation is still in flight
+
+  // Generate outside the lock so other keys proceed in parallel.
+  std::shared_ptr<const Trace> trace;
+  try {
+    trace = std::make_shared<const Trace>(generate());
+  } catch (...) {
+    // Publish the failure to any waiters, then forget the key so a later
+    // request can retry.
+    promise.set_exception(std::current_exception());
+    std::lock_guard<std::mutex> lock(impl_->m);
+    impl_->map.erase(key);
+    throw;
+  }
+  promise.set_value(trace);
+
+  std::lock_guard<std::mutex> lock(impl_->m);
+  auto it = impl_->map.find(key);
+  if (it != impl_->map.end()) {
+    it->second.bytes = trace_bytes(*trace);
+    impl_->resident += it->second.bytes;
+    impl_->evict_to_budget();
+  }
+  return trace;
+}
+
+TraceCache::Stats TraceCache::stats() const {
+  std::lock_guard<std::mutex> lock(impl_->m);
+  Stats s = impl_->counters;
+  s.resident_bytes = impl_->resident;
+  s.resident_entries = impl_->map.size();
+  return s;
+}
+
+void TraceCache::set_capacity_bytes(std::uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(impl_->m);
+  impl_->capacity = bytes;
+  impl_->evict_to_budget();
+}
+
+std::uint64_t TraceCache::capacity_bytes() const {
+  std::lock_guard<std::mutex> lock(impl_->m);
+  return impl_->capacity;
+}
+
+void TraceCache::clear() {
+  std::lock_guard<std::mutex> lock(impl_->m);
+  for (auto it = impl_->map.begin(); it != impl_->map.end();) {
+    Impl::Entry& e = it->second;
+    const bool evictable = e.bytes != 0 && e.fut.get().use_count() == 1;
+    if (evictable) {
+      impl_->resident -= e.bytes;
+      it = impl_->map.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  impl_->counters = Stats{};
+}
+
+}  // namespace mobcache

@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 
+#include "trace/trace_cache.hpp"
 #include "workload/generator.hpp"
 
 namespace mobcache {
@@ -20,6 +21,27 @@ std::vector<Trace> generate_suite(const std::vector<AppId>& apps,
   std::vector<Trace> traces;
   traces.reserve(apps.size());
   for (AppId id : apps) traces.push_back(generate_app_trace(id, accesses_per_app, seed));
+  return traces;
+}
+
+std::shared_ptr<const Trace> cached_app_trace(AppId id,
+                                              std::uint64_t accesses,
+                                              std::uint64_t seed) {
+  TraceCacheKey key;
+  key.domain = static_cast<std::uint64_t>(id);
+  key.accesses = accesses;
+  key.seed = seed;
+  return TraceCache::instance().get_or_generate(
+      key, [&] { return generate_app_trace(id, accesses, seed); });
+}
+
+std::vector<std::shared_ptr<const Trace>> cached_suite(
+    const std::vector<AppId>& apps, std::uint64_t accesses_per_app,
+    std::uint64_t seed) {
+  std::vector<std::shared_ptr<const Trace>> traces;
+  traces.reserve(apps.size());
+  for (AppId id : apps)
+    traces.push_back(cached_app_trace(id, accesses_per_app, seed));
   return traces;
 }
 

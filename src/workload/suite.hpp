@@ -3,6 +3,7 @@
 /// Convenience entry points for the evaluation suite.
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "trace/trace.hpp"
@@ -18,6 +19,18 @@ Trace generate_app_trace(AppId id, std::uint64_t accesses,
 std::vector<Trace> generate_suite(const std::vector<AppId>& apps,
                                   std::uint64_t accesses_per_app,
                                   std::uint64_t seed = 1);
+
+/// TraceCache-backed app trace: generated once process-wide per
+/// (app, accesses, seed), then shared read-only — the input side of the
+/// parallel sweep engine (docs/PARALLELISM.md).
+std::shared_ptr<const Trace> cached_app_trace(AppId id,
+                                              std::uint64_t accesses,
+                                              std::uint64_t seed = 1);
+
+/// TraceCache-backed suite (one shared trace per app).
+std::vector<std::shared_ptr<const Trace>> cached_suite(
+    const std::vector<AppId>& apps, std::uint64_t accesses_per_app,
+    std::uint64_t seed = 1);
 
 /// Trace length used by the bench binaries: the MOBCACHE_TRACE_LEN
 /// environment variable when set (records per app), else `fallback`.

@@ -10,8 +10,8 @@ namespace {
 TEST(Runner, GeneratesOneTracePerApp) {
   ExperimentRunner r({AppId::Launcher, AppId::AudioPlayer}, 20'000, 1);
   ASSERT_EQ(r.traces().size(), 2u);
-  EXPECT_EQ(r.traces()[0].name(), "launcher");
-  EXPECT_GE(r.traces()[0].size(), 20'000u);
+  EXPECT_EQ(r.trace(0).name(), "launcher");
+  EXPECT_GE(r.trace(0).size(), 20'000u);
 }
 
 TEST(Runner, RunSchemeProducesAlignedResults) {

@@ -1,0 +1,147 @@
+#include "trace/trace_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "exp/runner.hpp"
+#include "workload/suite.hpp"
+
+namespace mobcache {
+namespace {
+
+/// Every test starts from an empty cache; the instance is process-wide and
+/// other tests in this binary would otherwise leak state in.
+class TraceCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override { TraceCache::instance().clear(); }
+  void TearDown() override { TraceCache::instance().clear(); }
+};
+
+Trace tiny_trace(const char* name, std::size_t n) {
+  Trace t(name);
+  for (std::size_t i = 0; i < n; ++i) {
+    Access a;
+    a.addr = static_cast<Addr>(i) * kLineSize;
+    t.push(a);
+  }
+  return t;
+}
+
+TEST_F(TraceCacheTest, SameKeyReturnsSamePointer) {
+  TraceCache& c = TraceCache::instance();
+  const TraceCacheKey key{7, 100, 42};
+  const auto a = c.get_or_generate(key, [] { return tiny_trace("a", 100); });
+  const auto b = c.get_or_generate(key, [] { return tiny_trace("b", 999); });
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_EQ(b->name(), "a") << "second generate() must never run";
+  const auto s = c.stats();
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.resident_entries, 1u);
+}
+
+TEST_F(TraceCacheTest, DistinctKeysGenerateSeparately) {
+  TraceCache& c = TraceCache::instance();
+  const auto a =
+      c.get_or_generate({1, 10, 1}, [] { return tiny_trace("x", 10); });
+  const auto b =
+      c.get_or_generate({1, 10, 2}, [] { return tiny_trace("y", 10); });
+  const auto d =
+      c.get_or_generate({1, 11, 1}, [] { return tiny_trace("z", 11); });
+  EXPECT_NE(a.get(), b.get());
+  EXPECT_NE(a.get(), d.get());
+  EXPECT_EQ(c.stats().misses, 3u);
+}
+
+TEST_F(TraceCacheTest, ConcurrentFirstRequestsGenerateOnce) {
+  TraceCache& c = TraceCache::instance();
+  std::atomic<int> generations{0};
+  const TraceCacheKey key{2, 5'000, 7};
+
+  std::vector<std::thread> threads;
+  std::vector<std::shared_ptr<const Trace>> results(8);
+  for (std::size_t t = 0; t < results.size(); ++t) {
+    threads.emplace_back([&, t] {
+      results[t] = c.get_or_generate(key, [&] {
+        generations.fetch_add(1);
+        return tiny_trace("shared", 5'000);
+      });
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(generations.load(), 1);
+  for (const auto& r : results) {
+    ASSERT_NE(r, nullptr);
+    EXPECT_EQ(r.get(), results[0].get());
+  }
+  const auto s = c.stats();
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.hits, 7u);
+}
+
+TEST_F(TraceCacheTest, GeneratorExceptionDoesNotPoisonKey) {
+  TraceCache& c = TraceCache::instance();
+  const TraceCacheKey key{3, 10, 1};
+  EXPECT_THROW(c.get_or_generate(
+                   key, []() -> Trace { throw std::runtime_error("gen"); }),
+               std::runtime_error);
+  // A later request with a working generator must succeed.
+  const auto ok = c.get_or_generate(key, [] { return tiny_trace("ok", 10); });
+  ASSERT_NE(ok, nullptr);
+  EXPECT_EQ(ok->name(), "ok");
+}
+
+TEST_F(TraceCacheTest, CapacityEvictsUnreferencedLru) {
+  TraceCache& c = TraceCache::instance();
+  // Three ~64 KB traces against a budget that holds roughly one of them.
+  const std::size_t n = 4'000;
+  {
+    auto a = c.get_or_generate({9, n, 1}, [&] { return tiny_trace("a", n); });
+    auto b = c.get_or_generate({9, n, 2}, [&] { return tiny_trace("b", n); });
+    EXPECT_EQ(a->size(), n);
+    EXPECT_EQ(b->size(), n);
+  }  // both now unreferenced
+  c.set_capacity_bytes(sizeof(Access) * n * 3 / 2);
+  EXPECT_GE(c.stats().evictions, 1u);
+  EXPECT_LE(c.stats().resident_bytes, c.capacity_bytes());
+  c.set_capacity_bytes(1024ull << 20);
+}
+
+TEST_F(TraceCacheTest, ReferencedEntriesSurviveEviction) {
+  TraceCache& c = TraceCache::instance();
+  const std::size_t n = 4'000;
+  auto held = c.get_or_generate({8, n, 1}, [&] { return tiny_trace("h", n); });
+  c.set_capacity_bytes(1);  // budget nothing: only unreferenced entries go
+  const auto again =
+      c.get_or_generate({8, n, 1}, [&] { return tiny_trace("h2", n); });
+  EXPECT_EQ(again.get(), held.get()) << "live entries must never be evicted";
+  c.set_capacity_bytes(1024ull << 20);
+}
+
+TEST_F(TraceCacheTest, RunnersShareSuiteTraces) {
+  ExperimentRunner a({AppId::Launcher, AppId::Email}, 20'000, 1);
+  ExperimentRunner b({AppId::Launcher, AppId::Email}, 20'000, 1);
+  ASSERT_EQ(a.traces().size(), 2u);
+  EXPECT_EQ(a.traces()[0].get(), b.traces()[0].get());
+  EXPECT_EQ(a.traces()[1].get(), b.traces()[1].get());
+  // Different seed, different trace object.
+  ExperimentRunner d({AppId::Launcher, AppId::Email}, 20'000, 2);
+  EXPECT_NE(a.traces()[0].get(), d.traces()[0].get());
+}
+
+TEST_F(TraceCacheTest, CachedAppTraceMatchesGenerator) {
+  const auto cached = cached_app_trace(AppId::Browser, 10'000, 5);
+  const Trace fresh = generate_app_trace(AppId::Browser, 10'000, 5);
+  ASSERT_EQ(cached->size(), fresh.size());
+  EXPECT_EQ(cached->name(), fresh.name());
+  for (std::size_t i = 0; i < fresh.size(); i += 997) {
+    EXPECT_EQ((*cached)[i].addr, fresh[i].addr) << i;
+  }
+}
+
+}  // namespace
+}  // namespace mobcache

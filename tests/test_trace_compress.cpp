@@ -5,6 +5,8 @@
 #include <filesystem>
 #include <fstream>
 
+#include <unistd.h>
+
 #include "trace/trace_io.hpp"
 #include "workload/suite.hpp"
 
@@ -14,7 +16,11 @@ namespace {
 class TraceCompressTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = std::filesystem::temp_directory_path() / "mobcache_mctz";
+    // Per-process dir: under `ctest -j` every test case is a separate
+    // process, and a shared fixed path would let one TearDown remove_all
+    // race another process's writes.
+    dir_ = std::filesystem::temp_directory_path() /
+           ("mobcache_mctz_" + std::to_string(::getpid()));
     std::filesystem::create_directories(dir_);
   }
   void TearDown() override { std::filesystem::remove_all(dir_); }

@@ -5,13 +5,19 @@
 #include <filesystem>
 #include <fstream>
 
+#include <unistd.h>
+
 namespace mobcache {
 namespace {
 
 class TraceIoTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = std::filesystem::temp_directory_path() / "mobcache_trace_io";
+    // Per-process dir: under `ctest -j` every test case is a separate
+    // process, and a shared fixed path would let one TearDown remove_all
+    // race another process's writes.
+    dir_ = std::filesystem::temp_directory_path() /
+           ("mobcache_trace_io_" + std::to_string(::getpid()));
     std::filesystem::create_directories(dir_);
   }
   void TearDown() override { std::filesystem::remove_all(dir_); }

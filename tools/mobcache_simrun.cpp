@@ -9,7 +9,16 @@
 ///                   [--sample=N] [--trace-evictions]
 ///                   [--fault-rate=R] [--ecc=KIND] [--fault-seed=N]
 ///                   [--way-disable-threshold=N] [--fault-sweep=R1,R2,...]
+///                   [--jobs=N]
 /// Schemes: base shrunk sharedstt sp spmrstt dp dpstt all (default: all)
+///
+/// Parallelism (docs/PARALLELISM.md):
+///   --jobs=N                   worker threads for --fault-sweep mode
+///                              (default: MOBCACHE_JOBS env, then hardware
+///                              concurrency). Results are identical for
+///                              every N. The plain per-scheme mode stays
+///                              serial: its telemetry sessions attach to one
+///                              shared trace sink.
 ///
 /// Observability flags (docs/OBSERVABILITY.md):
 ///   --trace-out=FILE[,FORMAT]  structured event trace for every run.
@@ -53,6 +62,7 @@
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "core/scheme.hpp"
+#include "exp/parallel.hpp"
 #include "exp/runner.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/trace_export.hpp"
@@ -127,6 +137,7 @@ struct CliFlags {
   std::uint64_t fault_seed = 1;
   std::uint32_t way_disable_threshold = 0;
   std::vector<double> sweep_rates;
+  unsigned jobs = 0;  ///< 0 = auto (MOBCACHE_JOBS, then hw concurrency)
 
   bool telemetry_needed() const {
     return !trace_out.empty() || want_metrics || sample_interval != 0;
@@ -206,6 +217,9 @@ std::vector<std::string> parse_flags(int argc, char** argv, CliFlags& f) {
         std::fprintf(stderr, "--fault-sweep needs at least one rate\n");
         std::exit(2);
       }
+    } else if (a.rfind("--jobs=", 0) == 0) {
+      f.jobs = static_cast<unsigned>(
+          std::strtoul(a.c_str() + std::strlen("--jobs="), nullptr, 10));
     } else {
       std::fprintf(stderr, "unknown flag '%s'\n", a.c_str());
       std::exit(2);
@@ -257,6 +271,7 @@ void print_metrics_table(const MetricRegistry& reg) {
 int run_sweep_mode(const CliFlags& flags, std::vector<Trace> traces,
                    const std::vector<SchemeKind>& kinds) {
   ExperimentRunner runner(std::move(traces));
+  runner.jobs = effective_jobs(flags.jobs);
   SchemeParams tmpl;
   tmpl.fault = flags.fault_config(0.0);
   tmpl.fault.ecc = flags.ecc;
@@ -299,7 +314,7 @@ int main(int argc, char** argv) {
         "          [--sample=N] [--trace-evictions]\n"
         "          [--fault-rate=R] [--ecc=none|parity|secded|dected]\n"
         "          [--fault-seed=N] [--way-disable-threshold=N]\n"
-        "          [--fault-sweep=R1,R2,...]\n",
+        "          [--fault-sweep=R1,R2,...] [--jobs=N]\n",
         argv[0]);
     return 2;
   }
