@@ -15,7 +15,12 @@ halves:
                             "results" objects are exactly equal (the
                             parallel engine's determinism contract), and
                             the wall-clock speedup is printed. With
-                            --min-speedup=X, speedup below X fails.
+                            --min-speedup=X, speedup below X fails. With
+                            --rel-tol=R, result keys under the "timing/"
+                            prefix (measured throughputs and ratios, e.g.
+                            from bench_micro --kernel-report) are compared
+                            with relative tolerance R instead of exactly;
+                            all other keys stay exact.
   identical A B             byte-for-byte file comparison — for the
                             deterministic result artifacts (CSV / result
                             JSON) emitted by a --jobs=1 vs --jobs=N run.
@@ -76,7 +81,13 @@ def validate(path):
           f"{len(results)} metrics)")
 
 
-def compare(serial_path, parallel_path, min_speedup):
+def within_rel_tol(a, b, rel_tol):
+    if not isinstance(a, (int, float)) or not isinstance(b, (int, float)):
+        return False
+    return math.isclose(a, b, rel_tol=rel_tol, abs_tol=0.0)
+
+
+def compare(serial_path, parallel_path, min_speedup, rel_tol):
     serial = load_report(serial_path)
     parallel = load_report(parallel_path)
     if serial["bench"] != parallel["bench"]:
@@ -84,20 +95,28 @@ def compare(serial_path, parallel_path, min_speedup):
     if serial["points"] != parallel["points"]:
         fail(f"{serial['bench']}: point counts differ "
              f"({serial['points']} vs {parallel['points']})")
-    if serial["results"] != parallel["results"]:
-        keys = set(serial["results"]) | set(parallel["results"])
-        for key in sorted(keys):
-            a = serial["results"].get(key)
-            b = parallel["results"].get(key)
-            if a != b:
-                fail(f"{serial['bench']}: results.{key} differs between "
-                     f"jobs={serial['jobs']} and jobs={parallel['jobs']}: "
-                     f"{a!r} vs {b!r} — the parallel engine broke "
-                     f"determinism")
-        fail(f"{serial['bench']}: results objects differ")
+    keys = set(serial["results"]) | set(parallel["results"])
+    toleranced = 0
+    for key in sorted(keys):
+        a = serial["results"].get(key)
+        b = parallel["results"].get(key)
+        if a == b:
+            continue
+        if rel_tol is not None and key.startswith("timing/"):
+            if within_rel_tol(a, b, rel_tol):
+                toleranced += 1
+                continue
+            fail(f"{serial['bench']}: results.{key} differs beyond "
+                 f"rel-tol {rel_tol:g}: {a!r} vs {b!r}")
+        fail(f"{serial['bench']}: results.{key} differs between "
+             f"jobs={serial['jobs']} and jobs={parallel['jobs']}: "
+             f"{a!r} vs {b!r} — the parallel engine broke "
+             f"determinism")
+    tol_note = (f", {toleranced} timing keys within rel-tol {rel_tol:g}"
+                if toleranced else "")
     speedup = serial["wall_ms"] / parallel["wall_ms"]
     print(f"check_bench: OK: {serial['bench']} deterministic across "
-          f"jobs={serial['jobs']}/jobs={parallel['jobs']}; speedup "
+          f"jobs={serial['jobs']}/jobs={parallel['jobs']}{tol_note}; speedup "
           f"{speedup:.2f}x ({serial['wall_ms']:.0f} ms -> "
           f"{parallel['wall_ms']:.0f} ms)")
     if min_speedup is not None and speedup < min_speedup:
@@ -130,6 +149,10 @@ def main():
     p_compare.add_argument("serial")
     p_compare.add_argument("parallel")
     p_compare.add_argument("--min-speedup", type=float, default=None)
+    p_compare.add_argument(
+        "--rel-tol", type=float, default=None,
+        help="relative tolerance for results keys under the 'timing/' "
+             "prefix; other keys remain exact")
 
     p_identical = sub.add_parser("identical", help="byte-compare two files")
     p_identical.add_argument("a")
@@ -140,7 +163,7 @@ def main():
         for path in args.files:
             validate(path)
     elif args.command == "compare":
-        compare(args.serial, args.parallel, args.min_speedup)
+        compare(args.serial, args.parallel, args.min_speedup, args.rel_tol)
     else:
         identical(args.a, args.b)
 

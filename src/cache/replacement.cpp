@@ -1,181 +1,8 @@
 #include "cache/replacement.hpp"
 
-#include <bit>
-#include <limits>
-
-#include "common/rng.hpp"
-
 namespace mobcache {
 
 void ReplacementPolicy::on_invalidate(std::uint32_t, std::uint32_t) {}
-
-namespace {
-
-/// Exact LRU via monotone stamps: victim = smallest stamp among candidates.
-class LruPolicy final : public ReplacementPolicy {
- public:
-  LruPolicy(std::uint32_t num_sets, std::uint32_t assoc, bool update_on_hit)
-      : assoc_(assoc),
-        update_on_hit_(update_on_hit),
-        stamp_(static_cast<std::size_t>(num_sets) * assoc, 0) {}
-
-  void on_hit(std::uint32_t set, std::uint32_t way) override {
-    if (update_on_hit_) stamp_[idx(set, way)] = ++tick_;
-  }
-
-  void on_fill(std::uint32_t set, std::uint32_t way) override {
-    stamp_[idx(set, way)] = ++tick_;
-  }
-
-  std::uint32_t choose_victim(std::uint32_t set, WayMask candidates) override {
-    std::uint64_t best = std::numeric_limits<std::uint64_t>::max();
-    std::uint32_t victim = 0;
-    for (WayMask m = candidates; m != 0; m &= m - 1) {
-      const auto way = static_cast<std::uint32_t>(std::countr_zero(m));
-      if (stamp_[idx(set, way)] < best) {
-        best = stamp_[idx(set, way)];
-        victim = way;
-      }
-    }
-    return victim;
-  }
-
-  void on_invalidate(std::uint32_t set, std::uint32_t way) override {
-    stamp_[idx(set, way)] = 0;
-  }
-
- private:
-  std::size_t idx(std::uint32_t set, std::uint32_t way) const {
-    return static_cast<std::size_t>(set) * assoc_ + way;
-  }
-
-  std::uint32_t assoc_;
-  bool update_on_hit_;
-  std::uint64_t tick_ = 0;
-  std::vector<std::uint64_t> stamp_;
-};
-
-class RandomPolicy final : public ReplacementPolicy {
- public:
-  RandomPolicy(std::uint64_t seed) : rng_(seed) {}
-
-  void on_hit(std::uint32_t, std::uint32_t) override {}
-  void on_fill(std::uint32_t, std::uint32_t) override {}
-
-  std::uint32_t choose_victim(std::uint32_t, WayMask candidates) override {
-    const int n = std::popcount(candidates);
-    auto pick = static_cast<int>(rng_.below(static_cast<std::uint64_t>(n)));
-    for (WayMask m = candidates; m != 0; m &= m - 1) {
-      if (pick-- == 0) return static_cast<std::uint32_t>(std::countr_zero(m));
-    }
-    return static_cast<std::uint32_t>(std::countr_zero(candidates));
-  }
-
- private:
-  Rng rng_;
-};
-
-/// Tree-PLRU. One bit per internal node of a binary tree over the ways;
-/// bit==0 means "LRU side is the left subtree". Mask-aware traversal: when
-/// the pointed-to subtree contains no candidate way, take the other side.
-class PlruPolicy final : public ReplacementPolicy {
- public:
-  PlruPolicy(std::uint32_t num_sets, std::uint32_t assoc)
-      : assoc_(assoc),
-        bits_(static_cast<std::size_t>(num_sets) * assoc, false) {}
-
-  void on_hit(std::uint32_t set, std::uint32_t way) override { touch(set, way); }
-  void on_fill(std::uint32_t set, std::uint32_t way) override { touch(set, way); }
-
-  std::uint32_t choose_victim(std::uint32_t set, WayMask candidates) override {
-    // Descend from the root; node i has children 2i+1, 2i+2; leaves map to
-    // ways in order.
-    std::uint32_t node = 0;
-    std::uint32_t lo = 0;
-    std::uint32_t span = assoc_;
-    while (span > 1) {
-      const bool go_right = bit(set, node);
-      const std::uint32_t half = span / 2;
-      const WayMask left_mask = way_range_mask(lo, half) & candidates;
-      const WayMask right_mask = way_range_mask(lo + half, half) & candidates;
-      bool right = go_right;
-      if (right && right_mask == 0) right = false;
-      if (!right && left_mask == 0) right = true;
-      node = 2 * node + (right ? 2 : 1);
-      if (right) lo += half;
-      span = half;
-    }
-    return lo;
-  }
-
- private:
-  bool bit(std::uint32_t set, std::uint32_t node) const {
-    return bits_[static_cast<std::size_t>(set) * assoc_ + node];
-  }
-
-  /// Flip path bits so the tree points *away* from `way`.
-  void touch(std::uint32_t set, std::uint32_t way) {
-    std::uint32_t node = 0;
-    std::uint32_t lo = 0;
-    std::uint32_t span = assoc_;
-    while (span > 1) {
-      const std::uint32_t half = span / 2;
-      const bool in_right = way >= lo + half;
-      bits_[static_cast<std::size_t>(set) * assoc_ + node] = !in_right;
-      node = 2 * node + (in_right ? 2 : 1);
-      if (in_right) lo += half;
-      span = half;
-    }
-  }
-
-  std::uint32_t assoc_;
-  std::vector<bool> bits_;  // assoc-1 nodes used per set; sized assoc for simplicity
-};
-
-/// Static RRIP (SRRIP-HP) with 2-bit re-reference prediction values.
-class SrripPolicy final : public ReplacementPolicy {
- public:
-  static constexpr std::uint8_t kMaxRrpv = 3;
-
-  SrripPolicy(std::uint32_t num_sets, std::uint32_t assoc)
-      : assoc_(assoc),
-        rrpv_(static_cast<std::size_t>(num_sets) * assoc, kMaxRrpv) {}
-
-  void on_hit(std::uint32_t set, std::uint32_t way) override {
-    rrpv_[idx(set, way)] = 0;
-  }
-
-  void on_fill(std::uint32_t set, std::uint32_t way) override {
-    rrpv_[idx(set, way)] = kMaxRrpv - 1;  // "long" re-reference interval
-  }
-
-  std::uint32_t choose_victim(std::uint32_t set, WayMask candidates) override {
-    for (;;) {
-      for (WayMask m = candidates; m != 0; m &= m - 1) {
-        const auto way = static_cast<std::uint32_t>(std::countr_zero(m));
-        if (rrpv_[idx(set, way)] == kMaxRrpv) return way;
-      }
-      for (WayMask m = candidates; m != 0; m &= m - 1) {
-        const auto way = static_cast<std::uint32_t>(std::countr_zero(m));
-        ++rrpv_[idx(set, way)];
-      }
-    }
-  }
-
-  void on_invalidate(std::uint32_t set, std::uint32_t way) override {
-    rrpv_[idx(set, way)] = kMaxRrpv;
-  }
-
- private:
-  std::size_t idx(std::uint32_t set, std::uint32_t way) const {
-    return static_cast<std::size_t>(set) * assoc_ + way;
-  }
-
-  std::uint32_t assoc_;
-  std::vector<std::uint8_t> rrpv_;
-};
-
-}  // namespace
 
 std::unique_ptr<ReplacementPolicy> make_replacement(ReplKind kind,
                                                     std::uint32_t num_sets,

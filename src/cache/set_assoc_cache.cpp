@@ -1,114 +1,201 @@
 #include "cache/set_assoc_cache.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
+#include <cstdlib>
 
 namespace mobcache {
 
-SetAssocCache::SetAssocCache(CacheConfig cfg, std::uint64_t seed)
-    : cfg_(std::move(cfg)), num_sets_(0) {
-  cfg_.validate();
-  num_sets_ = cfg_.num_sets();
-  blocks_.resize(static_cast<std::size_t>(num_sets_) * cfg_.assoc);
-  wear_.assign(blocks_.size(), 0);
-  repl_ = make_replacement(cfg_.repl, num_sets_, cfg_.assoc, seed);
+namespace {
+
+/// Process-wide default kernel mode; 2 = not yet resolved from the
+/// environment. Atomic because the parallel sweep executor constructs
+/// caches from worker threads.
+std::atomic<std::uint8_t> g_default_kernel_mode{2};
+
+}  // namespace
+
+KernelMode SetAssocCache::default_kernel_mode() {
+  std::uint8_t v = g_default_kernel_mode.load(std::memory_order_relaxed);
+  if (v == 2) {
+    const char* e = std::getenv("MOBCACHE_REFERENCE_KERNEL");
+    v = (e != nullptr && e[0] != '\0' && e[0] != '0') ? 1 : 0;
+    g_default_kernel_mode.store(v, std::memory_order_relaxed);
+  }
+  return static_cast<KernelMode>(v);
 }
 
-void SetAssocCache::notify_eviction(const BlockMeta& b, Cycle now) {
+void SetAssocCache::set_default_kernel_mode(KernelMode m) {
+  g_default_kernel_mode.store(static_cast<std::uint8_t>(m),
+                              std::memory_order_relaxed);
+}
+
+SetAssocCache::SetAssocCache(CacheConfig cfg, std::uint64_t seed)
+    : cfg_(std::move(cfg)),
+      num_sets_(0),
+      kernel_mode_(default_kernel_mode()) {
+  cfg_.validate();
+  num_sets_ = cfg_.num_sets();
+  line_shift_ = static_cast<std::uint32_t>(std::countr_zero(cfg_.line_size));
+  sets_shift_ = static_cast<std::uint32_t>(
+      std::countr_zero(static_cast<std::uint64_t>(num_sets_)));
+  const std::size_t n = static_cast<std::size_t>(num_sets_) * cfg_.assoc;
+  tags_.assign(n, kNoTag);
+  flags_.assign(n, 0);
+  cold_.assign(n, ColdMeta{});
+  wear_.assign(n, 0);
+  repl_ = make_replacement(cfg_.repl, num_sets_, cfg_.assoc, seed);
+  select_kernel();
+}
+
+void SetAssocCache::notify_eviction(std::size_t i, Cycle now) {
   if (observers_.empty()) return;
   EvictionEvent e;
-  e.line = b.line;
-  e.owner = b.owner;
-  e.fill_cycle = b.fill_cycle;
-  e.last_access = b.last_access;
+  e.line = tags_[i];
+  e.owner = owner_at(i);
+  e.fill_cycle = cold_[i].fill_cycle;
+  e.last_access = cold_[i].last_access;
   e.evict_cycle = now;
-  e.dirty = b.dirty;
-  e.access_count = b.access_count;
+  e.dirty = (flags_[i] & kDirtyBit) != 0;
+  e.access_count = cold_[i].access_count;
   for (const auto& obs : observers_) obs(e);
+}
+
+BlockMeta SetAssocCache::block(std::uint32_t set, std::uint32_t way) const {
+  const std::size_t i = loc(set, way);
+  BlockMeta b;
+  b.line = tags_[i];
+  b.valid = (flags_[i] & kValidBit) != 0;
+  b.dirty = (flags_[i] & kDirtyBit) != 0;
+  b.owner = owner_at(i);
+  b.fill_cycle = cold_[i].fill_cycle;
+  b.last_access = cold_[i].last_access;
+  b.last_write = cold_[i].last_write;
+  b.retention_deadline = cold_[i].deadline;
+  b.access_count = cold_[i].access_count;
+  b.prefetched = (flags_[i] & kPrefetchedBit) != 0;
+  b.fault_bits = cold_[i].fault_bits;
+  return b;
 }
 
 bool SetAssocCache::invalidate_line(Addr line, bool* was_dirty) {
   const std::uint32_t set = set_index(line);
   for (std::uint32_t way = 0; way < cfg_.assoc; ++way) {
-    BlockMeta& b = block_mut(set, way);
-    if (!b.valid || b.line != line) continue;
-    if (was_dirty != nullptr) *was_dirty = b.dirty;
-    notify_eviction(b, b.last_access);
-    b.valid = false;
+    const std::size_t i = loc(set, way);
+    if ((flags_[i] & kValidBit) == 0 || tags_[i] != line) continue;
+    if (was_dirty != nullptr) *was_dirty = (flags_[i] & kDirtyBit) != 0;
+    notify_eviction(i, cold_[i].last_access);
+    invalidate_at(i);
     repl_->on_invalidate(set, way);
     return true;
   }
   return false;
 }
 
-AccessResult SetAssocCache::access(Addr line, AccessType type, Mode mode,
-                                   Cycle now, WayMask allowed, bool prefetch,
-                                   bool no_alloc) {
+template <typename Repl, bool HasRetention, bool HasFault, bool HasObs,
+          std::uint32_t AssocT>
+AccessResult SetAssocCache::access_kernel(Addr line, AccessType type,
+                                          Mode mode, Cycle now,
+                                          WayMask allowed, bool prefetch,
+                                          bool no_alloc) {
   AccessResult r;
+  // AssocT != 0 pins the trip count of every way loop below at compile
+  // time (select_kernel only picks such a variant when cfg_.assoc matches).
+  const std::uint32_t assoc = AssocT != 0 ? AssocT : cfg_.assoc;
   const std::uint32_t set = set_index(line);
+  const std::size_t base = static_cast<std::size_t>(set) * assoc;
+  // Repl == ReplacementPolicy keeps virtual dispatch (reference path); a
+  // concrete final policy type turns every call below into a direct call on
+  // the same state object.
+  Repl& rp = static_cast<Repl&>(*repl_);
   if (!prefetch) ++stats_.accesses[static_cast<int>(mode)];
 
-  // Lookup within the allowed ways.
-  for (WayMask m = allowed; m != 0; m &= m - 1) {
-    const auto way = static_cast<std::uint32_t>(std::countr_zero(m));
-    BlockMeta& b = block_mut(set, way);
-    if (!b.valid || b.line != line) continue;
-    if (expired(b, now)) {
+  // The metadata lanes below are only touched after the probe resolves;
+  // issuing their loads now overlaps that latency with the tag scan on
+  // sets that miss the host cache (random-set traffic).
+  __builtin_prefetch(&flags_[base], 1);
+  __builtin_prefetch(&cold_[base], 1);
+
+  // Probe: branchless scan of the contiguous tag lane. Invalid blocks hold
+  // kNoTag, so this is a pure tag compare — no flags load — and the
+  // fixed-trip loop with no early exit vectorizes and carries no
+  // data-dependent branch (an early-exit scan mispredicts on nearly every
+  // hit, since the hit way is effectively random). Matches outside
+  // `allowed` are masked off afterwards; countr_zero picks the lowest
+  // allowed matching way, exactly what the old first-match loop returned.
+  const Addr* const tag_row = tags_.data() + base;
+  WayMask match = 0;
+  for (std::uint32_t way = 0; way < assoc; ++way)
+    match |= static_cast<WayMask>(tag_row[way] == line) << way;
+  match &= allowed;
+  const std::uint32_t hit_way =
+      match != 0 ? static_cast<std::uint32_t>(std::countr_zero(match))
+                 : assoc;
+
+  if (hit_way != assoc) {
+    const std::uint32_t way = hit_way;
+    const std::size_t i = base + way;
+    bool dropped = false;
+    if (HasRetention && expired_at(i, now)) {
       // Retention ran out before this re-reference: the data is gone. The
       // scrub hardware wrote dirty data back at expiry; surface that so the
       // owner design can charge the DRAM write.
+      const bool dirty = (flags_[i] & kDirtyBit) != 0;
       r.target_expired = true;
-      r.expired_was_dirty = b.dirty;
+      r.expired_was_dirty = dirty;
       ++stats_.expired_blocks;
-      if (b.dirty) ++stats_.expired_dirty;
-      notify_eviction(b, now);
-      b.valid = false;
-      repl_->on_invalidate(set, way);
-      break;  // fall through to the miss path
-    }
-    if (b.fault_bits != 0 && fault_hooks_ != nullptr) {
-      const FaultReadOutcome out = fault_hooks_->read_check(line, b.fault_bits);
+      if (dirty) ++stats_.expired_dirty;
+      if constexpr (HasObs) notify_eviction(i, now);
+      invalidate_at(i);
+      rp.on_invalidate(set, way);
+      dropped = true;  // fall through to the miss path
+    } else if (HasFault && cold_[i].fault_bits != 0 && fault_hooks_ != nullptr) {
+      const FaultReadOutcome out = fault_hooks_->read_check(line, cold_[i].fault_bits);
       if (out == FaultReadOutcome::Corrected) {
-        b.fault_bits = 0;
+        cold_[i].fault_bits = 0;
         ++stats_.ecc_corrections;
         r.ecc_corrected = true;
       } else if (out == FaultReadOutcome::Lost) {
         // Detected but uncorrectable: the block is unusable. Dirty data
         // cannot be written back — the decayed copy was the only one.
+        const bool dirty = (flags_[i] & kDirtyBit) != 0;
         r.fault_lost = true;
-        r.fault_lost_dirty = b.dirty;
+        r.fault_lost_dirty = dirty;
         ++stats_.fault_losses;
-        if (b.dirty) ++stats_.fault_lost_dirty;
-        notify_eviction(b, now);
-        b.valid = false;
-        repl_->on_invalidate(set, way);
-        break;  // fall through to the miss path
+        if (dirty) ++stats_.fault_lost_dirty;
+        if constexpr (HasObs) notify_eviction(i, now);
+        invalidate_at(i);
+        rp.on_invalidate(set, way);
+        dropped = true;  // fall through to the miss path
       } else {
         ++stats_.silent_faults;  // wrong data served; invisible to the host
       }
     }
-    // Hit.
-    r.hit = true;
-    r.way = way;
-    if (prefetch) return r;  // line already resident: prefetch is a no-op
-    ++stats_.hits[static_cast<int>(mode)];
-    if (b.prefetched) {
-      ++stats_.useful_prefetches;
-      b.prefetched = false;
+    if (!dropped) {
+      // Hit.
+      r.hit = true;
+      r.way = way;
+      if (prefetch) return r;  // line already resident: prefetch is a no-op
+      ++stats_.hits[static_cast<int>(mode)];
+      if ((flags_[i] & kPrefetchedBit) != 0) {
+        ++stats_.useful_prefetches;
+        flags_[i] &= static_cast<std::uint8_t>(~kPrefetchedBit);
+      }
+      cold_[i].last_access = now;
+      ++cold_[i].access_count;
+      if (type == AccessType::Write) {
+        ++stats_.store_hits;
+        flags_[i] |= kDirtyBit;
+        cold_[i].last_write = now;
+        ++wear_[i];
+        if (HasFault && fault_hooks_ != nullptr) apply_write_faults(i, set, way);
+        if (HasRetention && retention_period_ != 0)
+          cold_[i].deadline = now + effective_period(line);
+      }
+      rp.on_hit(set, way);
+      return r;
     }
-    b.last_access = now;
-    ++b.access_count;
-    if (type == AccessType::Write) {
-      ++stats_.store_hits;
-      b.dirty = true;
-      b.last_write = now;
-      count_wear(set, way);
-      if (fault_hooks_ != nullptr) apply_write_faults(b, set, way);
-      if (retention_period_ != 0)
-        b.retention_deadline = now + effective_period(line);
-    }
-    repl_->on_hit(set, way);
-    return r;
   }
 
   // Bypassed fill, or no ways left to fill into (every way of the segment
@@ -117,53 +204,65 @@ AccessResult SetAssocCache::access(Addr line, AccessType type, Mode mode,
 
   // Miss: pick a fill way — an invalid/expired allowed way if any, else a
   // replacement victim among the allowed ways.
-  std::uint32_t fill_way = cfg_.assoc;  // sentinel
-  for (WayMask m = allowed; m != 0; m &= m - 1) {
-    const auto way = static_cast<std::uint32_t>(std::countr_zero(m));
-    BlockMeta& b = block_mut(set, way);
-    if (b.valid && expired(b, now)) {
-      ++stats_.expired_blocks;
-      if (b.dirty) {
-        ++stats_.expired_dirty;
-        r.expired_was_dirty = true;
+  std::uint32_t fill_way = assoc;  // sentinel
+  if constexpr (HasRetention) {
+    for (WayMask m = allowed; m != 0; m &= m - 1) {
+      const auto way = static_cast<std::uint32_t>(std::countr_zero(m));
+      const std::size_t i = base + way;
+      if ((flags_[i] & kValidBit) != 0 && expired_at(i, now)) {
+        ++stats_.expired_blocks;
+        if ((flags_[i] & kDirtyBit) != 0) {
+          ++stats_.expired_dirty;
+          r.expired_was_dirty = true;
+        }
+        if constexpr (HasObs) notify_eviction(i, now);
+        invalidate_at(i);
+        rp.on_invalidate(set, way);
       }
-      notify_eviction(b, now);
-      b.valid = false;
-      repl_->on_invalidate(set, way);
+      if ((flags_[i] & kValidBit) == 0 && fill_way == assoc)
+        fill_way = way;
     }
-    if (!b.valid && fill_way == cfg_.assoc) fill_way = way;
+  } else {
+    // No expiry side effects: invalid ⇔ kNoTag in the (already hot) tag
+    // row, so the first-invalid scan is branchless like the probe.
+    WayMask invalid = 0;
+    for (std::uint32_t way = 0; way < assoc; ++way)
+      invalid |= static_cast<WayMask>(tag_row[way] == kNoTag) << way;
+    invalid &= allowed;
+    if (invalid != 0)
+      fill_way = static_cast<std::uint32_t>(std::countr_zero(invalid));
   }
 
-  if (fill_way == cfg_.assoc) {
-    fill_way = repl_->choose_victim(set, allowed);
-    BlockMeta& victim = block_mut(set, fill_way);
+  if (fill_way == assoc) {
+    fill_way = rp.choose_victim(set, allowed);
+    const std::size_t v = base + fill_way;
+    const bool victim_dirty = (flags_[v] & kDirtyBit) != 0;
     r.evicted_valid = true;
-    r.victim_dirty = victim.dirty;
-    r.victim_line = victim.line;
-    r.victim_owner = victim.owner;
-    r.victim_access_count = victim.access_count;
+    r.victim_dirty = victim_dirty;
+    r.victim_line = tags_[v];
+    r.victim_owner = owner_at(v);
+    r.victim_access_count = cold_[v].access_count;
     ++stats_.evictions;
-    if (victim.dirty) ++stats_.writebacks;
-    if (victim.owner != mode) ++stats_.cross_mode_evictions;
-    notify_eviction(victim, now);
+    if (victim_dirty) ++stats_.writebacks;
+    if (r.victim_owner != mode) ++stats_.cross_mode_evictions;
+    if constexpr (HasObs) notify_eviction(v, now);
   }
 
-  BlockMeta& b = block_mut(set, fill_way);
-  b.line = line;
-  b.valid = true;
-  b.dirty = type == AccessType::Write;
-  b.owner = mode;
-  b.fill_cycle = now;
-  b.last_access = now;
-  b.last_write = now;
-  b.retention_deadline =
-      retention_period_ == 0 ? 0 : now + effective_period(line);
-  b.access_count = 1;
-  b.prefetched = prefetch;
-  b.fault_bits = 0;
-  if (fault_hooks_ != nullptr) apply_write_faults(b, set, fill_way);
-  count_wear(set, fill_way);
-  repl_->on_fill(set, fill_way);
+  const std::size_t i = base + fill_way;
+  tags_[i] = line;
+  flags_[i] = static_cast<std::uint8_t>(
+      kValidBit | (type == AccessType::Write ? kDirtyBit : 0) |
+      (mode == Mode::Kernel ? kKernelBit : 0) |
+      (prefetch ? kPrefetchedBit : 0));
+  cold_[i].fill_cycle = now;
+  cold_[i].last_access = now;
+  cold_[i].last_write = now;
+  cold_[i].deadline = retention_period_ == 0 ? 0 : now + effective_period(line);
+  cold_[i].access_count = 1;
+  cold_[i].fault_bits = 0;
+  if (HasFault && fault_hooks_ != nullptr) apply_write_faults(i, set, fill_way);
+  ++wear_[i];
+  rp.on_fill(set, fill_way);
 
   r.filled = true;
   r.way = fill_way;
@@ -175,52 +274,119 @@ AccessResult SetAssocCache::access(Addr line, AccessType type, Mode mode,
   return r;
 }
 
+template <typename Repl>
+SetAssocCache::AccessFn SetAssocCache::kernel_for_flags(bool retention,
+                                                        bool fault,
+                                                        bool obs) const {
+  if (retention) {
+    if (fault)
+      return obs ? &SetAssocCache::access_kernel<Repl, true, true, true>
+                 : &SetAssocCache::access_kernel<Repl, true, true, false>;
+    return obs ? &SetAssocCache::access_kernel<Repl, true, false, true>
+               : &SetAssocCache::access_kernel<Repl, true, false, false>;
+  }
+  if (fault)
+    return obs ? &SetAssocCache::access_kernel<Repl, false, true, true>
+               : &SetAssocCache::access_kernel<Repl, false, true, false>;
+  if (obs) return &SetAssocCache::access_kernel<Repl, false, false, true>;
+  // The feature-free kernel is the hottest instantiation by far; pin the
+  // associativity at compile time for the two the modeled hierarchies use
+  // so the probe and fill-way scans fully unroll.
+  switch (cfg_.assoc) {
+    case 8:
+      return &SetAssocCache::access_kernel<Repl, false, false, false, 8>;
+    case 16:
+      return &SetAssocCache::access_kernel<Repl, false, false, false, 16>;
+    default:
+      return &SetAssocCache::access_kernel<Repl, false, false, false>;
+  }
+}
+
+void SetAssocCache::select_kernel() {
+  if (retention_period_ != 0) retention_ever_ = true;
+  if (kernel_mode_ == KernelMode::Reference) {
+    // The generic always-checking kernel through the virtual policy
+    // interface: the behavioral baseline.
+    kernel_ = &SetAssocCache::access_kernel<ReplacementPolicy, true, true, true>;
+    return;
+  }
+  const bool ret = retention_ever_;
+  const bool fault = fault_hooks_ != nullptr;
+  const bool obs = !observers_.empty();
+  switch (cfg_.repl) {
+    case ReplKind::Lru:
+    case ReplKind::Fifo:  // FIFO shares LruPolicy (update_on_hit=false)
+      kernel_ = kernel_for_flags<LruPolicy>(ret, fault, obs);
+      break;
+    case ReplKind::Random:
+      kernel_ = kernel_for_flags<RandomPolicy>(ret, fault, obs);
+      break;
+    case ReplKind::Plru:
+      kernel_ = kernel_for_flags<PlruPolicy>(ret, fault, obs);
+      break;
+    case ReplKind::Srrip:
+      kernel_ = kernel_for_flags<SrripPolicy>(ret, fault, obs);
+      break;
+  }
+}
+
+std::string SetAssocCache::kernel_name() const {
+  if (kernel_mode_ == KernelMode::Reference) return "reference";
+  std::string n = "fast/";
+  n += to_string(cfg_.repl);
+  if (retention_ever_) n += "+retention";
+  if (fault_hooks_ != nullptr) n += "+fault";
+  if (!observers_.empty()) n += "+obs";
+  return n;
+}
+
 bool SetAssocCache::refresh_block(std::uint32_t set, std::uint32_t way,
                                   Cycle now) {
-  BlockMeta& b = block_mut(set, way);
-  if (!b.valid) return false;
-  if (b.fault_bits != 0 && fault_hooks_ != nullptr) {
+  const std::size_t i = loc(set, way);
+  if ((flags_[i] & kValidBit) == 0) return false;
+  if (cold_[i].fault_bits != 0 && fault_hooks_ != nullptr) {
     // The scrub reads the block before rewriting it, so the corrector runs
     // here too: this is how a scrub *repairs* decayed blocks it reaches in
     // time. Silent corruption is rewritten faithfully (bits stay wrong).
-    const FaultReadOutcome out = fault_hooks_->read_check(b.line, b.fault_bits);
+    const FaultReadOutcome out =
+        fault_hooks_->read_check(tags_[i], cold_[i].fault_bits);
     if (out == FaultReadOutcome::Lost) {
       ++stats_.fault_losses;
-      if (b.dirty) ++stats_.fault_lost_dirty;
-      notify_eviction(b, now);
-      b.valid = false;
+      if ((flags_[i] & kDirtyBit) != 0) ++stats_.fault_lost_dirty;
+      notify_eviction(i, now);
+      invalidate_at(i);
       repl_->on_invalidate(set, way);
       return false;
     }
     if (out == FaultReadOutcome::Corrected) {
-      b.fault_bits = 0;
+      cold_[i].fault_bits = 0;
       ++stats_.scrub_repairs;
     }
   }
-  b.last_write = now;
-  count_wear(set, way);
-  if (fault_hooks_ != nullptr) apply_write_faults(b, set, way);
+  cold_[i].last_write = now;
+  ++wear_[i];
+  if (fault_hooks_ != nullptr) apply_write_faults(i, set, way);
   if (retention_period_ != 0)
-    b.retention_deadline = now + effective_period(b.line);
+    cold_[i].deadline = now + effective_period(tags_[i]);
   ++stats_.refreshes;
   return true;
 }
 
-void SetAssocCache::apply_write_faults(BlockMeta& b, std::uint32_t set,
+void SetAssocCache::apply_write_faults(std::size_t i, std::uint32_t set,
                                        std::uint32_t way) {
-  const std::uint32_t upsets = fault_hooks_->write_upsets(b.line, set, way);
+  const std::uint32_t upsets = fault_hooks_->write_upsets(tags_[i], set, way);
   if (upsets == 0) return;
   ++stats_.write_faults;
-  b.fault_bits = static_cast<std::uint16_t>(
-      std::min<std::uint32_t>(b.fault_bits + upsets, 0xffffu));
+  cold_[i].fault_bits = static_cast<std::uint16_t>(
+      std::min<std::uint32_t>(cold_[i].fault_bits + upsets, 0xffffu));
 }
 
 bool SetAssocCache::corrupt_block(std::uint32_t set, std::uint32_t way,
                                   std::uint32_t bits) {
-  BlockMeta& b = block_mut(set, way);
-  if (!b.valid || bits == 0) return false;
-  b.fault_bits = static_cast<std::uint16_t>(
-      std::min<std::uint32_t>(b.fault_bits + bits, 0xffffu));
+  const std::size_t i = loc(set, way);
+  if ((flags_[i] & kValidBit) == 0 || bits == 0) return false;
+  cold_[i].fault_bits = static_cast<std::uint16_t>(
+      std::min<std::uint32_t>(cold_[i].fault_bits + bits, 0xffffu));
   ++stats_.transient_upsets;
   return true;
 }
@@ -250,16 +416,16 @@ std::pair<std::uint64_t, std::uint64_t> SetAssocCache::expire_sweep(Cycle now) {
   std::uint64_t dirty = 0;
   for (std::uint32_t set = 0; set < num_sets_; ++set) {
     for (std::uint32_t way = 0; way < cfg_.assoc; ++way) {
-      BlockMeta& b = block_mut(set, way);
-      if (!b.valid || !expired(b, now)) continue;
+      const std::size_t i = loc(set, way);
+      if ((flags_[i] & kValidBit) == 0 || !expired_at(i, now)) continue;
       ++total;
       ++stats_.expired_blocks;
-      if (b.dirty) {
+      if ((flags_[i] & kDirtyBit) != 0) {
         ++dirty;
         ++stats_.expired_dirty;
       }
-      notify_eviction(b, now);
-      b.valid = false;
+      notify_eviction(i, now);
+      invalidate_at(i);
       repl_->on_invalidate(set, way);
     }
   }
@@ -272,11 +438,11 @@ std::uint64_t SetAssocCache::invalidate_ways(WayMask ways) {
     for (WayMask m = ways; m != 0; m &= m - 1) {
       const auto way = static_cast<std::uint32_t>(std::countr_zero(m));
       if (way >= cfg_.assoc) break;
-      BlockMeta& b = block_mut(set, way);
-      if (!b.valid) continue;
-      if (b.dirty) ++dirty_flushed;
-      notify_eviction(b, b.last_access);
-      b.valid = false;
+      const std::size_t i = loc(set, way);
+      if ((flags_[i] & kValidBit) == 0) continue;
+      if ((flags_[i] & kDirtyBit) != 0) ++dirty_flushed;
+      notify_eviction(i, cold_[i].last_access);
+      invalidate_at(i);
       repl_->on_invalidate(set, way);
     }
   }
@@ -289,8 +455,8 @@ std::uint64_t SetAssocCache::occupancy(WayMask ways, Cycle now) const {
     for (WayMask m = ways; m != 0; m &= m - 1) {
       const auto way = static_cast<std::uint32_t>(std::countr_zero(m));
       if (way >= cfg_.assoc) break;
-      const BlockMeta& b = block(set, way);
-      if (b.valid && !expired(b, now)) ++count;
+      const std::size_t i = loc(set, way);
+      if ((flags_[i] & kValidBit) != 0 && !expired_at(i, now)) ++count;
     }
   }
   return count;
@@ -302,8 +468,10 @@ std::uint64_t SetAssocCache::dirty_occupancy(WayMask ways, Cycle now) const {
     for (WayMask m = ways; m != 0; m &= m - 1) {
       const auto way = static_cast<std::uint32_t>(std::countr_zero(m));
       if (way >= cfg_.assoc) break;
-      const BlockMeta& b = block(set, way);
-      if (b.valid && b.dirty && !expired(b, now)) ++count;
+      const std::size_t i = loc(set, way);
+      if ((flags_[i] & (kValidBit | kDirtyBit)) == (kValidBit | kDirtyBit) &&
+          !expired_at(i, now))
+        ++count;
     }
   }
   return count;
@@ -314,8 +482,9 @@ void SetAssocCache::for_each_valid_block(
         fn) const {
   for (std::uint32_t set = 0; set < num_sets_; ++set) {
     for (std::uint32_t way = 0; way < cfg_.assoc; ++way) {
-      const BlockMeta& b = block(set, way);
-      if (b.valid) fn(set, way, b);
+      if ((flags_[loc(set, way)] & kValidBit) == 0) continue;
+      const BlockMeta b = block(set, way);
+      fn(set, way, b);
     }
   }
 }
@@ -323,8 +492,10 @@ void SetAssocCache::for_each_valid_block(
 bool SetAssocCache::contains(Addr line, Cycle now) const {
   const std::uint32_t set = set_index(line);
   for (std::uint32_t way = 0; way < cfg_.assoc; ++way) {
-    const BlockMeta& b = block(set, way);
-    if (b.valid && b.line == line && !expired(b, now)) return true;
+    const std::size_t i = loc(set, way);
+    if ((flags_[i] & kValidBit) != 0 && tags_[i] == line &&
+        !expired_at(i, now))
+      return true;
   }
   return false;
 }

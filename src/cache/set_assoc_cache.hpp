@@ -11,6 +11,20 @@
 ///    controller rewrites at epoch boundaries,
 ///  - the STT-RAM designs additionally set a retention period so blocks not
 ///    rewritten in time expire (or are scrubbed by the RefreshController).
+///
+/// Storage is structure-of-arrays: the hit probe scans a contiguous per-set
+/// tag lane (plus one packed flag byte per block) instead of striding
+/// through ~64-byte AoS records, and the cold per-block state (retention
+/// deadlines, lifetime cycles, fault bits) lives in separate lanes touched
+/// only on the paths that need them. The per-access kernel is additionally
+/// specialized at run start: one member-function-pointer dispatch selects a
+/// kernel templated on the concrete replacement policy (devirtualizing
+/// on_hit/on_fill/choose_victim) and on whether retention, fault hooks and
+/// eviction observers are live, so disabled features cost nothing per
+/// access. The generic virtual-dispatch kernel is retained as the reference
+/// implementation (KernelMode::Reference); the two are bit-identical, which
+/// the golden-equivalence suite (tests/test_kernel_equiv.cpp) pins.
+/// See docs/PERFORMANCE.md.
 
 #include <cstdint>
 #include <functional>
@@ -23,7 +37,9 @@
 
 namespace mobcache {
 
-/// Metadata of one cache block (tags + state bits of the modeled array).
+/// Materialized view of one cache block's metadata, assembled from the SoA
+/// lanes. Returned by value from block() / passed to for_each_valid_block
+/// visitors; mutating it does not touch the array.
 struct BlockMeta {
   Addr line = 0;  ///< full line address (tag and index combined)
   bool valid = false;
@@ -157,6 +173,12 @@ struct EvictionEvent {
   std::uint32_t access_count = 0;
 };
 
+/// Which access kernel a SetAssocCache dispatches to.
+enum class KernelMode : std::uint8_t {
+  Fast,       ///< policy-devirtualized, feature-specialized kernel
+  Reference,  ///< generic kernel: virtual replacement calls, all branches
+};
+
 class SetAssocCache {
  public:
   explicit SetAssocCache(CacheConfig cfg, std::uint64_t seed = 1);
@@ -171,7 +193,10 @@ class SetAssocCache {
   /// bypass: the requester is served straight from DRAM).
   AccessResult access(Addr line, AccessType type, Mode mode, Cycle now,
                       WayMask allowed, bool prefetch = false,
-                      bool no_alloc = false);
+                      bool no_alloc = false) {
+    return (this->*kernel_)(line, type, mode, now, allowed, prefetch,
+                            no_alloc);
+  }
 
   /// Convenience overload using every way.
   AccessResult access(Addr line, AccessType type, Mode mode, Cycle now) {
@@ -180,7 +205,10 @@ class SetAssocCache {
 
   /// Retention period applied to blocks on fill/store/refresh; 0 = infinite
   /// (SRAM / high-retention STT-RAM).
-  void set_retention_period(Cycle period) { retention_period_ = period; }
+  void set_retention_period(Cycle period) {
+    retention_period_ = period;
+    select_kernel();
+  }
   Cycle retention_period() const { return retention_period_; }
 
   /// Rewrites a live block in place (scrub), extending its deadline. With
@@ -192,7 +220,10 @@ class SetAssocCache {
 
   /// Fault injection seam (src/fault/). Null (the default) disables every
   /// fault code path and keeps behavior bit-identical to a fault-free run.
-  void set_fault_hooks(ArrayFaultHooks* hooks) { fault_hooks_ = hooks; }
+  void set_fault_hooks(ArrayFaultHooks* hooks) {
+    fault_hooks_ = hooks;
+    select_kernel();
+  }
 
   /// Lands `bits` transiently-upset bits on (set, way) if it holds a valid
   /// block (radiation-style upset). Returns true when a block was hit.
@@ -213,7 +244,8 @@ class SetAssocCache {
   /// Valid + dirty blocks within `ways`.
   std::uint64_t dirty_occupancy(WayMask ways, Cycle now) const;
 
-  /// Visits every valid block: fn(set, way, meta).
+  /// Visits every valid block: fn(set, way, meta). The BlockMeta argument is
+  /// a materialized snapshot of the SoA lanes, valid only for the call.
   void for_each_valid_block(
       const std::function<void(std::uint32_t, std::uint32_t,
                                const BlockMeta&)>& fn) const;
@@ -222,9 +254,11 @@ class SetAssocCache {
 
   std::uint32_t num_sets() const { return num_sets_; }
   std::uint32_t assoc() const { return cfg_.assoc; }
+  /// Line size and set count are validated powers of two, so indexing is
+  /// pure shift/mask work — no division on the per-access path.
   std::uint32_t set_index(Addr line) const {
-    const Addr n = line / cfg_.line_size;
-    const Addr idx = cfg_.xor_index ? n ^ (n / num_sets_) : n;
+    const Addr n = line >> line_shift_;
+    const Addr idx = cfg_.xor_index ? n ^ (n >> sets_shift_) : n;
     return static_cast<std::uint32_t>((idx ^ index_rotation_) &
                                       (num_sets_ - 1));
   }
@@ -235,9 +269,9 @@ class SetAssocCache {
   /// flushed (DRAM writebacks the caller must account). See E20.
   std::uint64_t rotate_index(std::uint32_t new_xor_key);
   std::uint32_t index_rotation() const { return index_rotation_; }
-  const BlockMeta& block(std::uint32_t set, std::uint32_t way) const {
-    return blocks_[static_cast<std::size_t>(set) * cfg_.assoc + way];
-  }
+
+  /// Snapshot of one block's metadata, assembled from the lanes.
+  BlockMeta block(std::uint32_t set, std::uint32_t way) const;
 
   const CacheStats& stats() const { return stats_; }
   void reset_stats() { stats_.reset(); }
@@ -255,29 +289,82 @@ class SetAssocCache {
   void set_eviction_observer(std::function<void(const EvictionEvent&)> obs) {
     observers_.clear();
     if (obs) observers_.push_back(std::move(obs));
+    select_kernel();
   }
   void add_eviction_observer(std::function<void(const EvictionEvent&)> obs) {
     if (obs) observers_.push_back(std::move(obs));
+    select_kernel();
   }
 
   /// Invalidates one line if present (inclusion back-invalidation).
   /// Returns true when a block was dropped; `was_dirty` reports its state.
   bool invalidate_line(Addr line, bool* was_dirty = nullptr);
 
+  /// Kernel dispatch control. The fast kernel is selected by default; the
+  /// reference kernel is the generic always-checking implementation kept as
+  /// the equivalence baseline (forced process-wide by the
+  /// MOBCACHE_REFERENCE_KERNEL=1 environment variable).
+  void set_kernel_mode(KernelMode m) {
+    kernel_mode_ = m;
+    select_kernel();
+  }
+  KernelMode kernel_mode() const { return kernel_mode_; }
+  /// Human-readable name of the currently selected kernel, e.g.
+  /// "fast/LRU+retention" or "reference" (for tests and diagnostics).
+  std::string kernel_name() const;
+
+  /// Process-wide default for newly constructed arrays. Initialized from
+  /// MOBCACHE_REFERENCE_KERNEL on first use; settable for tests.
+  static void set_default_kernel_mode(KernelMode m);
+  static KernelMode default_kernel_mode();
+
  private:
-  BlockMeta& block_mut(std::uint32_t set, std::uint32_t way) {
-    return blocks_[static_cast<std::size_t>(set) * cfg_.assoc + way];
+  // Packed per-block flag bits (flags_ lane).
+  static constexpr std::uint8_t kValidBit = 0x1;
+  static constexpr std::uint8_t kDirtyBit = 0x2;
+  static constexpr std::uint8_t kKernelBit = 0x4;  ///< owner == Mode::Kernel
+  static constexpr std::uint8_t kPrefetchedBit = 0x8;
+
+  /// Tag-lane value of an invalid block. Line addresses are line-aligned,
+  /// so all-ones can never match a real line — the hit probe compares tags
+  /// alone, with no flags load (the invariant: valid ⇔ tags_[i] != kNoTag
+  /// for probe purposes, maintained by invalidate_at and the fill path).
+  static constexpr Addr kNoTag = ~Addr{0};
+
+  using AccessFn = AccessResult (SetAssocCache::*)(Addr, AccessType, Mode,
+                                                   Cycle, WayMask, bool, bool);
+
+  /// The one access kernel, specialized on the concrete replacement policy
+  /// (Repl = ReplacementPolicy keeps virtual dispatch — the reference path)
+  /// and on which feature lanes are live. All instantiations run the same
+  /// statements over the same state; the template parameters only delete
+  /// provably-dead branches. AssocT pins the associativity at compile time
+  /// (0 = read it from cfg_ at runtime) so the probe loop fully unrolls;
+  /// only the hottest feature-free variants are instantiated per-assoc.
+  template <typename Repl, bool HasRetention, bool HasFault, bool HasObs,
+            std::uint32_t AssocT = 0>
+  AccessResult access_kernel(Addr line, AccessType type, Mode mode, Cycle now,
+                             WayMask allowed, bool prefetch, bool no_alloc);
+
+  template <typename Repl>
+  AccessFn kernel_for_flags(bool retention, bool fault, bool obs) const;
+  void select_kernel();
+
+  std::size_t loc(std::uint32_t set, std::uint32_t way) const {
+    return static_cast<std::size_t>(set) * cfg_.assoc + way;
+  }
+  Mode owner_at(std::size_t i) const {
+    return (flags_[i] & kKernelBit) != 0 ? Mode::Kernel : Mode::User;
+  }
+  bool expired_at(std::size_t i, Cycle now) const {
+    return cold_[i].deadline != 0 && now >= cold_[i].deadline;
+  }
+  void invalidate_at(std::size_t i) {
+    flags_[i] &= ~kValidBit;
+    tags_[i] = kNoTag;  // keeps the tag-only probe honest
   }
 
-  bool expired(const BlockMeta& b, Cycle now) const {
-    return b.retention_deadline != 0 && now >= b.retention_deadline;
-  }
-
-  void notify_eviction(const BlockMeta& b, Cycle now);
-
-  void count_wear(std::uint32_t set, std::uint32_t way) {
-    ++wear_[static_cast<std::size_t>(set) * cfg_.assoc + way];
-  }
+  void notify_eviction(std::size_t i, Cycle now);
 
   /// Retention period for a block being (re)written now; hooks may shorten
   /// or stretch the nominal class period per block.
@@ -287,19 +374,47 @@ class SetAssocCache {
                : fault_hooks_->effective_retention(line, retention_period_);
   }
 
-  /// Runs the write-upset hook for one array write into `b`.
-  void apply_write_faults(BlockMeta& b, std::uint32_t set, std::uint32_t way);
+  /// Runs the write-upset hook for one array write into lane index `i`.
+  void apply_write_faults(std::size_t i, std::uint32_t set, std::uint32_t way);
 
   CacheConfig cfg_;
   std::uint32_t num_sets_;
+  std::uint32_t line_shift_ = 0;  ///< log2(line_size)
+  std::uint32_t sets_shift_ = 0;  ///< log2(num_sets)
   std::uint32_t index_rotation_ = 0;
   Cycle retention_period_ = 0;
-  std::vector<BlockMeta> blocks_;
+  /// True once any nonzero retention period was ever configured: blocks may
+  /// carry deadlines even after retention is reset to 0, so the
+  /// retention-free kernel specialization stays off the table.
+  bool retention_ever_ = false;
+
+  /// Per-block bookkeeping that is only touched after the probe resolves.
+  /// Packed into one 40-byte record so a hit (last_access / access_count)
+  /// or a fill (every field) dirties one or two host cache lines instead
+  /// of up to six parallel arrays.
+  struct ColdMeta {
+    Cycle deadline = 0;  ///< retention deadline; 0 = non-volatile
+    Cycle fill_cycle = 0;
+    Cycle last_access = 0;
+    Cycle last_write = 0;
+    std::uint32_t access_count = 0;
+    std::uint16_t fault_bits = 0;
+  };
+
+  // Structure-of-arrays block state, all indexed by loc(set, way).
+  // Hot probe lanes:
+  std::vector<Addr> tags_;            ///< line address (valid bit gates use)
+  std::vector<std::uint8_t> flags_;   ///< kValidBit | kDirtyBit | ...
+  // Everything else, one record per block:
+  std::vector<ColdMeta> cold_;
+
   std::vector<std::uint32_t> wear_;
   std::unique_ptr<ReplacementPolicy> repl_;
   CacheStats stats_;
   std::vector<std::function<void(const EvictionEvent&)>> observers_;
   ArrayFaultHooks* fault_hooks_ = nullptr;  ///< non-owning; null = fault-free
+  KernelMode kernel_mode_;
+  AccessFn kernel_ = nullptr;
 };
 
 }  // namespace mobcache

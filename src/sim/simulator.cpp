@@ -72,13 +72,23 @@ SimResult simulate(const Trace& trace, L2Interface& l2,
 
   MemoryHierarchy hier(opts.hierarchy, l2);
   CpiModel cpu(opts.timing);
-  IntervalSampler sampler(opts.telemetry, l2);
 
+  // Demand loop, split once up front: the plain loop carries no sampler
+  // call and no disabled-telemetry branch per record; the instrumented loop
+  // is the same retire sequence plus the trace-cadence sampler tick. Both
+  // produce bit-identical SimResults (the sampler is a pure reader) —
+  // tests/test_kernel_equiv.cpp pins this.
   Cycle now = 0;
-  for (const Access& a : trace.accesses()) {
-    const Cycle stall = hier.access(a, now);
-    now = cpu.retire(stall);
-    sampler.tick(now);
+  if (opts.telemetry != nullptr && opts.telemetry->sample_interval() != 0) {
+    IntervalSampler sampler(opts.telemetry, l2);
+    for (const Access& a : trace.accesses()) {
+      now = cpu.retire(hier.access(a, now));
+      sampler.tick(now);
+    }
+  } else {
+    for (const Access& a : trace.accesses()) {
+      now = cpu.retire(hier.access(a, now));
+    }
   }
   hier.finalize(now);
   if (opts.telemetry != nullptr) l2.attach_telemetry(nullptr);

@@ -6,24 +6,36 @@
 /// trace file) and the simulated memory hierarchy. Records carry the
 /// privilege mode explicitly — the property the whole paper is built on.
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "common/types.hpp"
 
 namespace mobcache {
 
-/// One dynamic memory reference.
+/// One dynamic memory reference. Field order packs the record into 12 used
+/// bytes (16 with alignment padding): traces hold hundreds of millions of
+/// these and the simulator streams them sequentially, so layout is part of
+/// the hot-path contract and pinned by static_asserts below.
 struct Access {
-  Addr addr = 0;        ///< virtual byte address (kernel half ⇔ Mode::Kernel)
+  Addr addr = 0;             ///< virtual byte address (kernel half ⇔ Mode::Kernel)
+  std::uint16_t thread = 0;  ///< simulated thread/context id
   AccessType type = AccessType::Read;
   Mode mode = Mode::User;
-  std::uint16_t thread = 0;  ///< simulated thread/context id
 
   bool is_ifetch() const { return type == AccessType::InstFetch; }
   bool is_write() const { return type == AccessType::Write; }
 };
+
+static_assert(sizeof(Access) <= 16, "Access must stay within one 16-byte slot");
+static_assert(offsetof(Access, addr) == 0 && offsetof(Access, thread) == 8 &&
+                  offsetof(Access, type) == 10 && offsetof(Access, mode) == 11,
+              "Access field layout is load-bearing for trace streaming");
+static_assert(std::is_trivially_copyable_v<Access>,
+              "bulk append relies on trivially copyable records");
 
 /// Aggregate counts over a trace, split by mode.
 struct TraceSummary {
@@ -52,6 +64,19 @@ class Trace {
 
   void reserve(std::size_t n) { accesses_.reserve(n); }
   void push(const Access& a) { accesses_.push_back(a); }
+
+  /// Bulk append: adopts `batch` wholesale when the trace is empty (no copy
+  /// at all), otherwise splices it onto the end in one reallocation-checked
+  /// insert. Generators should accumulate into a plain vector and hand it
+  /// over here instead of calling push() per record.
+  void append(std::vector<Access>&& batch) {
+    if (accesses_.empty()) {
+      accesses_ = std::move(batch);
+    } else {
+      accesses_.insert(accesses_.end(), batch.begin(), batch.end());
+    }
+    batch.clear();
+  }
 
   const std::vector<Access>& accesses() const { return accesses_; }
   std::size_t size() const { return accesses_.size(); }

@@ -36,7 +36,11 @@ Addr phase_data_base(std::size_t phase) {
 
 Trace generate_trace(const AppSpec& spec, const GeneratorConfig& cfg) {
   Trace trace(spec.name);
-  trace.reserve(cfg.target_accesses + 4096);
+  // Records accumulate in a flat buffer and transfer to the Trace in one
+  // bulk move at the end (Trace::append) — no per-record push into the
+  // trace object on this path.
+  std::vector<Access> buf;
+  buf.reserve(cfg.target_accesses + 4096);
   Rng rng(cfg.seed * 0x9e37'79b9'7f4a'7c15ull + static_cast<int>(spec.id));
   KernelModel kernel(cfg.seed);
 
@@ -64,7 +68,7 @@ Trace generate_trace(const AppSpec& spec, const GeneratorConfig& cfg) {
     a.type = type;
     a.mode = Mode::User;
     a.thread = 0;
-    trace.push(a);
+    buf.push_back(a);
     ++user_accesses;
   };
 
@@ -96,7 +100,7 @@ Trace generate_trace(const AppSpec& spec, const GeneratorConfig& cfg) {
     return base + line * kLineSize;
   };
 
-  while (trace.size() < cfg.target_accesses) {
+  while (buf.size() < cfg.target_accesses) {
     if (phase_remaining == 0) {
       // Enter next phase.
       if (!spec.transitions.empty()) {
@@ -115,7 +119,7 @@ Trace generate_trace(const AppSpec& spec, const GeneratorConfig& cfg) {
     const std::uint64_t chunk =
         std::min<std::uint64_t>(phase_remaining, rng.range(128, 512));
     for (std::uint64_t i = 0;
-         i < chunk && trace.size() < cfg.target_accesses; ++i) {
+         i < chunk && buf.size() < cfg.target_accesses; ++i) {
       ifetch_debt += p.ifetch_per_data;
       while (ifetch_debt >= 1.0) {
         emit_user(phase_text_base(phase_idx) +
@@ -131,7 +135,7 @@ Trace generate_trace(const AppSpec& spec, const GeneratorConfig& cfg) {
 
     // Periodic timer interrupt.
     while (user_accesses >= next_tick) {
-      kernel.emit_episode(KernelService::SchedTick, /*thread=*/1, trace, rng);
+      kernel.emit_episode(KernelService::SchedTick, /*thread=*/1, buf, rng);
       next_tick += spec.sched_tick_interval;
     }
 
@@ -146,12 +150,13 @@ Trace generate_trace(const AppSpec& spec, const GeneratorConfig& cfg) {
                                sr.service == KernelService::AudioDma ||
                                sr.service == KernelService::FrameFlip;
       for (std::uint64_t e = 0;
-           e < episodes && trace.size() < cfg.target_accesses; ++e) {
-        kernel.emit_episode(sr.service, irq_context ? 1 : 0, trace, rng);
+           e < episodes && buf.size() < cfg.target_accesses; ++e) {
+        kernel.emit_episode(sr.service, irq_context ? 1 : 0, buf, rng);
       }
     }
   }
 
+  trace.append(std::move(buf));
   return trace;
 }
 

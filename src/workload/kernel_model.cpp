@@ -40,17 +40,18 @@ KernelModel::KernelModel(std::uint64_t seed)
 }
 
 void KernelModel::data(Addr addr, bool write, std::uint16_t thread,
-                       Trace& out) const {
+                       std::vector<Access>& out) const {
   Access a;
   a.addr = addr;
   a.type = write ? AccessType::Write : AccessType::Read;
   a.mode = Mode::Kernel;
   a.thread = thread;
-  out.push(a);
+  out.push_back(a);
 }
 
 void KernelModel::emit_text_walk(KernelService s, std::uint32_t lines,
-                                 Trace& out, Rng& rng, std::uint16_t thread) {
+                                 std::vector<Access>& out, Rng& rng,
+                                 std::uint16_t thread) {
   // Each service owns a slice of kernel text; invocations start at a small
   // jittered offset into it, so successive calls re-touch mostly the same
   // lines (L2-friendly) while spanning far more than an L1I set's worth.
@@ -76,12 +77,19 @@ void KernelModel::emit_text_walk(KernelService s, std::uint32_t lines,
       ++cursor;
       if (rng.chance(0.1)) cursor += rng.below(4);  // branches skip ahead
     }
-    out.push(a);
+    out.push_back(a);
   }
 }
 
 void KernelModel::emit_episode(KernelService service, std::uint16_t thread,
                                Trace& out, Rng& rng) {
+  std::vector<Access> buf;
+  emit_episode(service, thread, buf, rng);
+  out.append(std::move(buf));
+}
+
+void KernelModel::emit_episode(KernelService service, std::uint16_t thread,
+                               std::vector<Access>& out, Rng& rng) {
   const TextShape ts = text_shape(service);
   const auto lines = static_cast<std::uint32_t>(
       rng.range(ts.mean_lines - ts.jitter, ts.mean_lines + ts.jitter));

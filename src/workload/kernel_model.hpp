@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <string_view>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "trace/trace.hpp"
@@ -83,7 +84,13 @@ class KernelModel {
  public:
   explicit KernelModel(std::uint64_t seed);
 
-  /// Appends one full episode of `service` to `out` (mode=Kernel).
+  /// Appends one full episode of `service` to `out` (mode=Kernel). The
+  /// vector overload is the primary API — generators accumulate records in
+  /// a flat buffer and bulk-transfer it via Trace::append once, instead of
+  /// paying a push per record.
+  void emit_episode(KernelService service, std::uint16_t thread,
+                    std::vector<Access>& out, Rng& rng);
+  /// Convenience overload for callers holding a Trace (tests, ad-hoc use).
   void emit_episode(KernelService service, std::uint16_t thread, Trace& out,
                     Rng& rng);
 
@@ -97,10 +104,12 @@ class KernelModel {
   /// Emits the handler-path instruction walk: `lines` distinct text lines
   /// starting at a per-(service,invocation) offset, with hot shared prologue
   /// lines mixed in.
-  void emit_text_walk(KernelService s, std::uint32_t lines, Trace& out,
-                      Rng& rng, std::uint16_t thread);
+  void emit_text_walk(KernelService s, std::uint32_t lines,
+                      std::vector<Access>& out, Rng& rng,
+                      std::uint16_t thread);
 
-  void data(Addr addr, bool write, std::uint16_t thread, Trace& out) const;
+  void data(Addr addr, bool write, std::uint16_t thread,
+            std::vector<Access>& out) const;
 
   KernelLayout layout_;
   ZipfSampler hot_text_;      ///< shared hot entry/exit path lines

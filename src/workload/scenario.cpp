@@ -16,7 +16,10 @@ Trace generate_scenario(const ScenarioConfig& cfg) {
   }
   Trace out(std::move(name));
   if (cfg.apps.empty() || cfg.total_accesses == 0) return out;
-  out.reserve(cfg.total_accesses + 8192);
+  // Interleaved records accumulate in a flat buffer and move into the Trace
+  // once at the end (Trace::append).
+  std::vector<Access> buf;
+  buf.reserve(cfg.total_accesses + 8192);
 
   // Per-app source streams. Each app gets enough records that wrap-around
   // (which would replay its trace verbatim) is rare but harmless: phase
@@ -37,13 +40,13 @@ Trace generate_scenario(const ScenarioConfig& cfg) {
   KernelModel switcher(cfg.seed);
   std::size_t foreground = 0;
 
-  while (out.size() < cfg.total_accesses) {
+  while (buf.size() < cfg.total_accesses) {
     // Context switch into the next foreground app: the scheduler picks the
     // task, binder delivers the focus event, and a few pages fault back in.
-    switcher.emit_episode(KernelService::SchedTick, 1, out, rng);
-    switcher.emit_episode(KernelService::BinderIpc, 0, out, rng);
+    switcher.emit_episode(KernelService::SchedTick, 1, buf, rng);
+    switcher.emit_episode(KernelService::BinderIpc, 0, buf, rng);
     if (rng.chance(0.5))
-      switcher.emit_episode(KernelService::PageFault, 0, out, rng);
+      switcher.emit_episode(KernelService::PageFault, 0, buf, rng);
 
     const std::uint64_t slice = rng.geometric(
         1.0 / static_cast<double>(cfg.slice_mean));
@@ -52,17 +55,18 @@ Trace generate_scenario(const ScenarioConfig& cfg) {
     const auto tbase = static_cast<std::uint16_t>(foreground * 4);
 
     for (std::uint64_t i = 0;
-         i < slice && out.size() < cfg.total_accesses; ++i) {
+         i < slice && buf.size() < cfg.total_accesses; ++i) {
       Access a = src[cursor[foreground]];
       cursor[foreground] = (cursor[foreground] + 1) % src.size();
       if (a.mode == Mode::User) {
         a.addr += slot;  // processes have disjoint user address spaces
         a.thread = static_cast<std::uint16_t>(a.thread + tbase);
       }
-      out.push(a);
+      buf.push_back(a);
     }
     foreground = (foreground + 1) % cfg.apps.size();
   }
+  out.append(std::move(buf));
   return out;
 }
 
