@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e11_multitask.dir/bench_e11_multitask.cpp.o"
+  "CMakeFiles/bench_e11_multitask.dir/bench_e11_multitask.cpp.o.d"
+  "bench_e11_multitask"
+  "bench_e11_multitask.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e11_multitask.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e12_prefetch.dir/bench_e12_prefetch.cpp.o"
+  "CMakeFiles/bench_e12_prefetch.dir/bench_e12_prefetch.cpp.o.d"
+  "bench_e12_prefetch"
+  "bench_e12_prefetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e12_prefetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

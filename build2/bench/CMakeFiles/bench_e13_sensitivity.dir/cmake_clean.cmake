@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e13_sensitivity.dir/bench_e13_sensitivity.cpp.o"
+  "CMakeFiles/bench_e13_sensitivity.dir/bench_e13_sensitivity.cpp.o.d"
+  "bench_e13_sensitivity"
+  "bench_e13_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e13_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

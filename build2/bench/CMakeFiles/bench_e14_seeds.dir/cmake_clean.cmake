@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e14_seeds.dir/bench_e14_seeds.cpp.o"
+  "CMakeFiles/bench_e14_seeds.dir/bench_e14_seeds.cpp.o.d"
+  "bench_e14_seeds"
+  "bench_e14_seeds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e14_seeds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

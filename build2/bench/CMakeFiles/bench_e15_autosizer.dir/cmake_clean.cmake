@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e15_autosizer.dir/bench_e15_autosizer.cpp.o"
+  "CMakeFiles/bench_e15_autosizer.dir/bench_e15_autosizer.cpp.o.d"
+  "bench_e15_autosizer"
+  "bench_e15_autosizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e15_autosizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e16_multicore.dir/bench_e16_multicore.cpp.o"
+  "CMakeFiles/bench_e16_multicore.dir/bench_e16_multicore.cpp.o.d"
+  "bench_e16_multicore"
+  "bench_e16_multicore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e16_multicore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

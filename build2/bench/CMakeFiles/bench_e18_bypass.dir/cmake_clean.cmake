@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e18_bypass.dir/bench_e18_bypass.cpp.o"
+  "CMakeFiles/bench_e18_bypass.dir/bench_e18_bypass.cpp.o.d"
+  "bench_e18_bypass"
+  "bench_e18_bypass.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e18_bypass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

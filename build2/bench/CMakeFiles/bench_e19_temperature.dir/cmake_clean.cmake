@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e19_temperature.dir/bench_e19_temperature.cpp.o"
+  "CMakeFiles/bench_e19_temperature.dir/bench_e19_temperature.cpp.o.d"
+  "bench_e19_temperature"
+  "bench_e19_temperature.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e19_temperature.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

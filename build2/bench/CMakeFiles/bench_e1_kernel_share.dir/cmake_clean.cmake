@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e1_kernel_share.dir/bench_e1_kernel_share.cpp.o"
+  "CMakeFiles/bench_e1_kernel_share.dir/bench_e1_kernel_share.cpp.o.d"
+  "bench_e1_kernel_share"
+  "bench_e1_kernel_share.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_kernel_share.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e20_endurance.dir/bench_e20_endurance.cpp.o"
+  "CMakeFiles/bench_e20_endurance.dir/bench_e20_endurance.cpp.o.d"
+  "bench_e20_endurance"
+  "bench_e20_endurance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e20_endurance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e21_resilience.dir/bench_e21_resilience.cpp.o"
+  "CMakeFiles/bench_e21_resilience.dir/bench_e21_resilience.cpp.o.d"
+  "bench_e21_resilience"
+  "bench_e21_resilience.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e21_resilience.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2_interference.dir/bench_e2_interference.cpp.o"
+  "CMakeFiles/bench_e2_interference.dir/bench_e2_interference.cpp.o.d"
+  "bench_e2_interference"
+  "bench_e2_interference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_interference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

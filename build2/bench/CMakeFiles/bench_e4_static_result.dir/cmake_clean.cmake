@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_static_result.dir/bench_e4_static_result.cpp.o"
+  "CMakeFiles/bench_e4_static_result.dir/bench_e4_static_result.cpp.o.d"
+  "bench_e4_static_result"
+  "bench_e4_static_result.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_static_result.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_lifetime_cdf.dir/bench_e5_lifetime_cdf.cpp.o"
+  "CMakeFiles/bench_e5_lifetime_cdf.dir/bench_e5_lifetime_cdf.cpp.o.d"
+  "bench_e5_lifetime_cdf"
+  "bench_e5_lifetime_cdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_lifetime_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

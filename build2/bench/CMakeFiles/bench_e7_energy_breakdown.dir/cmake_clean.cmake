@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_energy_breakdown.dir/bench_e7_energy_breakdown.cpp.o"
+  "CMakeFiles/bench_e7_energy_breakdown.dir/bench_e7_energy_breakdown.cpp.o.d"
+  "bench_e7_energy_breakdown"
+  "bench_e7_energy_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_energy_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

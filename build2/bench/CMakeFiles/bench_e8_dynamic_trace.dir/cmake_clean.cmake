@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e8_dynamic_trace.dir/bench_e8_dynamic_trace.cpp.o"
+  "CMakeFiles/bench_e8_dynamic_trace.dir/bench_e8_dynamic_trace.cpp.o.d"
+  "bench_e8_dynamic_trace"
+  "bench_e8_dynamic_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_dynamic_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

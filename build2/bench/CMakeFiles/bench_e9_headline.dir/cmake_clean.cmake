@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e9_headline.dir/bench_e9_headline.cpp.o"
+  "CMakeFiles/bench_e9_headline.dir/bench_e9_headline.cpp.o.d"
+  "bench_e9_headline"
+  "bench_e9_headline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_headline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/browser_session.dir/browser_session.cpp.o"
+  "CMakeFiles/browser_session.dir/browser_session.cpp.o.d"
+  "browser_session"
+  "browser_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/browser_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

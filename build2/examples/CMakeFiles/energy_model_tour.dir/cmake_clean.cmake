@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/energy_model_tour.dir/energy_model_tour.cpp.o"
+  "CMakeFiles/energy_model_tour.dir/energy_model_tour.cpp.o.d"
+  "energy_model_tour"
+  "energy_model_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/energy_model_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multicore_demo.dir/multicore_demo.cpp.o"
+  "CMakeFiles/multicore_demo.dir/multicore_demo.cpp.o.d"
+  "multicore_demo"
+  "multicore_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multicore_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,66 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/bank_model.cpp" "src/CMakeFiles/mobcache.dir/cache/bank_model.cpp.o" "gcc" "src/CMakeFiles/mobcache.dir/cache/bank_model.cpp.o.d"
+  "/root/repo/src/cache/bypass_predictor.cpp" "src/CMakeFiles/mobcache.dir/cache/bypass_predictor.cpp.o" "gcc" "src/CMakeFiles/mobcache.dir/cache/bypass_predictor.cpp.o.d"
+  "/root/repo/src/cache/prefetcher.cpp" "src/CMakeFiles/mobcache.dir/cache/prefetcher.cpp.o" "gcc" "src/CMakeFiles/mobcache.dir/cache/prefetcher.cpp.o.d"
+  "/root/repo/src/cache/replacement.cpp" "src/CMakeFiles/mobcache.dir/cache/replacement.cpp.o" "gcc" "src/CMakeFiles/mobcache.dir/cache/replacement.cpp.o.d"
+  "/root/repo/src/cache/set_assoc_cache.cpp" "src/CMakeFiles/mobcache.dir/cache/set_assoc_cache.cpp.o" "gcc" "src/CMakeFiles/mobcache.dir/cache/set_assoc_cache.cpp.o.d"
+  "/root/repo/src/cache/shadow_monitor.cpp" "src/CMakeFiles/mobcache.dir/cache/shadow_monitor.cpp.o" "gcc" "src/CMakeFiles/mobcache.dir/cache/shadow_monitor.cpp.o.d"
+  "/root/repo/src/common/json_writer.cpp" "src/CMakeFiles/mobcache.dir/common/json_writer.cpp.o" "gcc" "src/CMakeFiles/mobcache.dir/common/json_writer.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "src/CMakeFiles/mobcache.dir/common/rng.cpp.o" "gcc" "src/CMakeFiles/mobcache.dir/common/rng.cpp.o.d"
+  "/root/repo/src/common/stats.cpp" "src/CMakeFiles/mobcache.dir/common/stats.cpp.o" "gcc" "src/CMakeFiles/mobcache.dir/common/stats.cpp.o.d"
+  "/root/repo/src/common/table.cpp" "src/CMakeFiles/mobcache.dir/common/table.cpp.o" "gcc" "src/CMakeFiles/mobcache.dir/common/table.cpp.o.d"
+  "/root/repo/src/core/drowsy_l2.cpp" "src/CMakeFiles/mobcache.dir/core/drowsy_l2.cpp.o" "gcc" "src/CMakeFiles/mobcache.dir/core/drowsy_l2.cpp.o.d"
+  "/root/repo/src/core/dynamic_controller.cpp" "src/CMakeFiles/mobcache.dir/core/dynamic_controller.cpp.o" "gcc" "src/CMakeFiles/mobcache.dir/core/dynamic_controller.cpp.o.d"
+  "/root/repo/src/core/dynamic_partitioned_l2.cpp" "src/CMakeFiles/mobcache.dir/core/dynamic_partitioned_l2.cpp.o" "gcc" "src/CMakeFiles/mobcache.dir/core/dynamic_partitioned_l2.cpp.o.d"
+  "/root/repo/src/core/l2_interface.cpp" "src/CMakeFiles/mobcache.dir/core/l2_interface.cpp.o" "gcc" "src/CMakeFiles/mobcache.dir/core/l2_interface.cpp.o.d"
+  "/root/repo/src/core/multi_retention_l2.cpp" "src/CMakeFiles/mobcache.dir/core/multi_retention_l2.cpp.o" "gcc" "src/CMakeFiles/mobcache.dir/core/multi_retention_l2.cpp.o.d"
+  "/root/repo/src/core/multicore_l2.cpp" "src/CMakeFiles/mobcache.dir/core/multicore_l2.cpp.o" "gcc" "src/CMakeFiles/mobcache.dir/core/multicore_l2.cpp.o.d"
+  "/root/repo/src/core/partition_autosizer.cpp" "src/CMakeFiles/mobcache.dir/core/partition_autosizer.cpp.o" "gcc" "src/CMakeFiles/mobcache.dir/core/partition_autosizer.cpp.o.d"
+  "/root/repo/src/core/scheme.cpp" "src/CMakeFiles/mobcache.dir/core/scheme.cpp.o" "gcc" "src/CMakeFiles/mobcache.dir/core/scheme.cpp.o.d"
+  "/root/repo/src/core/shared_l2.cpp" "src/CMakeFiles/mobcache.dir/core/shared_l2.cpp.o" "gcc" "src/CMakeFiles/mobcache.dir/core/shared_l2.cpp.o.d"
+  "/root/repo/src/core/static_partitioned_l2.cpp" "src/CMakeFiles/mobcache.dir/core/static_partitioned_l2.cpp.o" "gcc" "src/CMakeFiles/mobcache.dir/core/static_partitioned_l2.cpp.o.d"
+  "/root/repo/src/core/victim_cache_l2.cpp" "src/CMakeFiles/mobcache.dir/core/victim_cache_l2.cpp.o" "gcc" "src/CMakeFiles/mobcache.dir/core/victim_cache_l2.cpp.o.d"
+  "/root/repo/src/energy/energy_accountant.cpp" "src/CMakeFiles/mobcache.dir/energy/energy_accountant.cpp.o" "gcc" "src/CMakeFiles/mobcache.dir/energy/energy_accountant.cpp.o.d"
+  "/root/repo/src/energy/refresh.cpp" "src/CMakeFiles/mobcache.dir/energy/refresh.cpp.o" "gcc" "src/CMakeFiles/mobcache.dir/energy/refresh.cpp.o.d"
+  "/root/repo/src/energy/technology.cpp" "src/CMakeFiles/mobcache.dir/energy/technology.cpp.o" "gcc" "src/CMakeFiles/mobcache.dir/energy/technology.cpp.o.d"
+  "/root/repo/src/exp/bench_harness.cpp" "src/CMakeFiles/mobcache.dir/exp/bench_harness.cpp.o" "gcc" "src/CMakeFiles/mobcache.dir/exp/bench_harness.cpp.o.d"
+  "/root/repo/src/exp/json_export.cpp" "src/CMakeFiles/mobcache.dir/exp/json_export.cpp.o" "gcc" "src/CMakeFiles/mobcache.dir/exp/json_export.cpp.o.d"
+  "/root/repo/src/exp/parallel.cpp" "src/CMakeFiles/mobcache.dir/exp/parallel.cpp.o" "gcc" "src/CMakeFiles/mobcache.dir/exp/parallel.cpp.o.d"
+  "/root/repo/src/exp/report.cpp" "src/CMakeFiles/mobcache.dir/exp/report.cpp.o" "gcc" "src/CMakeFiles/mobcache.dir/exp/report.cpp.o.d"
+  "/root/repo/src/exp/runner.cpp" "src/CMakeFiles/mobcache.dir/exp/runner.cpp.o" "gcc" "src/CMakeFiles/mobcache.dir/exp/runner.cpp.o.d"
+  "/root/repo/src/fault/fault_injector.cpp" "src/CMakeFiles/mobcache.dir/fault/fault_injector.cpp.o" "gcc" "src/CMakeFiles/mobcache.dir/fault/fault_injector.cpp.o.d"
+  "/root/repo/src/fault/fault_model.cpp" "src/CMakeFiles/mobcache.dir/fault/fault_model.cpp.o" "gcc" "src/CMakeFiles/mobcache.dir/fault/fault_model.cpp.o.d"
+  "/root/repo/src/fault/repair_controller.cpp" "src/CMakeFiles/mobcache.dir/fault/repair_controller.cpp.o" "gcc" "src/CMakeFiles/mobcache.dir/fault/repair_controller.cpp.o.d"
+  "/root/repo/src/obs/metrics.cpp" "src/CMakeFiles/mobcache.dir/obs/metrics.cpp.o" "gcc" "src/CMakeFiles/mobcache.dir/obs/metrics.cpp.o.d"
+  "/root/repo/src/obs/telemetry.cpp" "src/CMakeFiles/mobcache.dir/obs/telemetry.cpp.o" "gcc" "src/CMakeFiles/mobcache.dir/obs/telemetry.cpp.o.d"
+  "/root/repo/src/obs/trace_export.cpp" "src/CMakeFiles/mobcache.dir/obs/trace_export.cpp.o" "gcc" "src/CMakeFiles/mobcache.dir/obs/trace_export.cpp.o.d"
+  "/root/repo/src/sim/cpi_model.cpp" "src/CMakeFiles/mobcache.dir/sim/cpi_model.cpp.o" "gcc" "src/CMakeFiles/mobcache.dir/sim/cpi_model.cpp.o.d"
+  "/root/repo/src/sim/hierarchy.cpp" "src/CMakeFiles/mobcache.dir/sim/hierarchy.cpp.o" "gcc" "src/CMakeFiles/mobcache.dir/sim/hierarchy.cpp.o.d"
+  "/root/repo/src/sim/multicore.cpp" "src/CMakeFiles/mobcache.dir/sim/multicore.cpp.o" "gcc" "src/CMakeFiles/mobcache.dir/sim/multicore.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/CMakeFiles/mobcache.dir/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/mobcache.dir/sim/simulator.cpp.o.d"
+  "/root/repo/src/trace/trace.cpp" "src/CMakeFiles/mobcache.dir/trace/trace.cpp.o" "gcc" "src/CMakeFiles/mobcache.dir/trace/trace.cpp.o.d"
+  "/root/repo/src/trace/trace_cache.cpp" "src/CMakeFiles/mobcache.dir/trace/trace_cache.cpp.o" "gcc" "src/CMakeFiles/mobcache.dir/trace/trace_cache.cpp.o.d"
+  "/root/repo/src/trace/trace_compress.cpp" "src/CMakeFiles/mobcache.dir/trace/trace_compress.cpp.o" "gcc" "src/CMakeFiles/mobcache.dir/trace/trace_compress.cpp.o.d"
+  "/root/repo/src/trace/trace_io.cpp" "src/CMakeFiles/mobcache.dir/trace/trace_io.cpp.o" "gcc" "src/CMakeFiles/mobcache.dir/trace/trace_io.cpp.o.d"
+  "/root/repo/src/workload/app_model.cpp" "src/CMakeFiles/mobcache.dir/workload/app_model.cpp.o" "gcc" "src/CMakeFiles/mobcache.dir/workload/app_model.cpp.o.d"
+  "/root/repo/src/workload/generator.cpp" "src/CMakeFiles/mobcache.dir/workload/generator.cpp.o" "gcc" "src/CMakeFiles/mobcache.dir/workload/generator.cpp.o.d"
+  "/root/repo/src/workload/kernel_model.cpp" "src/CMakeFiles/mobcache.dir/workload/kernel_model.cpp.o" "gcc" "src/CMakeFiles/mobcache.dir/workload/kernel_model.cpp.o.d"
+  "/root/repo/src/workload/scenario.cpp" "src/CMakeFiles/mobcache.dir/workload/scenario.cpp.o" "gcc" "src/CMakeFiles/mobcache.dir/workload/scenario.cpp.o.d"
+  "/root/repo/src/workload/suite.cpp" "src/CMakeFiles/mobcache.dir/workload/suite.cpp.o" "gcc" "src/CMakeFiles/mobcache.dir/workload/suite.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,67 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_autosizer.cpp" "tests/CMakeFiles/mobcache_tests.dir/test_autosizer.cpp.o" "gcc" "tests/CMakeFiles/mobcache_tests.dir/test_autosizer.cpp.o.d"
+  "/root/repo/tests/test_bank_model.cpp" "tests/CMakeFiles/mobcache_tests.dir/test_bank_model.cpp.o" "gcc" "tests/CMakeFiles/mobcache_tests.dir/test_bank_model.cpp.o.d"
+  "/root/repo/tests/test_bypass.cpp" "tests/CMakeFiles/mobcache_tests.dir/test_bypass.cpp.o" "gcc" "tests/CMakeFiles/mobcache_tests.dir/test_bypass.cpp.o.d"
+  "/root/repo/tests/test_cache.cpp" "tests/CMakeFiles/mobcache_tests.dir/test_cache.cpp.o" "gcc" "tests/CMakeFiles/mobcache_tests.dir/test_cache.cpp.o.d"
+  "/root/repo/tests/test_cache_retention.cpp" "tests/CMakeFiles/mobcache_tests.dir/test_cache_retention.cpp.o" "gcc" "tests/CMakeFiles/mobcache_tests.dir/test_cache_retention.cpp.o.d"
+  "/root/repo/tests/test_drowsy.cpp" "tests/CMakeFiles/mobcache_tests.dir/test_drowsy.cpp.o" "gcc" "tests/CMakeFiles/mobcache_tests.dir/test_drowsy.cpp.o.d"
+  "/root/repo/tests/test_dvfs.cpp" "tests/CMakeFiles/mobcache_tests.dir/test_dvfs.cpp.o" "gcc" "tests/CMakeFiles/mobcache_tests.dir/test_dvfs.cpp.o.d"
+  "/root/repo/tests/test_dynamic_controller.cpp" "tests/CMakeFiles/mobcache_tests.dir/test_dynamic_controller.cpp.o" "gcc" "tests/CMakeFiles/mobcache_tests.dir/test_dynamic_controller.cpp.o.d"
+  "/root/repo/tests/test_dynamic_l2.cpp" "tests/CMakeFiles/mobcache_tests.dir/test_dynamic_l2.cpp.o" "gcc" "tests/CMakeFiles/mobcache_tests.dir/test_dynamic_l2.cpp.o.d"
+  "/root/repo/tests/test_energy_accounting.cpp" "tests/CMakeFiles/mobcache_tests.dir/test_energy_accounting.cpp.o" "gcc" "tests/CMakeFiles/mobcache_tests.dir/test_energy_accounting.cpp.o.d"
+  "/root/repo/tests/test_fault.cpp" "tests/CMakeFiles/mobcache_tests.dir/test_fault.cpp.o" "gcc" "tests/CMakeFiles/mobcache_tests.dir/test_fault.cpp.o.d"
+  "/root/repo/tests/test_fuzz.cpp" "tests/CMakeFiles/mobcache_tests.dir/test_fuzz.cpp.o" "gcc" "tests/CMakeFiles/mobcache_tests.dir/test_fuzz.cpp.o.d"
+  "/root/repo/tests/test_generator.cpp" "tests/CMakeFiles/mobcache_tests.dir/test_generator.cpp.o" "gcc" "tests/CMakeFiles/mobcache_tests.dir/test_generator.cpp.o.d"
+  "/root/repo/tests/test_hierarchy.cpp" "tests/CMakeFiles/mobcache_tests.dir/test_hierarchy.cpp.o" "gcc" "tests/CMakeFiles/mobcache_tests.dir/test_hierarchy.cpp.o.d"
+  "/root/repo/tests/test_inclusion.cpp" "tests/CMakeFiles/mobcache_tests.dir/test_inclusion.cpp.o" "gcc" "tests/CMakeFiles/mobcache_tests.dir/test_inclusion.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/mobcache_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/mobcache_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_json_export.cpp" "tests/CMakeFiles/mobcache_tests.dir/test_json_export.cpp.o" "gcc" "tests/CMakeFiles/mobcache_tests.dir/test_json_export.cpp.o.d"
+  "/root/repo/tests/test_kernel_equiv.cpp" "tests/CMakeFiles/mobcache_tests.dir/test_kernel_equiv.cpp.o" "gcc" "tests/CMakeFiles/mobcache_tests.dir/test_kernel_equiv.cpp.o.d"
+  "/root/repo/tests/test_kernel_model.cpp" "tests/CMakeFiles/mobcache_tests.dir/test_kernel_model.cpp.o" "gcc" "tests/CMakeFiles/mobcache_tests.dir/test_kernel_model.cpp.o.d"
+  "/root/repo/tests/test_multi_retention.cpp" "tests/CMakeFiles/mobcache_tests.dir/test_multi_retention.cpp.o" "gcc" "tests/CMakeFiles/mobcache_tests.dir/test_multi_retention.cpp.o.d"
+  "/root/repo/tests/test_multicore.cpp" "tests/CMakeFiles/mobcache_tests.dir/test_multicore.cpp.o" "gcc" "tests/CMakeFiles/mobcache_tests.dir/test_multicore.cpp.o.d"
+  "/root/repo/tests/test_multiseed.cpp" "tests/CMakeFiles/mobcache_tests.dir/test_multiseed.cpp.o" "gcc" "tests/CMakeFiles/mobcache_tests.dir/test_multiseed.cpp.o.d"
+  "/root/repo/tests/test_obs.cpp" "tests/CMakeFiles/mobcache_tests.dir/test_obs.cpp.o" "gcc" "tests/CMakeFiles/mobcache_tests.dir/test_obs.cpp.o.d"
+  "/root/repo/tests/test_paper_bands.cpp" "tests/CMakeFiles/mobcache_tests.dir/test_paper_bands.cpp.o" "gcc" "tests/CMakeFiles/mobcache_tests.dir/test_paper_bands.cpp.o.d"
+  "/root/repo/tests/test_parallel.cpp" "tests/CMakeFiles/mobcache_tests.dir/test_parallel.cpp.o" "gcc" "tests/CMakeFiles/mobcache_tests.dir/test_parallel.cpp.o.d"
+  "/root/repo/tests/test_prefetcher.cpp" "tests/CMakeFiles/mobcache_tests.dir/test_prefetcher.cpp.o" "gcc" "tests/CMakeFiles/mobcache_tests.dir/test_prefetcher.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/mobcache_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/mobcache_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_refresh.cpp" "tests/CMakeFiles/mobcache_tests.dir/test_refresh.cpp.o" "gcc" "tests/CMakeFiles/mobcache_tests.dir/test_refresh.cpp.o.d"
+  "/root/repo/tests/test_replacement.cpp" "tests/CMakeFiles/mobcache_tests.dir/test_replacement.cpp.o" "gcc" "tests/CMakeFiles/mobcache_tests.dir/test_replacement.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/mobcache_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/mobcache_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_runner.cpp" "tests/CMakeFiles/mobcache_tests.dir/test_runner.cpp.o" "gcc" "tests/CMakeFiles/mobcache_tests.dir/test_runner.cpp.o.d"
+  "/root/repo/tests/test_scenario.cpp" "tests/CMakeFiles/mobcache_tests.dir/test_scenario.cpp.o" "gcc" "tests/CMakeFiles/mobcache_tests.dir/test_scenario.cpp.o.d"
+  "/root/repo/tests/test_scheme.cpp" "tests/CMakeFiles/mobcache_tests.dir/test_scheme.cpp.o" "gcc" "tests/CMakeFiles/mobcache_tests.dir/test_scheme.cpp.o.d"
+  "/root/repo/tests/test_shadow_monitor.cpp" "tests/CMakeFiles/mobcache_tests.dir/test_shadow_monitor.cpp.o" "gcc" "tests/CMakeFiles/mobcache_tests.dir/test_shadow_monitor.cpp.o.d"
+  "/root/repo/tests/test_shared_l2.cpp" "tests/CMakeFiles/mobcache_tests.dir/test_shared_l2.cpp.o" "gcc" "tests/CMakeFiles/mobcache_tests.dir/test_shared_l2.cpp.o.d"
+  "/root/repo/tests/test_static_partitioned.cpp" "tests/CMakeFiles/mobcache_tests.dir/test_static_partitioned.cpp.o" "gcc" "tests/CMakeFiles/mobcache_tests.dir/test_static_partitioned.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/mobcache_tests.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/mobcache_tests.dir/test_stats.cpp.o.d"
+  "/root/repo/tests/test_table.cpp" "tests/CMakeFiles/mobcache_tests.dir/test_table.cpp.o" "gcc" "tests/CMakeFiles/mobcache_tests.dir/test_table.cpp.o.d"
+  "/root/repo/tests/test_technology.cpp" "tests/CMakeFiles/mobcache_tests.dir/test_technology.cpp.o" "gcc" "tests/CMakeFiles/mobcache_tests.dir/test_technology.cpp.o.d"
+  "/root/repo/tests/test_technology_config.cpp" "tests/CMakeFiles/mobcache_tests.dir/test_technology_config.cpp.o" "gcc" "tests/CMakeFiles/mobcache_tests.dir/test_technology_config.cpp.o.d"
+  "/root/repo/tests/test_temperature.cpp" "tests/CMakeFiles/mobcache_tests.dir/test_temperature.cpp.o" "gcc" "tests/CMakeFiles/mobcache_tests.dir/test_temperature.cpp.o.d"
+  "/root/repo/tests/test_trace.cpp" "tests/CMakeFiles/mobcache_tests.dir/test_trace.cpp.o" "gcc" "tests/CMakeFiles/mobcache_tests.dir/test_trace.cpp.o.d"
+  "/root/repo/tests/test_trace_cache.cpp" "tests/CMakeFiles/mobcache_tests.dir/test_trace_cache.cpp.o" "gcc" "tests/CMakeFiles/mobcache_tests.dir/test_trace_cache.cpp.o.d"
+  "/root/repo/tests/test_trace_compress.cpp" "tests/CMakeFiles/mobcache_tests.dir/test_trace_compress.cpp.o" "gcc" "tests/CMakeFiles/mobcache_tests.dir/test_trace_compress.cpp.o.d"
+  "/root/repo/tests/test_trace_io.cpp" "tests/CMakeFiles/mobcache_tests.dir/test_trace_io.cpp.o" "gcc" "tests/CMakeFiles/mobcache_tests.dir/test_trace_io.cpp.o.d"
+  "/root/repo/tests/test_victim_cache.cpp" "tests/CMakeFiles/mobcache_tests.dir/test_victim_cache.cpp.o" "gcc" "tests/CMakeFiles/mobcache_tests.dir/test_victim_cache.cpp.o.d"
+  "/root/repo/tests/test_wear.cpp" "tests/CMakeFiles/mobcache_tests.dir/test_wear.cpp.o" "gcc" "tests/CMakeFiles/mobcache_tests.dir/test_wear.cpp.o.d"
+  "/root/repo/tests/test_workload.cpp" "tests/CMakeFiles/mobcache_tests.dir/test_workload.cpp.o" "gcc" "tests/CMakeFiles/mobcache_tests.dir/test_workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/CMakeFiles/mobcache.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobcache_appcheck.dir/mobcache_appcheck.cpp.o"
+  "CMakeFiles/mobcache_appcheck.dir/mobcache_appcheck.cpp.o.d"
+  "mobcache_appcheck"
+  "mobcache_appcheck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobcache_appcheck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

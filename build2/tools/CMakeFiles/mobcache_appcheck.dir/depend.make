@@ -1,0 +1,2 @@
+# Empty dependencies file for mobcache_appcheck.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobcache_compare.dir/mobcache_compare.cpp.o"
+  "CMakeFiles/mobcache_compare.dir/mobcache_compare.cpp.o.d"
+  "mobcache_compare"
+  "mobcache_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobcache_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

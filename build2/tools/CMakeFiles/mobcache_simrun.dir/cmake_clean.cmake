@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobcache_simrun.dir/mobcache_simrun.cpp.o"
+  "CMakeFiles/mobcache_simrun.dir/mobcache_simrun.cpp.o.d"
+  "mobcache_simrun"
+  "mobcache_simrun.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobcache_simrun.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

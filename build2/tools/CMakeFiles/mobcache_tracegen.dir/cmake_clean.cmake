@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobcache_tracegen.dir/mobcache_tracegen.cpp.o"
+  "CMakeFiles/mobcache_tracegen.dir/mobcache_tracegen.cpp.o.d"
+  "mobcache_tracegen"
+  "mobcache_tracegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobcache_tracegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobcache_tracestat.dir/mobcache_tracestat.cpp.o"
+  "CMakeFiles/mobcache_tracestat.dir/mobcache_tracestat.cpp.o.d"
+  "mobcache_tracestat"
+  "mobcache_tracestat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobcache_tracestat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

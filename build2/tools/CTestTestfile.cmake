@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build2/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(tool_tracegen_roundtrip "/root/repo/build2/tools/mobcache_tracegen" "browser" "50000" "/root/repo/build2/tools/smoke.mctz" "7")
+set_tests_properties(tool_tracegen_roundtrip PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_tracestat "/root/repo/build2/tools/mobcache_tracestat" "/root/repo/build2/tools/smoke.mctz")
+set_tests_properties(tool_tracestat PROPERTIES  DEPENDS "tool_tracegen_roundtrip" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_simrun "/root/repo/build2/tools/mobcache_simrun" "/root/repo/build2/tools/smoke.mctz" "spmrstt")
+set_tests_properties(tool_simrun PROPERTIES  DEPENDS "tool_tracegen_roundtrip" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_appcheck "/root/repo/build2/tools/mobcache_appcheck" "launcher" "60000")
+set_tests_properties(tool_appcheck PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")
