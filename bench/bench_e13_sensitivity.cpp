@@ -56,6 +56,7 @@ std::vector<Variant> variants() {
 
 int main(int argc, char** argv) {
   const unsigned jobs = bench_jobs(argc, argv);
+  const std::unique_ptr<ResultStore> store = bench_result_store(argc, argv);
   BenchReport bench("e13_sensitivity", jobs);
   print_banner("E13", "Sensitivity of the conclusions to technology constants");
   const std::uint64_t len = bench_trace_len(600'000);
@@ -63,6 +64,9 @@ int main(int argc, char** argv) {
   ExperimentRunner runner(
       {AppId::Launcher, AppId::Browser, AppId::AudioPlayer, AppId::Maps},
       len, 42);
+  // Safe under ScopedTechnology: the runner hashes technology() on the
+  // worker thread, so each variant's cells key on its own perturbed config.
+  runner.result_store = store.get();
 
   const std::vector<Variant> vars = variants();
 
@@ -106,6 +110,7 @@ int main(int argc, char** argv) {
 
   bench.add_result("dp_always_best", dp_always_best ? 1.0 : 0.0);
   bench.add_result("worst_dp_norm_energy", worst_dp_energy);
+  if (store) bench.set_store_stats(store->stats());
   bench.write();
   return 0;
 }

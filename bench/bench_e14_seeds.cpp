@@ -28,6 +28,7 @@ std::string pm(const SeedStat& s, int decimals = 3) {
 
 int main(int argc, char** argv) {
   const unsigned jobs = bench_jobs(argc, argv);
+  const std::unique_ptr<ResultStore> store = bench_result_store(argc, argv);
   BenchReport bench("e14_seeds", jobs);
   print_banner("E14", "Seed robustness of the headline results");
   const std::uint64_t len = bench_trace_len();
@@ -38,8 +39,8 @@ int main(int argc, char** argv) {
       SchemeKind::DrowsySram, SchemeKind::StaticPartMrstt,
       SchemeKind::DynamicStt};
 
-  const auto results =
-      run_multi_seed(interactive_apps(), len, seeds, schemes, {}, jobs);
+  const auto results = run_multi_seed(interactive_apps(), len, seeds, schemes,
+                                      {}, jobs, store.get());
   bench.set_points(static_cast<std::uint64_t>(seeds.size() * schemes.size()));
 
   TablePrinter t({"scheme", "norm cache energy (mean +- sd [min,max])",
@@ -70,6 +71,7 @@ int main(int argc, char** argv) {
   bench.add_result("sp_mrstt_energy_max", mrstt.cache_energy.max);
   bench.add_result("dp_stt_energy_mean", dpstt.cache_energy.mean);
   bench.add_result("dp_stt_energy_max", dpstt.cache_energy.max);
+  if (store) bench.set_store_stats(store->stats());
   bench.write();
   return 0;
 }

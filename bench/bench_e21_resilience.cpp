@@ -53,6 +53,8 @@ int main(int argc, char** argv) {
   const std::uint64_t len = bench_trace_len(400'000);
   ExperimentRunner runner({AppId::Browser, AppId::Game}, len, 21);
   runner.jobs = jobs;
+  const std::unique_ptr<ResultStore> store = bench_result_store(argc, argv);
+  runner.result_store = store.get();
 
   const std::vector<double> rates = {0.0, 1e-4, 1e-3, 5e-3, 2e-2};
   SchemeParams tmpl;
@@ -109,6 +111,7 @@ int main(int argc, char** argv) {
   bench.add_result("sp_mrstt_worst_time", sp_pts.back().norm_exec_time);
   bench.add_result("dp_stt_worst_energy", dp_pts.back().norm_cache_energy);
   bench.add_result("dp_stt_worst_time", dp_pts.back().norm_exec_time);
+  if (store) bench.set_store_stats(store->stats());
   bench.write();
 
   std::printf(

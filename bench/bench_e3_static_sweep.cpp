@@ -29,12 +29,14 @@ struct Sizing {
 
 int main(int argc, char** argv) {
   const unsigned jobs = bench_jobs(argc, argv);
+  const std::unique_ptr<ResultStore> store = bench_result_store(argc, argv);
   BenchReport bench("e3_static_sweep", jobs);
   print_banner("E3",
                "Static partition size sweep: miss rate vs. total capacity");
   const std::uint64_t len = bench_trace_len();
 
   ExperimentRunner runner(interactive_apps(), len, 42);
+  runner.result_store = store.get();
 
   const std::vector<Sizing> sweep = {
       {256, 8, 128, 8},  {512, 8, 128, 8},   {512, 8, 256, 8},
@@ -48,12 +50,24 @@ int main(int argc, char** argv) {
       ex.map(1 + sweep.size(), [&](std::size_t i) {
         if (i == 0) return runner.run_scheme(SchemeKind::BaselineSram);
         const Sizing& s = sweep[i - 1];
-        return runner.run_custom("sp", [&] {
-          StaticPartitionConfig pc;
-          pc.user = sram_segment(s.user_kb << 10, s.user_assoc);
-          pc.kernel = sram_segment(s.kernel_kb << 10, s.kernel_assoc);
-          return std::make_unique<StaticPartitionedL2>(pc);
-        });
+        // Design hash covers everything the builder bakes in: both SRAM
+        // segment geometries (sram_segment derives the rest from these).
+        const std::uint64_t dh = ContentHasher()
+                                     .mix(std::string("e3-sp-sram"))
+                                     .mix(s.user_kb << 10)
+                                     .mix(std::uint64_t{s.user_assoc})
+                                     .mix(s.kernel_kb << 10)
+                                     .mix(std::uint64_t{s.kernel_assoc})
+                                     .digest();
+        return runner.run_custom(
+            "sp",
+            [&] {
+              StaticPartitionConfig pc;
+              pc.user = sram_segment(s.user_kb << 10, s.user_assoc);
+              pc.kernel = sram_segment(s.kernel_kb << 10, s.kernel_assoc);
+              return std::make_unique<StaticPartitionedL2>(pc);
+            },
+            dh);
       });
   bench.set_points(static_cast<std::uint64_t>(cells.size()));
   const SchemeSuiteResult& base = cells[0];
@@ -88,6 +102,7 @@ int main(int argc, char** argv) {
 
   bench.add_result("base_miss_rate", base.avg_miss_rate);
   bench.add_result("knee_norm_energy", knee_energy);
+  if (store) bench.set_store_stats(store->stats());
   bench.write();
   return 0;
 }

@@ -19,6 +19,7 @@ using namespace mobcache;
 
 int main(int argc, char** argv) {
   const unsigned jobs = bench_jobs(argc, argv);
+  const std::unique_ptr<ResultStore> store = bench_result_store(argc, argv);
   BenchReport bench("e6_retention_sweep", jobs);
   print_banner("E6", "Multi-retention pairing sweep for the static design");
   // Session-length traces (see E5): shorter runs hide user-block expiry
@@ -27,6 +28,7 @@ int main(int argc, char** argv) {
 
   ExperimentRunner runner(
       {AppId::Launcher, AppId::Browser, AppId::Email, AppId::Maps}, len, 42);
+  runner.result_store = store.get();
 
   const RetentionClass classes[] = {RetentionClass::Lo, RetentionClass::Mid,
                                     RetentionClass::Hi};
@@ -124,6 +126,7 @@ int main(int argc, char** argv) {
   bench.add_result("chosen_norm_energy", best->energy);
   bench.add_result("chosen_norm_time", best->time);
   bench.add_result("base_miss_rate", cells[0].avg_miss_rate);
+  if (store) bench.set_store_stats(store->stats());
   bench.write();
   return 0;
 }

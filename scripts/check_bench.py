@@ -24,6 +24,12 @@ halves:
   identical A B             byte-for-byte file comparison — for the
                             deterministic result artifacts (CSV / result
                             JSON) emitted by a --jobs=1 vs --jobs=N run.
+  store-gate WARM           the warm-run report of a resumable sweep
+                            (docs/RESULT_STORE.md): asserts the result
+                            store served >= --min-hit-rate (default 0.9)
+                            of its lookups and skipped no corrupt
+                            records. Run the bench twice against the same
+                            --store-dir and gate the second report.
 
 Exits 0 with a one-line summary per check; exits 1 with the first failure.
 """
@@ -34,7 +40,9 @@ import math
 import sys
 
 REQUIRED_FIELDS = ("bench", "schema_version", "jobs", "points", "wall_ms",
-                   "points_per_sec", "results")
+                   "points_per_sec", "result_store", "results")
+
+STORE_COUNTERS = ("hits", "misses", "stores", "corrupt_skipped", "loaded")
 
 
 def fail(msg):
@@ -66,6 +74,14 @@ def validate(path):
              f"(got {doc['points']!r}) — a zero-point sweep ran nothing")
     if not isinstance(doc["wall_ms"], (int, float)) or doc["wall_ms"] <= 0:
         fail(f"{path}: wall_ms must be positive (got {doc['wall_ms']!r})")
+    store = doc["result_store"]
+    if not isinstance(store, dict):
+        fail(f"{path}: 'result_store' must be an object")
+    for counter in STORE_COUNTERS:
+        value = store.get(counter)
+        if not isinstance(value, int) or value < 0:
+            fail(f"{path}: result_store.{counter} must be a non-negative "
+                 f"integer (got {value!r})")
     results = doc["results"]
     if not isinstance(results, dict) or not results:
         fail(f"{path}: 'results' must be a non-empty object")
@@ -138,6 +154,28 @@ def identical(path_a, path_b):
     print(f"check_bench: OK: {path_a} == {path_b} ({len(a)} bytes)")
 
 
+def store_gate(path, min_hit_rate):
+    doc = load_report(path)
+    store = doc["result_store"]
+    hits, misses = store["hits"], store["misses"]
+    lookups = hits + misses
+    if lookups == 0:
+        fail(f"{path}: no store lookups recorded — was the bench run "
+             f"without --store-dir?")
+    if store["corrupt_skipped"] != 0:
+        fail(f"{path}: {store['corrupt_skipped']} corrupt store records "
+             f"skipped — the warm store should be pristine")
+    hit_rate = hits / lookups
+    if hit_rate < min_hit_rate:
+        fail(f"{doc['bench']}: warm-run store hit rate {hit_rate:.1%} "
+             f"({hits}/{lookups}) below required {min_hit_rate:.0%} — "
+             f"the resume path re-simulated points it should have served "
+             f"from the store")
+    print(f"check_bench: OK: {doc['bench']} warm run served "
+          f"{hit_rate:.1%} of lookups from the result store "
+          f"({hits}/{lookups}, {store['loaded']} records loaded)")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -158,14 +196,21 @@ def main():
     p_identical.add_argument("a")
     p_identical.add_argument("b")
 
+    p_store = sub.add_parser("store-gate",
+                             help="warm-run result-store hit-rate gate")
+    p_store.add_argument("warm")
+    p_store.add_argument("--min-hit-rate", type=float, default=0.9)
+
     args = parser.parse_args()
     if args.command == "validate":
         for path in args.files:
             validate(path)
     elif args.command == "compare":
         compare(args.serial, args.parallel, args.min_speedup, args.rel_tol)
-    else:
+    elif args.command == "identical":
         identical(args.a, args.b)
+    else:
+        store_gate(args.warm, args.min_hit_rate)
 
 
 if __name__ == "__main__":

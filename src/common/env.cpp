@@ -1,0 +1,52 @@
+#include "common/env.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+
+namespace mobcache {
+
+namespace {
+
+std::string range_text(std::uint64_t min, std::uint64_t max) {
+  std::string out = "[" + std::to_string(min) + ", ";
+  out += max == UINT64_MAX ? std::string("2^64)") : std::to_string(max) + "]";
+  return out;
+}
+
+[[noreturn]] void reject(const char* name, const char* raw, std::uint64_t min,
+                         std::uint64_t max) {
+  throw EnvError(std::string(name) + ": expected an integer in " +
+                 range_text(min, max) + ", got '" + raw + "'");
+}
+
+}  // namespace
+
+std::optional<std::uint64_t> env_u64(const char* name, std::uint64_t min,
+                                     std::uint64_t max) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || raw[0] == '\0') return std::nullopt;
+  // strtoull accepts leading whitespace, signs and hex prefixes; a config
+  // knob should accept none of them, so pre-screen for plain digits.
+  for (const char* p = raw; *p != '\0'; ++p) {
+    if (*p < '0' || *p > '9') reject(name, raw, min, max);
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(raw, &end, 10);
+  if (errno != 0 || end == raw || *end != '\0') reject(name, raw, min, max);
+  if (v < min || v > max) reject(name, raw, min, max);
+  return static_cast<std::uint64_t>(v);
+}
+
+std::uint64_t env_u64_or(const char* name, std::uint64_t fallback,
+                         std::uint64_t min, std::uint64_t max) {
+  return env_u64(name, min, max).value_or(fallback);
+}
+
+std::optional<std::string> env_string(const char* name) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || raw[0] == '\0') return std::nullopt;
+  return std::string(raw);
+}
+
+}  // namespace mobcache

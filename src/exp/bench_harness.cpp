@@ -22,6 +22,22 @@ unsigned bench_jobs(int argc, char** argv) {
   return effective_jobs(requested);
 }
 
+std::unique_ptr<ResultStore> bench_result_store(int argc, char** argv) {
+  std::string dir;
+  bool resume = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--store-dir=", 12) == 0) {
+      dir = argv[i] + 12;
+    } else if (std::strcmp(argv[i], "--resume") == 0) {
+      resume = true;
+    }
+  }
+  if (!dir.empty()) return std::make_unique<ResultStore>(dir);
+  if (auto store = ResultStore::from_env()) return store;
+  if (resume) return std::make_unique<ResultStore>(results_path("result_store"));
+  return nullptr;
+}
+
 bool write_json_results(const JsonWriter& w, const std::string& filename) {
   const std::string path = results_path(filename);
   std::error_code ec;
@@ -58,6 +74,14 @@ bool BenchReport::write() {
   w.key("wall_ms").value(ms);
   w.key("points_per_sec")
       .value(ms > 0.0 ? static_cast<double>(points_) * 1e3 / ms : 0.0);
+  w.key("result_store");
+  w.begin_object();
+  w.key("hits").value(store_stats_.hits);
+  w.key("misses").value(store_stats_.misses);
+  w.key("stores").value(store_stats_.stores);
+  w.key("corrupt_skipped").value(store_stats_.corrupt_skipped);
+  w.key("loaded").value(store_stats_.loaded);
+  w.end_object();
   w.key("results");
   w.begin_object();
   for (const auto& [key, value] : results_) w.key(key).value(value);

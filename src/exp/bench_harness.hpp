@@ -7,11 +7,13 @@
 
 #include <chrono>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "common/json_writer.hpp"
+#include "exp/result_store.hpp"
 
 namespace mobcache {
 
@@ -19,6 +21,15 @@ namespace mobcache {
 /// effective_jobs(0) (MOBCACHE_JOBS, then hardware concurrency). Other
 /// arguments are left alone so benches stay forgiving about extra flags.
 unsigned bench_jobs(int argc, char** argv);
+
+/// Resumable-sweep opt-in shared by the bench binaries (and simrun):
+///   --store-dir=PATH   open (or create) the result store at PATH
+///   --resume           open the default store: MOBCACHE_RESULT_STORE when
+///                      set, else results_path("result_store")
+///   MOBCACHE_RESULT_STORE=PATH   same as --store-dir=PATH, no flag needed
+/// Returns null when none of the three are present (sweeps recompute
+/// everything, exactly as before).
+std::unique_ptr<ResultStore> bench_result_store(int argc, char** argv);
 
 /// Writes a finished JsonWriter document under the results directory
 /// (results_path(filename)); returns success.
@@ -43,6 +54,15 @@ class BenchReport {
   /// Adds one deterministic headline metric to the "results" section.
   void add_result(const std::string& key, double value);
 
+  /// Result-store counters for this run, written as the top-level
+  /// "result_store" object (hits/misses/stores/corrupt_skipped/loaded).
+  /// Like the timing fields these vary run to run — a warm run reports
+  /// hits where a cold one reported misses — so they live *outside*
+  /// "results" and never break the determinism gate. Call with the store's
+  /// stats() right before write(); without a store the object reports
+  /// zeros.
+  void set_store_stats(const ResultStoreStats& s) { store_stats_ = s; }
+
   double wall_ms() const;
 
   /// Stops the clock and writes BENCH_<name>.json; returns success and
@@ -54,6 +74,7 @@ class BenchReport {
   unsigned jobs_;
   std::uint64_t points_ = 0;
   std::vector<std::pair<std::string, double>> results_;
+  ResultStoreStats store_stats_;
   std::chrono::steady_clock::time_point start_;
 };
 

@@ -1,22 +1,21 @@
 #include "exp/parallel.hpp"
 
 #include <atomic>
-#include <cstdlib>
 #include <deque>
 #include <limits>
 #include <mutex>
 #include <thread>
 
+#include "common/env.hpp"
 #include "energy/technology.hpp"
 
 namespace mobcache {
 
 unsigned effective_jobs(unsigned requested) {
   if (requested > 0) return requested;
-  if (const char* env = std::getenv("MOBCACHE_JOBS")) {
-    const unsigned long v = std::strtoul(env, nullptr, 10);
-    if (v > 0) return static_cast<unsigned>(v);
-  }
+  // 0 keeps its historical meaning of "auto" (same as --jobs=0).
+  if (const auto v = env_u64("MOBCACHE_JOBS", 0, 65536); v && *v > 0)
+    return static_cast<unsigned>(*v);
   const unsigned hw = std::thread::hardware_concurrency();
   return hw > 0 ? hw : 1;
 }

@@ -1,0 +1,642 @@
+#include "exp/result_store.hpp"
+
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#if defined(_WIN32)
+#include <io.h>
+#else
+#include <unistd.h>
+#endif
+
+#include "common/env.hpp"
+#include "common/json_writer.hpp"
+#include "energy/technology.hpp"
+
+namespace mobcache {
+
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------------------
+// Content hashing
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+std::uint64_t fnv1a(const void* data, std::size_t n,
+                    std::uint64_t h = 0xcbf29ce484222325ull) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+}  // namespace
+
+ContentHasher& ContentHasher::mix(std::uint64_t v) {
+  unsigned char bytes[8];
+  std::memcpy(bytes, &v, sizeof bytes);
+  h_ = fnv1a(bytes, sizeof bytes, h_);
+  return *this;
+}
+
+ContentHasher& ContentHasher::mix(double v) {
+  std::uint64_t bits;
+  static_assert(sizeof bits == sizeof v, "binary64 expected");
+  std::memcpy(&bits, &v, sizeof bits);
+  return mix(bits);
+}
+
+ContentHasher& ContentHasher::mix(const std::string& s) {
+  // Length first, so ("ab","c") never collides with ("a","bc").
+  mix(static_cast<std::uint64_t>(s.size()));
+  h_ = fnv1a(s.data(), s.size(), h_);
+  return *this;
+}
+
+std::uint64_t hash_cache_config(const CacheConfig& c) {
+  // `name` is cosmetic (it labels diagnostics) and deliberately excluded:
+  // two geometrically identical caches simulate identically.
+  return ContentHasher()
+      .mix(c.size_bytes)
+      .mix(std::uint64_t{c.assoc})
+      .mix(c.line_size)
+      .mix(static_cast<std::uint64_t>(c.repl))
+      .mix(static_cast<std::uint64_t>(c.xor_index))
+      .digest();
+}
+
+std::uint64_t hash_scheme_params(const SchemeParams& p) {
+  return ContentHasher()
+      .mix(p.baseline_bytes)
+      .mix(std::uint64_t{p.baseline_assoc})
+      .mix(p.shrunk_bytes)
+      .mix(std::uint64_t{p.shrunk_assoc})
+      .mix(p.sp_user_bytes)
+      .mix(std::uint64_t{p.sp_user_assoc})
+      .mix(p.sp_kernel_bytes)
+      .mix(std::uint64_t{p.sp_kernel_assoc})
+      .mix(static_cast<std::uint64_t>(p.mrstt_user))
+      .mix(static_cast<std::uint64_t>(p.mrstt_kernel))
+      .mix(static_cast<std::uint64_t>(p.refresh))
+      .mix(p.dp_epoch_accesses)
+      .mix(static_cast<std::uint64_t>(p.dp_monitor))
+      .mix(p.dp_miss_slack)
+      .mix(static_cast<std::uint64_t>(p.dp_retention))
+      .mix(std::uint64_t{p.drowsy_window})
+      .mix(static_cast<std::uint64_t>(p.repl))
+      .mix(static_cast<std::uint64_t>(p.xor_index))
+      .mix(static_cast<std::uint64_t>(p.stt_write_bypass))
+      .mix(p.fault.write_fault_prob)
+      .mix(p.fault.transient_per_mcycle)
+      .mix(p.fault.retention_sigma)
+      .mix(static_cast<std::uint64_t>(p.fault.ecc))
+      .mix(std::uint64_t{p.fault.way_disable_threshold})
+      .mix(p.fault.seed)
+      .digest();
+}
+
+std::uint64_t hash_sim_options(const SimOptions& o) {
+  return ContentHasher()
+      .mix(hash_cache_config(o.hierarchy.l1i))
+      .mix(hash_cache_config(o.hierarchy.l1d))
+      .mix(std::uint64_t{o.hierarchy.l1_hit_latency})
+      .mix(static_cast<std::uint64_t>(o.hierarchy.prefetch.enabled))
+      .mix(std::uint64_t{o.hierarchy.prefetch.degree})
+      .mix(std::uint64_t{o.hierarchy.prefetch.table_entries})
+      .mix(static_cast<std::uint64_t>(o.hierarchy.inclusive_l2))
+      .mix(o.timing.base_cpi)
+      .digest();
+}
+
+std::uint64_t hash_technology(const TechnologyConfig& t) {
+  return ContentHasher()
+      .mix(t.sram_leak_mw_per_kb)
+      .mix(t.sram_read_nj_2mb)
+      .mix(t.sram_write_nj_2mb)
+      .mix(t.stt_leak_factor)
+      .mix(t.stt_read_factor)
+      .mix(t.stt_write_nj_hi_2mb)
+      .mix(t.write_energy_floor)
+      .mix(t.dram_access_nj)
+      .mix(t.cycle_ns)
+      .mix(t.temperature_k)
+      .digest();
+}
+
+std::uint64_t hash_trace(const Trace& t) {
+  // Field-wise, not raw bytes: Access carries 4 padding bytes whose content
+  // is unspecified. The fingerprint covers every record, so a trace loaded
+  // from disk and a regenerated one key identically iff they really agree.
+  ContentHasher h;
+  h.mix(t.name());
+  h.mix(static_cast<std::uint64_t>(t.size()));
+  for (const Access& a : t.accesses()) {
+    h.mix(a.addr);
+    h.mix(static_cast<std::uint64_t>(a.thread) |
+          (static_cast<std::uint64_t>(a.type) << 16) |
+          (static_cast<std::uint64_t>(a.mode) << 24));
+  }
+  return h.digest();
+}
+
+std::uint64_t result_point_key(std::uint64_t design_hash,
+                               std::uint64_t trace_hash,
+                               std::uint64_t options_hash,
+                               std::uint64_t technology_hash,
+                               std::uint64_t point_seed) {
+  return ContentHasher()
+      .mix(kResultSchemaVersion)
+      .mix(design_hash)
+      .mix(trace_hash)
+      .mix(options_hash)
+      .mix(technology_hash)
+      .mix(point_seed)
+      .digest();
+}
+
+// ---------------------------------------------------------------------------
+// Record (de)serialization — exact round trip
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void put_u64(std::string& out, const char* key, std::uint64_t v) {
+  out += '"';
+  out += key;
+  out += "\":";
+  out += std::to_string(v);
+  out += ',';
+}
+
+void put_dbl(std::string& out, const char* key, double v) {
+  // 17 significant digits uniquely identify a binary64; strtod's correct
+  // rounding reproduces the exact bit pattern on parse.
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out += '"';
+  out += key;
+  out += "\":";
+  out += buf;
+  out += ',';
+}
+
+void put_str(std::string& out, const char* key, const std::string& v) {
+  out += '"';
+  out += key;
+  out += "\":\"";
+  out += json_escape(v);
+  out += "\",";
+}
+
+void put_cache_stats(std::string& out, const char* prefix,
+                     const CacheStats& s) {
+  auto key = [&](const char* field) { return std::string(prefix) + field; };
+  put_u64(out, key("accesses_user").c_str(), s.accesses[0]);
+  put_u64(out, key("accesses_kernel").c_str(), s.accesses[1]);
+  put_u64(out, key("hits_user").c_str(), s.hits[0]);
+  put_u64(out, key("hits_kernel").c_str(), s.hits[1]);
+  put_u64(out, key("store_hits").c_str(), s.store_hits);
+  put_u64(out, key("fills").c_str(), s.fills);
+  put_u64(out, key("evictions").c_str(), s.evictions);
+  put_u64(out, key("writebacks").c_str(), s.writebacks);
+  put_u64(out, key("cross_mode_evictions").c_str(), s.cross_mode_evictions);
+  put_u64(out, key("expired_blocks").c_str(), s.expired_blocks);
+  put_u64(out, key("expired_dirty").c_str(), s.expired_dirty);
+  put_u64(out, key("refreshes").c_str(), s.refreshes);
+  put_u64(out, key("prefetch_fills").c_str(), s.prefetch_fills);
+  put_u64(out, key("useful_prefetches").c_str(), s.useful_prefetches);
+  put_u64(out, key("write_faults").c_str(), s.write_faults);
+  put_u64(out, key("transient_upsets").c_str(), s.transient_upsets);
+  put_u64(out, key("ecc_corrections").c_str(), s.ecc_corrections);
+  put_u64(out, key("fault_losses").c_str(), s.fault_losses);
+  put_u64(out, key("fault_lost_dirty").c_str(), s.fault_lost_dirty);
+  put_u64(out, key("scrub_repairs").c_str(), s.scrub_repairs);
+  put_u64(out, key("silent_faults").c_str(), s.silent_faults);
+}
+
+/// Minimal parser for the flat JSON objects this file writes: string or
+/// bare-number values only, one nesting level. Returns false on anything
+/// unexpected — a reject is a corrupt record, never a crash.
+class FlatParser {
+ public:
+  bool parse(const std::string& text) {
+    p_ = text.c_str();
+    skip_ws();
+    if (!consume('{')) return false;
+    skip_ws();
+    if (consume('}')) return true;
+    while (true) {
+      std::string key, value;
+      bool is_string = false;
+      if (!parse_string(key)) return false;
+      skip_ws();
+      if (!consume(':')) return false;
+      skip_ws();
+      if (*p_ == '"') {
+        if (!parse_string(value)) return false;
+        is_string = true;
+      } else {
+        const char* start = p_;
+        while (*p_ != '\0' && *p_ != ',' && *p_ != '}' && *p_ != ' ' &&
+               *p_ != '\n')
+          ++p_;
+        if (p_ == start) return false;
+        value.assign(start, p_);
+      }
+      fields_[key] = {std::move(value), is_string};
+      skip_ws();
+      if (consume('}')) break;
+      if (!consume(',')) return false;
+      skip_ws();
+    }
+    skip_ws();
+    return *p_ == '\0';
+  }
+
+  bool get_str(const char* key, std::string& out) const {
+    auto it = fields_.find(key);
+    if (it == fields_.end() || !it->second.second) return false;
+    out = it->second.first;
+    return true;
+  }
+
+  bool get_u64(const char* key, std::uint64_t& out) const {
+    auto it = fields_.find(key);
+    if (it == fields_.end() || it->second.second) return false;
+    const std::string& t = it->second.first;
+    if (t.empty()) return false;
+    for (char c : t)
+      if (c < '0' || c > '9') return false;
+    errno = 0;
+    char* end = nullptr;
+    out = std::strtoull(t.c_str(), &end, 10);
+    return errno == 0 && end != nullptr && *end == '\0';
+  }
+
+  bool get_dbl(const char* key, double& out) const {
+    auto it = fields_.find(key);
+    if (it == fields_.end() || it->second.second) return false;
+    const std::string& t = it->second.first;
+    char* end = nullptr;
+    out = std::strtod(t.c_str(), &end);
+    return end != nullptr && end != t.c_str() && *end == '\0';
+  }
+
+ private:
+  void skip_ws() {
+    while (*p_ == ' ' || *p_ == '\n' || *p_ == '\t' || *p_ == '\r') ++p_;
+  }
+  bool consume(char c) {
+    if (*p_ != c) return false;
+    ++p_;
+    return true;
+  }
+  bool parse_string(std::string& out) {
+    if (!consume('"')) return false;
+    out.clear();
+    while (*p_ != '\0' && *p_ != '"') {
+      if (*p_ == '\\') {
+        ++p_;
+        switch (*p_) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u': {
+            // json_escape only emits \u00xx for control bytes.
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              ++p_;
+              const char c = *p_;
+              if (c >= '0' && c <= '9') code = code * 16 + (c - '0');
+              else if (c >= 'a' && c <= 'f') code = code * 16 + (c - 'a' + 10);
+              else if (c >= 'A' && c <= 'F') code = code * 16 + (c - 'A' + 10);
+              else return false;
+            }
+            out += static_cast<char>(code);
+            break;
+          }
+          default: return false;
+        }
+        ++p_;
+      } else {
+        out += *p_;
+        ++p_;
+      }
+    }
+    return consume('"');
+  }
+
+  const char* p_ = nullptr;
+  std::map<std::string, std::pair<std::string, bool>> fields_;
+};
+
+bool read_cache_stats(const FlatParser& f, const char* prefix, CacheStats& s) {
+  auto key = [&](const char* field) { return std::string(prefix) + field; };
+  return f.get_u64(key("accesses_user").c_str(), s.accesses[0]) &&
+         f.get_u64(key("accesses_kernel").c_str(), s.accesses[1]) &&
+         f.get_u64(key("hits_user").c_str(), s.hits[0]) &&
+         f.get_u64(key("hits_kernel").c_str(), s.hits[1]) &&
+         f.get_u64(key("store_hits").c_str(), s.store_hits) &&
+         f.get_u64(key("fills").c_str(), s.fills) &&
+         f.get_u64(key("evictions").c_str(), s.evictions) &&
+         f.get_u64(key("writebacks").c_str(), s.writebacks) &&
+         f.get_u64(key("cross_mode_evictions").c_str(),
+                   s.cross_mode_evictions) &&
+         f.get_u64(key("expired_blocks").c_str(), s.expired_blocks) &&
+         f.get_u64(key("expired_dirty").c_str(), s.expired_dirty) &&
+         f.get_u64(key("refreshes").c_str(), s.refreshes) &&
+         f.get_u64(key("prefetch_fills").c_str(), s.prefetch_fills) &&
+         f.get_u64(key("useful_prefetches").c_str(), s.useful_prefetches) &&
+         f.get_u64(key("write_faults").c_str(), s.write_faults) &&
+         f.get_u64(key("transient_upsets").c_str(), s.transient_upsets) &&
+         f.get_u64(key("ecc_corrections").c_str(), s.ecc_corrections) &&
+         f.get_u64(key("fault_losses").c_str(), s.fault_losses) &&
+         f.get_u64(key("fault_lost_dirty").c_str(), s.fault_lost_dirty) &&
+         f.get_u64(key("scrub_repairs").c_str(), s.scrub_repairs) &&
+         f.get_u64(key("silent_faults").c_str(), s.silent_faults);
+}
+
+std::string key_hex(std::uint64_t key) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016" PRIx64, key);
+  return buf;
+}
+
+}  // namespace
+
+std::string result_to_record_json(const SimResult& r) {
+  std::string out = "{";
+  put_str(out, "workload", r.workload);
+  put_str(out, "scheme", r.scheme);
+  put_u64(out, "records", r.records);
+  put_u64(out, "cycles", r.cycles);
+  put_dbl(out, "cpi", r.cpi);
+  put_cache_stats(out, "l1i.", r.l1i);
+  put_cache_stats(out, "l1d.", r.l1d);
+  put_cache_stats(out, "l2.", r.l2);
+  put_dbl(out, "e.leakage_nj", r.l2_energy.leakage_nj);
+  put_dbl(out, "e.read_nj", r.l2_energy.read_nj);
+  put_dbl(out, "e.write_nj", r.l2_energy.write_nj);
+  put_dbl(out, "e.refresh_nj", r.l2_energy.refresh_nj);
+  put_dbl(out, "e.dram_nj", r.l2_energy.dram_nj);
+  put_dbl(out, "e.ecc_nj", r.l2_energy.ecc_nj);
+  put_dbl(out, "l1_energy_nj", r.l1_energy_nj);
+  put_u64(out, "l2_capacity_bytes", r.l2_capacity_bytes);
+  put_dbl(out, "l2_avg_enabled_bytes", r.l2_avg_enabled_bytes);
+  put_u64(out, "l2_quarantined_ways", r.l2_quarantined_ways);
+  put_u64(out, "stall_l2_hit_cycles", r.stall_l2_hit_cycles);
+  put_u64(out, "stall_l2_miss_cycles", r.stall_l2_miss_cycles);
+  put_u64(out, "prefetches_issued", r.prefetches_issued);
+  out.back() = '}';  // replace the trailing comma
+  return out;
+}
+
+std::optional<SimResult> result_from_record_json(const std::string& json) {
+  FlatParser f;
+  if (!f.parse(json)) return std::nullopt;
+  SimResult r;
+  std::uint64_t quarantined = 0;
+  const bool ok =
+      f.get_str("workload", r.workload) && f.get_str("scheme", r.scheme) &&
+      f.get_u64("records", r.records) && f.get_u64("cycles", r.cycles) &&
+      f.get_dbl("cpi", r.cpi) && read_cache_stats(f, "l1i.", r.l1i) &&
+      read_cache_stats(f, "l1d.", r.l1d) &&
+      read_cache_stats(f, "l2.", r.l2) &&
+      f.get_dbl("e.leakage_nj", r.l2_energy.leakage_nj) &&
+      f.get_dbl("e.read_nj", r.l2_energy.read_nj) &&
+      f.get_dbl("e.write_nj", r.l2_energy.write_nj) &&
+      f.get_dbl("e.refresh_nj", r.l2_energy.refresh_nj) &&
+      f.get_dbl("e.dram_nj", r.l2_energy.dram_nj) &&
+      f.get_dbl("e.ecc_nj", r.l2_energy.ecc_nj) &&
+      f.get_dbl("l1_energy_nj", r.l1_energy_nj) &&
+      f.get_u64("l2_capacity_bytes", r.l2_capacity_bytes) &&
+      f.get_dbl("l2_avg_enabled_bytes", r.l2_avg_enabled_bytes) &&
+      f.get_u64("l2_quarantined_ways", quarantined) &&
+      f.get_u64("stall_l2_hit_cycles", r.stall_l2_hit_cycles) &&
+      f.get_u64("stall_l2_miss_cycles", r.stall_l2_miss_cycles) &&
+      f.get_u64("prefetches_issued", r.prefetches_issued);
+  if (!ok || quarantined > UINT32_MAX) return std::nullopt;
+  r.l2_quarantined_ways = static_cast<std::uint32_t>(quarantined);
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Persistence
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Record file layout: header line + payload line. The header names the key
+/// and carries an FNV-1a checksum of the exact payload bytes; a record that
+/// fails any check (torn write, truncation, bit rot, schema drift) is
+/// treated as absent.
+std::string render_record(std::uint64_t key, const std::string& payload) {
+  std::string out = "{\"format\":\"mobcache-result-store\",\"schema\":";
+  out += std::to_string(kResultSchemaVersion);
+  out += ",\"key\":\"";
+  out += key_hex(key);
+  out += "\",\"payload_fnv\":\"";
+  out += key_hex(fnv1a(payload.data(), payload.size()));
+  out += "\"}\n";
+  out += payload;
+  out += '\n';
+  return out;
+}
+
+bool parse_record(const std::string& text, std::uint64_t& key,
+                  SimResult& result) {
+  const std::size_t nl = text.find('\n');
+  if (nl == std::string::npos) return false;
+  // The payload line must be newline-terminated — a record whose trailing
+  // newline is missing was truncated mid-write.
+  if (text.empty() || text.back() != '\n') return false;
+  const std::string header = text.substr(0, nl);
+  const std::string payload = text.substr(nl + 1, text.size() - nl - 2);
+
+  FlatParser h;
+  if (!h.parse(header)) return false;
+  std::string format, key_text, fnv_text;
+  std::uint64_t schema = 0;
+  if (!h.get_str("format", format) || format != "mobcache-result-store")
+    return false;
+  if (!h.get_u64("schema", schema) || schema != kResultSchemaVersion)
+    return false;
+  if (!h.get_str("key", key_text) || !h.get_str("payload_fnv", fnv_text))
+    return false;
+  char* end = nullptr;
+  key = std::strtoull(key_text.c_str(), &end, 16);
+  if (end == nullptr || *end != '\0' || key_text.size() != 16) return false;
+  const std::uint64_t want_fnv = std::strtoull(fnv_text.c_str(), &end, 16);
+  if (end == nullptr || *end != '\0' || fnv_text.size() != 16) return false;
+  if (fnv1a(payload.data(), payload.size()) != want_fnv) return false;
+
+  std::optional<SimResult> r = result_from_record_json(payload);
+  if (!r) return false;
+  result = std::move(*r);
+  return true;
+}
+
+bool write_file_synced(const std::string& path, const std::string& bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const bool wrote =
+      std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size() &&
+      std::fflush(f) == 0;
+#if defined(_WIN32)
+  const bool synced = wrote;
+#else
+  const bool synced = wrote && ::fsync(::fileno(f)) == 0;
+#endif
+  return (std::fclose(f) == 0) && synced;
+}
+
+}  // namespace
+
+ResultStore::ResultStore(std::string dir) : dir_(std::move(dir)) {
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (!fs::is_directory(dir_, ec)) {
+    throw std::runtime_error("result store: cannot create directory '" +
+                             dir_ + "'");
+  }
+  load_existing();
+}
+
+std::unique_ptr<ResultStore> ResultStore::from_env() {
+  if (const auto dir = env_string("MOBCACHE_RESULT_STORE"))
+    return std::make_unique<ResultStore>(*dir);
+  return nullptr;
+}
+
+void ResultStore::load_existing() {
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind(".tmp-", 0) == 0) {
+      // Leftover from a killed writer; the rename never happened, so the
+      // record it was building was re-queued anyway.
+      fs::remove(entry.path(), ec);
+      continue;
+    }
+    if (name.size() < 2 || name[0] != 'r' ||
+        entry.path().extension() != ".json")
+      continue;
+    std::ifstream in(entry.path(), std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::uint64_t key = 0;
+    SimResult r;
+    if (in && parse_record(buf.str(), key, r)) {
+      mem_.emplace(key, std::move(r));
+      ++stats_.loaded;
+    } else {
+      ++stats_.corrupt_skipped;
+    }
+  }
+}
+
+std::optional<SimResult> ResultStore::lookup(std::uint64_t key) {
+  std::lock_guard<std::mutex> lock(m_);
+  auto it = mem_.find(key);
+  if (it == mem_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  ++stats_.hits;
+  return it->second;
+}
+
+void ResultStore::store(std::uint64_t key, const SimResult& r) {
+  const std::string record = render_record(key, result_to_record_json(r));
+  const std::string final_path =
+      (fs::path(dir_) / ("r" + key_hex(key) + ".json")).string();
+
+  std::string tmp_path;
+  {
+    std::lock_guard<std::mutex> lock(m_);
+    tmp_path = (fs::path(dir_) /
+                (".tmp-" + std::to_string(++tmp_counter_) + "-" +
+                 key_hex(key)))
+                   .string();
+  }
+  if (!write_file_synced(tmp_path, record)) {
+    std::error_code ec;
+    fs::remove(tmp_path, ec);
+    throw std::runtime_error("result store: cannot write '" + tmp_path + "'");
+  }
+  std::error_code ec;
+  fs::rename(tmp_path, final_path, ec);
+  if (ec) {
+    fs::remove(tmp_path, ec);
+    throw std::runtime_error("result store: cannot publish '" + final_path +
+                             "'");
+  }
+
+  std::lock_guard<std::mutex> lock(m_);
+  mem_.insert_or_assign(key, r);
+  ++stats_.stores;
+}
+
+ResultStoreStats ResultStore::stats() const {
+  std::lock_guard<std::mutex> lock(m_);
+  return stats_;
+}
+
+// ---------------------------------------------------------------------------
+// Resumable sweep execution
+// ---------------------------------------------------------------------------
+
+std::vector<SimResult> memoized_map(
+    const SweepExecutor& ex, ResultStore* store,
+    const std::vector<std::uint64_t>& keys,
+    const std::function<SimResult(std::size_t)>& fn) {
+  const std::size_t n = keys.size();
+  if (store == nullptr) return ex.map(n, fn);
+
+  std::vector<std::optional<SimResult>> slots(n);
+  std::vector<std::size_t> missing;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (auto hit = store->lookup(keys[i]))
+      slots[i] = std::move(*hit);
+    else
+      missing.push_back(i);
+  }
+
+  // Only the missing points run — through the executor, so sharding,
+  // index-ordered assembly and lowest-observed-index exception semantics
+  // are inherited unchanged (the `missing` list is index-sorted, and cached
+  // points cannot throw). Each fresh point is persisted by the worker that
+  // computed it, before the sweep returns: a kill after this line costs at
+  // most the points still in flight.
+  std::vector<SimResult> fresh = ex.map(missing.size(), [&](std::size_t j) {
+    SimResult r = fn(missing[j]);
+    store->store(keys[missing[j]], r);
+    return r;
+  });
+
+  for (std::size_t j = 0; j < missing.size(); ++j)
+    slots[missing[j]] = std::move(fresh[j]);
+
+  std::vector<SimResult> out;
+  out.reserve(n);
+  for (auto& s : slots) out.push_back(std::move(*s));
+  return out;
+}
+
+}  // namespace mobcache

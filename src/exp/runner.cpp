@@ -1,9 +1,24 @@
 #include "exp/runner.hpp"
 
 #include "common/stats.hpp"
+#include "energy/technology.hpp"
 #include "exp/parallel.hpp"
+#include "exp/result_store.hpp"
 
 namespace mobcache {
+
+namespace {
+
+/// Content identity of a built-in scheme: kind + every SchemeParams field.
+std::uint64_t scheme_design_hash(SchemeKind kind, const SchemeParams& p) {
+  return ContentHasher()
+      .mix(std::string("scheme"))
+      .mix(static_cast<std::uint64_t>(kind))
+      .mix(hash_scheme_params(p))
+      .digest();
+}
+
+}  // namespace
 
 MetricRegistry SchemeSuiteResult::merged_metrics() const {
   MetricRegistry merged;
@@ -34,21 +49,65 @@ struct SuiteCell {
 
 }  // namespace
 
+const std::vector<std::uint64_t>& ExperimentRunner::trace_hashes() const {
+  std::call_once(trace_hash_once_, [&] {
+    trace_hashes_.reserve(traces_.size());
+    for (const auto& t : traces_) trace_hashes_.push_back(hash_trace(*t));
+  });
+  return trace_hashes_;
+}
+
+bool ExperimentRunner::memoizable() const {
+  // Telemetry sessions and eviction observers are side channels a cached
+  // SimResult cannot replay — those runs always simulate.
+  return result_store != nullptr && !collect_telemetry &&
+         !sim_options.l2_eviction_observer;
+}
+
+std::vector<std::uint64_t> ExperimentRunner::cell_keys(
+    std::uint64_t design_hash) const {
+  const std::uint64_t opts = hash_sim_options(sim_options);
+  const std::uint64_t tech = hash_technology(technology());
+  std::vector<std::uint64_t> keys;
+  keys.reserve(traces_.size());
+  for (std::uint64_t th : trace_hashes())
+    keys.push_back(result_point_key(design_hash, th, opts, tech));
+  return keys;
+}
+
 SchemeSuiteResult ExperimentRunner::run_scheme(SchemeKind kind,
                                                const SchemeParams& params) const {
-  SchemeSuiteResult r = run_custom(
-      scheme_name(kind), [&] { return build_scheme(kind, params); });
+  SchemeSuiteResult r =
+      run_custom(scheme_name(kind), [&] { return build_scheme(kind, params); },
+                 scheme_design_hash(kind, params));
   r.kind = kind;
   return r;
 }
 
 SchemeSuiteResult ExperimentRunner::run_custom(
     const std::string& name,
-    const std::function<std::unique_ptr<L2Interface>()>& builder) const {
+    const std::function<std::unique_ptr<L2Interface>()>& builder,
+    std::optional<std::uint64_t> design_hash) const {
   SchemeSuiteResult out;
   out.name = name;
 
   SweepExecutor ex(jobs);
+  if (design_hash && memoizable()) {
+    std::vector<SimResult> results = memoized_map(
+        ex, result_store, cell_keys(*design_hash), [&](std::size_t i) {
+          return simulate(*traces_[i], builder(), sim_options);
+        });
+    out.per_workload.reserve(results.size());
+    double miss_sum = 0.0;
+    for (SimResult& r : results) {
+      miss_sum += r.l2_miss_rate();
+      out.per_workload.push_back(std::move(r));
+    }
+    if (!traces_.empty())
+      out.avg_miss_rate = miss_sum / static_cast<double>(traces_.size());
+    return out;
+  }
+
   std::vector<SuiteCell> cells = ex.map(traces_.size(), [&](std::size_t i) {
     SimOptions opts = sim_options;
     SuiteCell cell;
@@ -80,20 +139,38 @@ std::vector<SchemeSuiteResult> ExperimentRunner::run_schemes(
 
   // One flat (scheme × workload) sweep: cell c = (kinds[c / W], c % W).
   SweepExecutor ex(jobs);
-  std::vector<SuiteCell> cells =
-      ex.map(kinds.size() * w_count, [&](std::size_t c) {
-        const SchemeKind kind = kinds[c / w_count];
-        const std::size_t w = c % w_count;
-        SimOptions opts = sim_options;
-        SuiteCell cell;
-        if (collect_telemetry) {
-          cell.tel = std::make_shared<Telemetry>();
-          cell.tel->set_sample_interval(telemetry_sample_interval);
-          opts.telemetry = cell.tel.get();
-        }
-        cell.res = simulate(*traces_[w], build_scheme(kind, params), opts);
-        return cell;
-      });
+  std::vector<SuiteCell> cells;
+  if (memoizable()) {
+    std::vector<std::uint64_t> keys;
+    keys.reserve(kinds.size() * w_count);
+    for (SchemeKind kind : kinds) {
+      for (std::uint64_t k : cell_keys(scheme_design_hash(kind, params)))
+        keys.push_back(k);
+    }
+    std::vector<SimResult> results =
+        memoized_map(ex, result_store, keys, [&](std::size_t c) {
+          return simulate(*traces_[c % w_count],
+                          build_scheme(kinds[c / w_count], params),
+                          sim_options);
+        });
+    cells.resize(results.size());
+    for (std::size_t c = 0; c < results.size(); ++c)
+      cells[c].res = std::move(results[c]);
+  } else {
+    cells = ex.map(kinds.size() * w_count, [&](std::size_t c) {
+      const SchemeKind kind = kinds[c / w_count];
+      const std::size_t w = c % w_count;
+      SimOptions opts = sim_options;
+      SuiteCell cell;
+      if (collect_telemetry) {
+        cell.tel = std::make_shared<Telemetry>();
+        cell.tel->set_sample_interval(telemetry_sample_interval);
+        opts.telemetry = cell.tel.get();
+      }
+      cell.res = simulate(*traces_[w], build_scheme(kind, params), opts);
+      return cell;
+    });
+  }
 
   std::vector<SchemeSuiteResult> out;
   out.reserve(kinds.size());
@@ -169,12 +246,27 @@ std::vector<FaultSweepPoint> run_fault_sweep(const ExperimentRunner& runner,
   const auto& traces = runner.traces();
   const std::size_t w_count = traces.size();
   SweepExecutor ex(runner.jobs);
-  const std::vector<SimResult> cells =
-      ex.map(per_rate.size() * w_count, [&](std::size_t c) {
-        const SchemeParams& p = per_rate[c / w_count];
-        return simulate(*traces[c % w_count], build_scheme(kind, p),
-                        runner.sim_options);
-      });
+  auto cell_fn = [&](std::size_t c) {
+    const SchemeParams& p = per_rate[c / w_count];
+    return simulate(*traces[c % w_count], build_scheme(kind, p),
+                    runner.sim_options);
+  };
+  std::vector<SimResult> cells;
+  if (runner.result_store != nullptr &&
+      !runner.sim_options.l2_eviction_observer) {
+    const std::uint64_t opts = hash_sim_options(runner.sim_options);
+    const std::uint64_t tech = hash_technology(technology());
+    std::vector<std::uint64_t> keys;
+    keys.reserve(per_rate.size() * w_count);
+    for (const SchemeParams& p : per_rate) {
+      const std::uint64_t dh = scheme_design_hash(kind, p);
+      for (std::uint64_t th : runner.trace_hashes())
+        keys.push_back(result_point_key(dh, th, opts, tech));
+    }
+    cells = memoized_map(ex, runner.result_store, keys, cell_fn);
+  } else {
+    cells = ex.map(per_rate.size() * w_count, cell_fn);
+  }
 
   std::vector<FaultSweepPoint> out;
   out.reserve(rates.size());
@@ -220,16 +312,19 @@ std::vector<MultiSeedResult> run_multi_seed(
     const std::vector<AppId>& apps, std::uint64_t accesses,
     const std::vector<std::uint64_t>& seeds,
     const std::vector<SchemeKind>& schemes, const SchemeParams& params,
-    unsigned jobs) {
+    unsigned jobs, ResultStore* store) {
   const std::size_t s_count = schemes.size();
 
   // Flat (seed × scheme) sweep. Each cell derives everything from its index
   // — suite seed seeds[c / S], scheme schemes[c % S] — and the TraceCache
-  // makes concurrent cells of one seed share a single generated suite.
+  // makes concurrent cells of one seed share a single generated suite. The
+  // per-seed runner inherits `store`, so the inner per-workload cells are
+  // memoized (their keys fold in the seed via the trace fingerprints).
   SweepExecutor ex(jobs);
   std::vector<SchemeSuiteResult> cells =
       ex.map(seeds.size() * s_count, [&](std::size_t c) {
         ExperimentRunner runner(apps, accesses, seeds[c / s_count]);
+        runner.result_store = store;
         return runner.run_scheme(schemes[c % s_count], params);
       });
 

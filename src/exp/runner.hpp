@@ -9,9 +9,17 @@
 /// order and every cell is a pure function of its index, so a parallel run
 /// is bit-identical to `jobs = 1`. Traces come from the process-wide
 /// TraceCache via cached_suite(): generated once, shared read-only.
+///
+/// Attach a ResultStore (exp/result_store.hpp) via `result_store` and every
+/// deterministic (scheme × workload) cell is memoized across process
+/// lifetimes: cells whose content key is already stored are served without
+/// re-simulation, freshly computed cells are persisted as they finish, and a
+/// killed sweep resumes from its last completed point.
 
 #include <functional>
 #include <memory>
+#include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -21,6 +29,8 @@
 #include "workload/suite.hpp"
 
 namespace mobcache {
+
+class ResultStore;
 
 /// One scheme evaluated over a suite.
 struct SchemeSuiteResult {
@@ -64,9 +74,15 @@ class ExperimentRunner {
   /// Runs a custom design. The builder is invoked once per workload — from
   /// worker threads when jobs != 1, so it must be safe to call concurrently
   /// (building fresh objects from captured read-only state is fine).
+  ///
+  /// `design_hash` is the memoization opt-in for custom designs: a content
+  /// hash covering every parameter the builder bakes into the design (use
+  /// ContentHasher). Without it the runner cannot key the cells, so a
+  /// custom run is never served from the result store.
   SchemeSuiteResult run_custom(
       const std::string& name,
-      const std::function<std::unique_ptr<L2Interface>()>& builder) const;
+      const std::function<std::unique_ptr<L2Interface>()>& builder,
+      std::optional<std::uint64_t> design_hash = std::nullopt) const;
 
   /// Runs several schemes as one flat (scheme × workload) sweep — the
   /// maximum-parallelism path. No normalization is applied.
@@ -89,6 +105,11 @@ class ExperimentRunner {
   const Trace& trace(std::size_t i) const { return *traces_[i]; }
   const std::vector<AppId>& apps() const { return apps_; }
 
+  /// Content fingerprints of the suite traces (aligned with traces()).
+  /// Computed once per runner, on first use — only memoized paths pay for
+  /// them. Thread-safe: run_* methods may race on the first call.
+  const std::vector<std::uint64_t>& trace_hashes() const;
+
   SimOptions sim_options;  ///< shared hierarchy/timing configuration
 
   /// Worker threads for this runner's (scheme × workload) cells. 1 = serial
@@ -107,9 +128,21 @@ class ExperimentRunner {
   /// scheme-internal epochs sample; see Telemetry::set_sample_interval).
   std::uint64_t telemetry_sample_interval = 0;
 
+  /// Persistent memoization of completed cells (null = off). Only plain
+  /// result cells are memoized: runs collecting telemetry or carrying an
+  /// eviction observer always simulate, because a cached SimResult cannot
+  /// replay their side channels.
+  ResultStore* result_store = nullptr;
+
  private:
+  bool memoizable() const;
+  /// Per-cell content keys for a (design × workload) grid slice.
+  std::vector<std::uint64_t> cell_keys(std::uint64_t design_hash) const;
+
   std::vector<AppId> apps_;
   std::vector<std::shared_ptr<const Trace>> traces_;
+  mutable std::once_flag trace_hash_once_;
+  mutable std::vector<std::uint64_t> trace_hashes_;
 };
 
 /// One point of the error-rate × energy/CPI resilience sweep (bench E21):
@@ -166,11 +199,13 @@ struct MultiSeedResult {
 /// cross-seed statistics are accumulated in seed order after all cells
 /// finish, so `jobs` does not change a single output bit. Use
 /// derived_seeds(base, n) (exp/parallel.hpp) to build the seed list from
-/// one base seed.
+/// one base seed. `store` memoizes the inner (scheme × workload) cells of
+/// every per-seed runner.
 std::vector<MultiSeedResult> run_multi_seed(
     const std::vector<AppId>& apps, std::uint64_t accesses,
     const std::vector<std::uint64_t>& seeds,
     const std::vector<SchemeKind>& schemes,
-    const SchemeParams& params = {}, unsigned jobs = 1);
+    const SchemeParams& params = {}, unsigned jobs = 1,
+    ResultStore* store = nullptr);
 
 }  // namespace mobcache

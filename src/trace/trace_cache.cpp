@@ -1,9 +1,10 @@
 #include "trace/trace_cache.hpp"
 
-#include <cstdlib>
 #include <future>
 #include <mutex>
 #include <unordered_map>
+
+#include "common/env.hpp"
 
 namespace mobcache {
 
@@ -22,11 +23,8 @@ struct KeyHash {
 };
 
 std::uint64_t default_capacity_bytes() {
-  if (const char* env = std::getenv("MOBCACHE_TRACE_CACHE_MB")) {
-    const unsigned long long mb = std::strtoull(env, nullptr, 10);
-    if (mb > 0) return mb << 20;
-  }
-  return 1024ull << 20;  // 1 GiB
+  // Bounded to 16 TiB so the shift below cannot overflow 64 bits.
+  return env_u64_or("MOBCACHE_TRACE_CACHE_MB", 1024, 1, 16ull << 20) << 20;
 }
 
 std::uint64_t trace_bytes(const Trace& t) {

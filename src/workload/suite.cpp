@@ -1,7 +1,6 @@
 #include "workload/suite.hpp"
 
-#include <cstdlib>
-
+#include "common/env.hpp"
 #include "trace/trace_cache.hpp"
 #include "workload/generator.hpp"
 
@@ -46,11 +45,7 @@ std::vector<std::shared_ptr<const Trace>> cached_suite(
 }
 
 std::uint64_t bench_trace_len(std::uint64_t fallback) {
-  if (const char* env = std::getenv("MOBCACHE_TRACE_LEN")) {
-    const unsigned long long v = std::strtoull(env, nullptr, 10);
-    if (v > 0) return v;
-  }
-  return fallback;
+  return env_u64_or("MOBCACHE_TRACE_LEN", fallback, 1, 100'000'000'000ull);
 }
 
 }  // namespace mobcache

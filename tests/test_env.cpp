@@ -1,0 +1,148 @@
+#include "common/env.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+namespace mobcache {
+namespace {
+
+/// RAII env var: every test leaves the environment as it found it, so the
+/// MOBCACHE_* knobs never leak between tests (several suites read them).
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    if (const char* old = std::getenv(name)) saved_ = old;
+    if (value != nullptr) {
+      setenv(name, value, 1);
+    } else {
+      unsetenv(name);
+    }
+  }
+  ~ScopedEnv() {
+    if (saved_) {
+      setenv(name_.c_str(), saved_->c_str(), 1);
+    } else {
+      unsetenv(name_.c_str());
+    }
+  }
+
+ private:
+  std::string name_;
+  std::optional<std::string> saved_;
+};
+
+constexpr const char* kVar = "MOBCACHE_TEST_ENV_U64";
+
+TEST(EnvU64, UnsetReturnsNullopt) {
+  ScopedEnv e(kVar, nullptr);
+  EXPECT_FALSE(env_u64(kVar).has_value());
+}
+
+TEST(EnvU64, EmptyReturnsNullopt) {
+  ScopedEnv e(kVar, "");
+  EXPECT_FALSE(env_u64(kVar).has_value());
+}
+
+TEST(EnvU64, ParsesPlainDecimal) {
+  ScopedEnv e(kVar, "12345");
+  const auto v = env_u64(kVar);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 12345u);
+}
+
+TEST(EnvU64, ParsesExtremes) {
+  {
+    ScopedEnv e(kVar, "0");
+    EXPECT_EQ(env_u64(kVar).value(), 0u);
+  }
+  {
+    ScopedEnv e(kVar, "18446744073709551615");
+    EXPECT_EQ(env_u64(kVar).value(), UINT64_MAX);
+  }
+}
+
+TEST(EnvU64, RejectsGarbage) {
+  ScopedEnv e(kVar, "abc");
+  EXPECT_THROW(env_u64(kVar), EnvError);
+}
+
+TEST(EnvU64, RejectsTrailingJunk) {
+  // The strtoul-era parsers read "12abc" as 12; that silent misread is the
+  // bug this parser exists to kill.
+  ScopedEnv e(kVar, "12abc");
+  EXPECT_THROW(env_u64(kVar), EnvError);
+}
+
+TEST(EnvU64, RejectsSigns) {
+  {
+    ScopedEnv e(kVar, "-3");
+    EXPECT_THROW(env_u64(kVar), EnvError);
+  }
+  {
+    ScopedEnv e(kVar, "+3");
+    EXPECT_THROW(env_u64(kVar), EnvError);
+  }
+}
+
+TEST(EnvU64, RejectsOverflow) {
+  ScopedEnv e(kVar, "18446744073709551616");  // UINT64_MAX + 1
+  EXPECT_THROW(env_u64(kVar), EnvError);
+}
+
+TEST(EnvU64, EnforcesRange) {
+  ScopedEnv e(kVar, "100");
+  EXPECT_EQ(env_u64(kVar, 1, 100).value(), 100u);
+  EXPECT_EQ(env_u64(kVar, 100, 100).value(), 100u);
+  EXPECT_THROW(env_u64(kVar, 101, 200), EnvError);
+  EXPECT_THROW(env_u64(kVar, 1, 99), EnvError);
+}
+
+TEST(EnvU64, ErrorMessageIsSelfContained) {
+  ScopedEnv e(kVar, "zzz");
+  try {
+    env_u64(kVar, 1, 64);
+    FAIL() << "expected EnvError";
+  } catch (const EnvError& err) {
+    const std::string msg = err.what();
+    EXPECT_NE(msg.find(kVar), std::string::npos) << msg;
+    EXPECT_NE(msg.find("zzz"), std::string::npos) << msg;
+  }
+}
+
+TEST(EnvU64Or, FallbackOnlyWhenUnset) {
+  {
+    ScopedEnv e(kVar, nullptr);
+    EXPECT_EQ(env_u64_or(kVar, 77), 77u);
+  }
+  {
+    ScopedEnv e(kVar, "5");
+    EXPECT_EQ(env_u64_or(kVar, 77), 5u);
+  }
+  {
+    // A set-but-invalid value must throw, not fall back: falling back would
+    // silently run the wrong experiment.
+    ScopedEnv e(kVar, "nope");
+    EXPECT_THROW(env_u64_or(kVar, 77), EnvError);
+  }
+}
+
+TEST(EnvString, UnsetAndEmptyAreNullopt) {
+  {
+    ScopedEnv e(kVar, nullptr);
+    EXPECT_FALSE(env_string(kVar).has_value());
+  }
+  {
+    ScopedEnv e(kVar, "");
+    EXPECT_FALSE(env_string(kVar).has_value());
+  }
+  {
+    ScopedEnv e(kVar, "/some/path");
+    EXPECT_EQ(env_string(kVar).value(), "/some/path");
+  }
+}
+
+}  // namespace
+}  // namespace mobcache

@@ -3,10 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <numeric>
 #include <set>
 #include <stdexcept>
+#include <thread>
 
 #include "exp/json_export.hpp"
 #include "exp/runner.hpp"
@@ -116,6 +118,34 @@ TEST(SweepExecutor, RethrownExceptionNamesAFailingPoint) {
     const std::set<std::string> throwing = {"7", "57", "107", "157"};
     EXPECT_TRUE(throwing.count(e.what()) == 1)
         << "unexpected exception: " << e.what();
+  }
+}
+
+TEST(SweepExecutor, LowestIndexWinsWhenAllShardsThrowConcurrently) {
+  // Regression for the resume path's exception contract: when several
+  // shards fail *concurrently* (not just "one of the failing points"), the
+  // rethrown exception must be the lowest-indexed failure observed. One
+  // point per worker plus a start barrier forces every index to run and
+  // every shard to throw at the same time, so the answer is deterministic:
+  // index 0.
+  constexpr std::size_t kPoints = 8;
+  SweepExecutor ex(kPoints);
+  std::atomic<std::size_t> entered{0};
+  try {
+    ex.for_each(kPoints, [&](std::size_t i) {
+      entered.fetch_add(1);
+      const auto deadline =
+          std::chrono::steady_clock::now() + std::chrono::seconds(30);
+      // Bounded spin so a future semantics change degrades this test into
+      // a slow failure instead of a hung CI job.
+      while (entered.load() < kPoints &&
+             std::chrono::steady_clock::now() < deadline)
+        std::this_thread::yield();
+      throw std::runtime_error(std::to_string(i));
+    });
+    FAIL() << "expected a throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "0");
   }
 }
 

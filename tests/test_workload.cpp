@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "common/env.hpp"
 #include "core/scheme.hpp"
 #include "sim/simulator.hpp"
 #include "workload/generator.hpp"
@@ -115,8 +116,10 @@ TEST(Workload, BenchTraceLenReadsEnvironment) {
   EXPECT_EQ(bench_trace_len(123), 123u);
   setenv("MOBCACHE_TRACE_LEN", "4567", 1);
   EXPECT_EQ(bench_trace_len(123), 4567u);
+  // Unparsable values now fail loudly (common/env.hpp) instead of silently
+  // running the fallback length under a typo'd override.
   setenv("MOBCACHE_TRACE_LEN", "garbage", 1);
-  EXPECT_EQ(bench_trace_len(123), 123u);
+  EXPECT_THROW(bench_trace_len(123), EnvError);
   unsetenv("MOBCACHE_TRACE_LEN");
 }
 

@@ -9,7 +9,7 @@
 ///                   [--sample=N] [--trace-evictions]
 ///                   [--fault-rate=R] [--ecc=KIND] [--fault-seed=N]
 ///                   [--way-disable-threshold=N] [--fault-sweep=R1,R2,...]
-///                   [--jobs=N]
+///                   [--jobs=N] [--store-dir=PATH] [--resume]
 /// Schemes: base shrunk sharedstt sp spmrstt dp dpstt all (default: all)
 ///
 /// Parallelism (docs/PARALLELISM.md):
@@ -19,6 +19,21 @@
 ///                              every N. The plain per-scheme mode stays
 ///                              serial: its telemetry sessions attach to one
 ///                              shared trace sink.
+///
+/// Resumable sweeps (docs/RESULT_STORE.md):
+///   --store-dir=PATH           serve already-computed (scheme, trace)
+///                              points from the result store at PATH and
+///                              persist new ones there. Cached results are
+///                              byte-identical to recomputed ones.
+///   --resume                   same, using MOBCACHE_RESULT_STORE when set,
+///                              else <results>/result_store. Memoization is
+///                              skipped while --trace-out/--sample are
+///                              active (cached results cannot replay event
+///                              streams). With --metrics, a cache hit skips
+///                              the run entirely — only executed runs
+///                              contribute sim metrics — and the store's own
+///                              hit/miss/corrupt counters surface under
+///                              result_store.* in the merged registry.
 ///
 /// Observability flags (docs/OBSERVABILITY.md):
 ///   --trace-out=FILE[,FORMAT]  structured event trace for every run.
@@ -62,7 +77,10 @@
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "core/scheme.hpp"
+#include "energy/technology.hpp"
+#include "exp/bench_harness.hpp"
 #include "exp/parallel.hpp"
+#include "exp/result_store.hpp"
 #include "exp/runner.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/trace_export.hpp"
@@ -138,6 +156,9 @@ struct CliFlags {
   std::uint32_t way_disable_threshold = 0;
   std::vector<double> sweep_rates;
   unsigned jobs = 0;  ///< 0 = auto (MOBCACHE_JOBS, then hw concurrency)
+  /// --store-dir / --resume are parsed here for validation but resolved by
+  /// bench_result_store(argc, argv), the shared precedence logic.
+  bool want_store = false;
 
   bool telemetry_needed() const {
     return !trace_out.empty() || want_metrics || sample_interval != 0;
@@ -220,6 +241,14 @@ std::vector<std::string> parse_flags(int argc, char** argv, CliFlags& f) {
     } else if (a.rfind("--jobs=", 0) == 0) {
       f.jobs = static_cast<unsigned>(
           std::strtoul(a.c_str() + std::strlen("--jobs="), nullptr, 10));
+    } else if (a.rfind("--store-dir=", 0) == 0) {
+      if (a.size() == std::strlen("--store-dir=")) {
+        std::fprintf(stderr, "--store-dir needs a path\n");
+        std::exit(2);
+      }
+      f.want_store = true;
+    } else if (a == "--resume") {
+      f.want_store = true;
     } else {
       std::fprintf(stderr, "unknown flag '%s'\n", a.c_str());
       std::exit(2);
@@ -269,9 +298,10 @@ void print_metrics_table(const MetricRegistry& reg) {
 /// --fault-sweep mode: error-rate vs energy/CPI per selected scheme, each
 /// point normalized against that scheme's own fault-free run.
 int run_sweep_mode(const CliFlags& flags, std::vector<Trace> traces,
-                   const std::vector<SchemeKind>& kinds) {
+                   const std::vector<SchemeKind>& kinds, ResultStore* store) {
   ExperimentRunner runner(std::move(traces));
   runner.jobs = effective_jobs(flags.jobs);
+  runner.result_store = store;
   SchemeParams tmpl;
   tmpl.fault = flags.fault_config(0.0);
   tmpl.fault.ecc = flags.ecc;
@@ -314,7 +344,8 @@ int main(int argc, char** argv) {
         "          [--sample=N] [--trace-evictions]\n"
         "          [--fault-rate=R] [--ecc=none|parity|secded|dected]\n"
         "          [--fault-seed=N] [--way-disable-threshold=N]\n"
-        "          [--fault-sweep=R1,R2,...] [--jobs=N]\n",
+        "          [--fault-sweep=R1,R2,...] [--jobs=N]\n"
+        "          [--store-dir=PATH] [--resume]\n",
         argv[0]);
     return 2;
   }
@@ -338,12 +369,25 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  const std::unique_ptr<ResultStore> store = bench_result_store(argc, argv);
+
   if (!flags.sweep_rates.empty())
-    return run_sweep_mode(flags, std::move(traces), kinds);
+    return run_sweep_mode(flags, std::move(traces), kinds, store.get());
 
   SchemeParams params;
   params.fault = flags.fault_config(flags.fault_rate);
   const bool faulted = params.fault.enabled();
+
+  // Plain-mode memoization: with a store attached, each (trace, scheme) run
+  // is a pure function of its inputs and can be served from (or persisted
+  // to) the store. Keys match the ones the ExperimentRunner computes, so
+  // simrun and the benches share entries. Event-stream flags opt out: a
+  // cached SimResult cannot replay the per-access events --trace-out and
+  // --sample exist to capture. (--metrics is fine — hits simply skip the
+  // run, so the merged registry covers executed runs plus store counters.)
+  const bool memoize = store != nullptr && flags.trace_out.empty() &&
+                       flags.sample_interval == 0;
+  const std::uint64_t tech_hash = memoize ? hash_technology(technology()) : 0;
 
   TraceSinkOptions sink_opts;
   sink_opts.include_evictions = flags.trace_evictions;
@@ -354,6 +398,7 @@ int main(int argc, char** argv) {
   std::vector<std::unique_ptr<Telemetry>> sessions;
 
   for (const Trace& trace : traces) {
+    const std::uint64_t trace_hash = memoize ? hash_trace(trace) : 0;
     std::printf("trace '%s' (%s records, kernel %s)\n\n", trace.name().c_str(),
                 format_count(trace.size()).c_str(),
                 format_percent(trace.summarize().kernel_fraction()).c_str());
@@ -367,14 +412,36 @@ int main(int argc, char** argv) {
     std::optional<SimResult> base;
     for (SchemeKind k : kinds) {
       SimOptions opts;
-      if (flags.telemetry_needed()) {
-        sessions.push_back(std::make_unique<Telemetry>());
-        Telemetry& tel = *sessions.back();
-        tel.set_sample_interval(flags.sample_interval);
-        if (!flags.trace_out.empty()) sink.attach(tel);
-        opts.telemetry = &tel;
+      SimResult r;
+      bool cached_hit = false;
+      std::uint64_t key = 0;
+      if (memoize) {
+        // Same key recipe as ExperimentRunner::run_scheme. The key ignores
+        // opts.telemetry (hash_sim_options covers semantic fields only), so
+        // it can be computed before a session is attached.
+        const std::uint64_t dh = ContentHasher()
+                                     .mix(std::string("scheme"))
+                                     .mix(static_cast<std::uint64_t>(k))
+                                     .mix(hash_scheme_params(params))
+                                     .digest();
+        key = result_point_key(dh, trace_hash, hash_sim_options(opts),
+                               tech_hash);
+        if (std::optional<SimResult> cached = store->lookup(key)) {
+          r = std::move(*cached);
+          cached_hit = true;
+        }
       }
-      const SimResult r = simulate(trace, build_scheme(k, params), opts);
+      if (!cached_hit) {
+        if (flags.telemetry_needed()) {
+          sessions.push_back(std::make_unique<Telemetry>());
+          Telemetry& tel = *sessions.back();
+          tel.set_sample_interval(flags.sample_interval);
+          if (!flags.trace_out.empty()) sink.attach(tel);
+          opts.telemetry = &tel;
+        }
+        r = simulate(trace, build_scheme(k, params), opts);
+        if (memoize) store->store(key, r);
+      }
       if (!base) base = r;
       const EnergyBreakdown& e = r.l2_energy;
       t.add_row({scheme_name(k), format_percent(r.l2_miss_rate()),
@@ -422,6 +489,14 @@ int main(int argc, char** argv) {
   if (flags.want_metrics) {
     MetricRegistry merged;
     for (const auto& tel : sessions) merged.merge(tel->metrics());
+    if (store) {
+      const ResultStoreStats st = store->stats();
+      merged.counter("result_store.hits").add(st.hits);
+      merged.counter("result_store.misses").add(st.misses);
+      merged.counter("result_store.stores").add(st.stores);
+      merged.counter("result_store.corrupt_skipped").add(st.corrupt_skipped);
+      merged.counter("result_store.loaded").add(st.loaded);
+    }
     if (flags.metrics_out.empty()) {
       std::printf("merged metrics (%zu runs)\n", sessions.size());
       print_metrics_table(merged);
