@@ -54,7 +54,7 @@ std::vector<Variant> variants() {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+static int run_bench(int argc, char** argv) {
   const unsigned jobs = bench_jobs(argc, argv);
   const std::unique_ptr<ResultStore> store = bench_result_store(argc, argv);
   BenchReport bench("e13_sensitivity", jobs);
@@ -113,4 +113,9 @@ int main(int argc, char** argv) {
   if (store) bench.set_store_stats(store->stats());
   bench.write();
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return guarded_main("bench_e13_sensitivity", /*install_signals=*/true, argc, argv,
+                      run_bench);
 }

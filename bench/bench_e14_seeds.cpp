@@ -26,7 +26,7 @@ std::string pm(const SeedStat& s, int decimals = 3) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+static int run_bench(int argc, char** argv) {
   const unsigned jobs = bench_jobs(argc, argv);
   const std::unique_ptr<ResultStore> store = bench_result_store(argc, argv);
   BenchReport bench("e14_seeds", jobs);
@@ -74,4 +74,9 @@ int main(int argc, char** argv) {
   if (store) bench.set_store_stats(store->stats());
   bench.write();
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return guarded_main("bench_e14_seeds", /*install_signals=*/true, argc, argv,
+                      run_bench);
 }

@@ -46,7 +46,7 @@ void sweep_rows(SchemeKind kind, const std::vector<FaultSweepPoint>& pts,
 
 }  // namespace
 
-int main(int argc, char** argv) {
+static int run_bench(int argc, char** argv) {
   const unsigned jobs = bench_jobs(argc, argv);
   BenchReport bench("e21_resilience", jobs);
   print_banner("E21", "Error rate vs energy/CPI under ECC + repair");
@@ -123,4 +123,9 @@ int main(int argc, char** argv) {
       "simulation asserting — which is the\ngraceful-degradation property "
       "the repair controller exists for.\n");
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return guarded_main("bench_e21_resilience", /*install_signals=*/true, argc, argv,
+                      run_bench);
 }

@@ -27,7 +27,7 @@ struct Sizing {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+static int run_bench(int argc, char** argv) {
   const unsigned jobs = bench_jobs(argc, argv);
   const std::unique_ptr<ResultStore> store = bench_result_store(argc, argv);
   BenchReport bench("e3_static_sweep", jobs);
@@ -105,4 +105,9 @@ int main(int argc, char** argv) {
   if (store) bench.set_store_stats(store->stats());
   bench.write();
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return guarded_main("bench_e3_static_sweep", /*install_signals=*/true, argc, argv,
+                      run_bench);
 }

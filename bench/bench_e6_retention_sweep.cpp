@@ -7,7 +7,14 @@
 /// SweepExecutor: pass `--jobs=N` (or MOBCACHE_JOBS) to spread them over
 /// worker threads. Results are keyed by point index, so the emitted table,
 /// CSV and JSON are byte-identical for every job count.
+///
+/// Fault supervision (docs/RELIABILITY.md): --keep-going turns a failing
+/// pairing into a manifest entry (the table/CSV/JSON simply omit that row)
+/// instead of aborting, and --fail-points=i,j injects chaos faults at those
+/// point indices for testing the path. SIGINT/SIGTERM drain in-flight
+/// points and exit 75 (resumable against the same --store-dir).
 
+#include "common/error.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "exp/bench_harness.hpp"
@@ -17,9 +24,12 @@
 
 using namespace mobcache;
 
-int main(int argc, char** argv) {
+static int run_bench(int argc, char** argv) {
   const unsigned jobs = bench_jobs(argc, argv);
+  const bool keep_going = bench_keep_going(argc, argv);
+  const std::vector<std::size_t> fail_points = bench_fail_points(argc, argv);
   const std::unique_ptr<ResultStore> store = bench_result_store(argc, argv);
+  if (store) store->set_retry_failed(bench_retry_failed(argc, argv));
   BenchReport bench("e6_retention_sweep", jobs);
   print_banner("E6", "Multi-retention pairing sweep for the static design");
   // Session-length traces (see E5): shorter runs hide user-block expiry
@@ -29,6 +39,7 @@ int main(int argc, char** argv) {
   ExperimentRunner runner(
       {AppId::Launcher, AppId::Browser, AppId::Email, AppId::Maps}, len, 42);
   runner.result_store = store.get();
+  runner.sim_options.point_deadline_ms = bench_point_deadline_ms(argc, argv);
 
   const RetentionClass classes[] = {RetentionClass::Lo, RetentionClass::Mid,
                                     RetentionClass::Hi};
@@ -37,15 +48,49 @@ int main(int argc, char** argv) {
   // in row-major class order. Each cell depends only on its index.
   const std::size_t n_points = 1 + 3 * 3;
   SweepExecutor ex(jobs);
-  const std::vector<SchemeSuiteResult> cells =
-      ex.map(n_points, [&](std::size_t i) {
-        if (i == 0) return runner.run_scheme(SchemeKind::BaselineSram);
-        SchemeParams p;
-        p.mrstt_user = classes[(i - 1) / 3];
-        p.mrstt_kernel = classes[(i - 1) % 3];
-        return runner.run_scheme(SchemeKind::StaticPartMrstt, p);
-      });
+  auto point_fn = [&](std::size_t i) {
+    chaos_maybe_fail(fail_points, i);
+    if (i == 0) return runner.run_scheme(SchemeKind::BaselineSram);
+    SchemeParams p;
+    p.mrstt_user = classes[(i - 1) / 3];
+    p.mrstt_kernel = classes[(i - 1) % 3];
+    return runner.run_scheme(SchemeKind::StaticPartMrstt, p);
+  };
+  std::vector<PointOutcome<SchemeSuiteResult>> cells;
+  if (keep_going) {
+    cells = ex.map_outcomes(n_points, point_fn);
+  } else {
+    // Fail-fast (the default): any failure propagates to guarded_main, so
+    // every outcome below holds a value.
+    std::vector<SchemeSuiteResult> values = ex.map(n_points, point_fn);
+    cells.resize(n_points);
+    for (std::size_t i = 0; i < n_points; ++i)
+      cells[i].value = std::move(values[i]);
+  }
   bench.set_points(static_cast<std::uint64_t>(n_points));
+
+  auto pair_label = [&](std::size_t i) -> std::string {
+    if (i == 0) return "baseline";
+    return std::string(to_string(classes[(i - 1) / 3])) + "/" +
+           std::string(to_string(classes[(i - 1) % 3]));
+  };
+  for (std::size_t i = 0; i < n_points; ++i) {
+    if (cells[i].ok()) continue;
+    std::fprintf(stderr, "e6: point failed: %s: [%s] %s\n",
+                 pair_label(i).c_str(), cells[i].failure->error_type.c_str(),
+                 cells[i].failure->message.c_str());
+    bench.add_point_failure(*cells[i].failure, pair_label(i));
+  }
+  if (!cells[0].ok()) {
+    // Every pairing is normalized against the baseline point; without it
+    // the partial results cannot be interpreted, keep-going or not.
+    SimError err(SimErrorKind::Internal,
+                 "baseline point failed, cannot normalize: " +
+                     cells[0].failure->message);
+    err.with_point(0);
+    throw err;
+  }
+  const SchemeSuiteResult& base_cell = *cells[0].value;
 
   TablePrinter t({"user class", "kernel class", "L2 miss",
                   "norm cache energy", "norm exec time", "refresh uJ",
@@ -65,14 +110,16 @@ int main(int argc, char** argv) {
   json.key("points");
   json.begin_array();
   for (std::size_t i = 1; i < n_points; ++i) {
+    if (!cells[i].ok()) continue;  // failed pairings live in the manifest
+    const SchemeSuiteResult& cell = *cells[i].value;
     const RetentionClass u = classes[(i - 1) / 3];
     const RetentionClass k = classes[(i - 1) % 3];
-    std::vector<SchemeSuiteResult> v{cells[0], cells[i]};
+    std::vector<SchemeSuiteResult> v{base_cell, cell};
     ExperimentRunner::normalize(v);
 
     double refresh_nj = 0.0;
     std::uint64_t expired = 0;
-    for (const SimResult& s : cells[i].per_workload) {
+    for (const SimResult& s : cell.per_workload) {
       refresh_nj += s.l2_energy.refresh_nj;
       expired += s.l2.expired_blocks;
     }
@@ -80,7 +127,7 @@ int main(int argc, char** argv) {
         {v[1].norm_cache_energy, v[1].norm_exec_time, expired,
          std::string(to_string(u)) + " / " + std::string(to_string(k))});
     t.add_row({std::string(to_string(u)), std::string(to_string(k)),
-               format_percent(cells[i].avg_miss_rate),
+               format_percent(cell.avg_miss_rate),
                format_double(v[1].norm_cache_energy, 3),
                format_double(v[1].norm_exec_time, 3),
                format_double(refresh_nj / 1e3, 1), format_count(expired)});
@@ -88,7 +135,7 @@ int main(int argc, char** argv) {
     json.begin_object();
     json.key("user").value(std::string(to_string(u)));
     json.key("kernel").value(std::string(to_string(k)));
-    json.key("miss_rate").value(cells[i].avg_miss_rate);
+    json.key("miss_rate").value(cell.avg_miss_rate);
     json.key("norm_cache_energy").value(v[1].norm_cache_energy);
     json.key("norm_exec_time").value(v[1].norm_exec_time);
     json.key("refresh_uj").value(refresh_nj / 1e3);
@@ -110,6 +157,11 @@ int main(int argc, char** argv) {
     if (c.energy > min_e + 0.01) continue;
     if (best == nullptr || c.time < best->time) best = &c;
   }
+  if (best == nullptr) {
+    // Only reachable under --keep-going when every pairing point failed.
+    throw SimError(SimErrorKind::Internal,
+                   "all pairing points failed; no candidate to select");
+  }
   std::printf(
       "\nChosen pairing (best time within 1%% of best energy): %s — the "
       "paper's\nshort-retention kernel segment plus a longer-retention user "
@@ -125,8 +177,13 @@ int main(int argc, char** argv) {
   bench.add_result("min_norm_energy", min_e);
   bench.add_result("chosen_norm_energy", best->energy);
   bench.add_result("chosen_norm_time", best->time);
-  bench.add_result("base_miss_rate", cells[0].avg_miss_rate);
+  bench.add_result("base_miss_rate", base_cell.avg_miss_rate);
   if (store) bench.set_store_stats(store->stats());
   bench.write();
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return guarded_main("bench_e6_retention_sweep", /*install_signals=*/true,
+                      argc, argv, run_bench);
 }

@@ -10,7 +10,12 @@ halves:
                             fields present, points > 0, wall_ms > 0, and
                             every "results" value finite and non-null (the
                             JsonWriter degrades NaN/inf to null, so a null
-                            here means a poisoned metric).
+                            here means a poisoned metric). Also checks the
+                            failure manifest (docs/RELIABILITY.md): the
+                            "sweep" counters must be consistent with the
+                            "failures" array, and any failed point fails
+                            the gate unless --allow-failures=N admits up
+                            to N (for chaos-injection runs).
   compare SERIAL PARALLEL   the two reports name the same bench, their
                             "results" objects are exactly equal (the
                             parallel engine's determinism contract), and
@@ -40,9 +45,15 @@ import math
 import sys
 
 REQUIRED_FIELDS = ("bench", "schema_version", "jobs", "points", "wall_ms",
-                   "points_per_sec", "result_store", "results")
+                   "points_per_sec", "result_store", "sweep", "failures",
+                   "results")
 
-STORE_COUNTERS = ("hits", "misses", "stores", "corrupt_skipped", "loaded")
+STORE_COUNTERS = ("hits", "misses", "stores", "corrupt_skipped", "loaded",
+                  "poisoned_loaded", "poison_hits", "poison_stores")
+
+SWEEP_COUNTERS = ("completed", "failed", "quarantined")
+
+FAILURE_FIELDS = ("point", "error_type", "message", "quarantined")
 
 
 def fail(msg):
@@ -67,7 +78,7 @@ def load_report(path):
     return doc
 
 
-def validate(path):
+def validate(path, allow_failures=0):
     doc = load_report(path)
     if not isinstance(doc["points"], int) or doc["points"] <= 0:
         fail(f"{path}: points must be a positive integer "
@@ -82,6 +93,43 @@ def validate(path):
         if not isinstance(value, int) or value < 0:
             fail(f"{path}: result_store.{counter} must be a non-negative "
                  f"integer (got {value!r})")
+    sweep = doc["sweep"]
+    if not isinstance(sweep, dict):
+        fail(f"{path}: 'sweep' must be an object")
+    for counter in SWEEP_COUNTERS:
+        value = sweep.get(counter)
+        if not isinstance(value, int) or value < 0:
+            fail(f"{path}: sweep.{counter} must be a non-negative integer "
+                 f"(got {value!r})")
+    failures = doc["failures"]
+    if not isinstance(failures, list):
+        fail(f"{path}: 'failures' must be an array")
+    if len(failures) != sweep["failed"]:
+        fail(f"{path}: sweep.failed ({sweep['failed']}) does not match the "
+             f"failures manifest ({len(failures)} entries)")
+    if sweep["completed"] + sweep["failed"] != doc["points"]:
+        fail(f"{path}: sweep.completed + sweep.failed "
+             f"({sweep['completed']} + {sweep['failed']}) does not cover "
+             f"points ({doc['points']}) — the sweep lost track of work")
+    if sweep["quarantined"] > sweep["failed"]:
+        fail(f"{path}: sweep.quarantined ({sweep['quarantined']}) exceeds "
+             f"sweep.failed ({sweep['failed']})")
+    for i, entry in enumerate(failures):
+        if not isinstance(entry, dict):
+            fail(f"{path}: failures[{i}] must be an object")
+        for field in FAILURE_FIELDS:
+            if field not in entry:
+                fail(f"{path}: failures[{i}] missing field '{field}'")
+        if not isinstance(entry["point"], str) or not entry["point"]:
+            fail(f"{path}: failures[{i}].point must be a non-empty string")
+        if not isinstance(entry["error_type"], str) or not entry["error_type"]:
+            fail(f"{path}: failures[{i}].error_type must be a non-empty "
+                 f"string")
+    if sweep["failed"] > allow_failures:
+        fail(f"{path}: {sweep['failed']} failed sweep points "
+             f"(allow-failures={allow_failures}):\n" + "\n".join(
+                 f"  [{e.get('error_type')}] {e.get('point')}: "
+                 f"{e.get('message')}" for e in failures))
     results = doc["results"]
     if not isinstance(results, dict) or not results:
         fail(f"{path}: 'results' must be a non-empty object")
@@ -92,8 +140,10 @@ def validate(path):
         if not isinstance(value, (int, float)) or not math.isfinite(value):
             fail(f"{path}: results.{key} is not a finite number "
                  f"(got {value!r})")
+    note = (f" ({sweep['failed']} failed, {sweep['quarantined']} "
+            f"quarantined)" if sweep["failed"] else "")
     print(f"check_bench: OK: {path} ({doc['bench']}, jobs={doc['jobs']}, "
-          f"{doc['points']} points, {doc['wall_ms']:.0f} ms, "
+          f"{doc['points']} points{note}, {doc['wall_ms']:.0f} ms, "
           f"{len(results)} metrics)")
 
 
@@ -182,6 +232,10 @@ def main():
 
     p_validate = sub.add_parser("validate", help="structural check")
     p_validate.add_argument("files", nargs="+")
+    p_validate.add_argument(
+        "--allow-failures", type=int, default=0,
+        help="admit up to N failed sweep points per report (default 0); "
+             "use for chaos-injection runs that expect failures")
 
     p_compare = sub.add_parser("compare", help="serial vs parallel report")
     p_compare.add_argument("serial")
@@ -204,7 +258,7 @@ def main():
     args = parser.parse_args()
     if args.command == "validate":
         for path in args.files:
-            validate(path)
+            validate(path, args.allow_failures)
     elif args.command == "compare":
         compare(args.serial, args.parallel, args.min_speedup, args.rel_tol)
     elif args.command == "identical":

@@ -1,0 +1,55 @@
+#include "common/cancel.hpp"
+
+#include <string>
+
+#include "common/error.hpp"
+
+#if !defined(_WIN32)
+#include <csignal>
+#endif
+
+namespace mobcache {
+
+void CancelToken::check() const {
+  if (!cancel_requested()) return;
+  const int sig = signal();
+  std::string why = "run cancelled";
+  if (sig != 0) why += " by signal " + std::to_string(sig);
+  why += "; completed points are persisted, re-run to resume";
+  throw CancelledError(std::move(why));
+}
+
+CancelToken& global_cancel_token() {
+  static CancelToken token;
+  return token;
+}
+
+#if !defined(_WIN32)
+
+namespace {
+
+void on_cancel_signal(int sig) {
+  // Async-signal-safe by construction: two relaxed atomic stores.
+  global_cancel_token().request_cancel(sig);
+}
+
+}  // namespace
+
+void install_cancellation_handlers() {
+  struct sigaction sa = {};
+  sa.sa_handler = on_cancel_signal;
+  sigemptyset(&sa.sa_mask);
+  // No SA_RESTART: a sweep blocked in I/O should see EINTR and reach its
+  // next cancellation poll instead of sleeping through the shutdown.
+  sa.sa_flags = 0;
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+}
+
+#else
+
+void install_cancellation_handlers() {}
+
+#endif
+
+}  // namespace mobcache

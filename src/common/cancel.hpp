@@ -1,0 +1,75 @@
+#pragma once
+/// \file cancel.hpp
+/// Cooperative cancellation for long-running sweeps.
+///
+/// Nothing in the simulator preempts anything: cancellation is a flag that
+/// hot loops *poll* at a coarse stride (the simulate loop checks once per
+/// kCancelPollStride trace records — one relaxed atomic load per ~65k
+/// accesses, unmeasurable against the access kernels and gated by
+/// BENCH_micro like every other hot-path change). When the flag fires, the
+/// polling site throws CancelledError; the sweep machinery treats that as
+/// "stop handing out points, drain in-flight workers, keep everything
+/// already persisted" and guarded_main turns it into the documented
+/// resumable exit code (75).
+///
+/// The process-wide token is what the SIGINT/SIGTERM handler flips — the
+/// handler only stores to an atomic (async-signal-safe), all the real work
+/// happens at the next poll. See docs/RELIABILITY.md for the
+/// interrupt-and-resume runbook.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace mobcache {
+
+/// How often the simulate loop polls for cancellation, in trace records.
+/// Coarse on purpose: at typical simulation speed this is a check every few
+/// hundred microseconds — latency no human or CI job can see, cost no
+/// microbenchmark can measure.
+inline constexpr std::uint64_t kCancelPollStride = 1u << 16;
+
+/// A pollable cancellation flag. request_cancel() is async-signal-safe and
+/// thread-safe; everything else is called from normal code.
+class CancelToken {
+ public:
+  void request_cancel(int signal = 0) noexcept {
+    signal_.store(signal, std::memory_order_relaxed);
+    cancelled_.store(true, std::memory_order_relaxed);
+  }
+
+  bool cancel_requested() const noexcept {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  /// The signal that triggered cancellation (0 when cancelled in code).
+  int signal() const noexcept {
+    return signal_.load(std::memory_order_relaxed);
+  }
+
+  /// Re-arms the token (tests and repeated in-process runs).
+  void reset() noexcept {
+    cancelled_.store(false, std::memory_order_relaxed);
+    signal_.store(0, std::memory_order_relaxed);
+  }
+
+  /// Throws CancelledError when cancellation has been requested.
+  void check() const;
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  std::atomic<int> signal_{0};
+};
+
+/// The process-wide token. Sweep machinery (SweepExecutor, simulate) polls
+/// it unconditionally; it only ever fires if someone cancels it — the
+/// signal handler below, or a test.
+CancelToken& global_cancel_token();
+
+/// Installs SIGINT/SIGTERM handlers that cancel the global token (idempotent;
+/// POSIX only, a no-op elsewhere). Call from mains that run sweeps and can
+/// act on cancellation — tools that should die on Ctrl-C as usual must NOT
+/// install this.
+void install_cancellation_handlers();
+
+}  // namespace mobcache

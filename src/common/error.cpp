@@ -1,0 +1,114 @@
+#include "common/error.hpp"
+
+#include "common/env.hpp"
+
+namespace mobcache {
+
+const char* to_string(SimErrorKind kind) {
+  switch (kind) {
+    case SimErrorKind::Trace: return "trace";
+    case SimErrorKind::Config: return "config";
+    case SimErrorKind::Numeric: return "numeric";
+    case SimErrorKind::Deadline: return "deadline";
+    case SimErrorKind::Cancelled: return "cancelled";
+    case SimErrorKind::Internal: return "internal";
+  }
+  return "internal";
+}
+
+int exit_code_for(const std::exception& e) {
+  if (const auto* sim = dynamic_cast<const SimError*>(&e)) {
+    switch (sim->kind()) {
+      case SimErrorKind::Trace: return kExitTraceError;
+      case SimErrorKind::Config: return kExitUsage;
+      case SimErrorKind::Numeric: return kExitNumericError;
+      case SimErrorKind::Deadline: return kExitDeadline;
+      case SimErrorKind::Cancelled: return kExitInterrupted;
+      case SimErrorKind::Internal: return kExitInternal;
+    }
+  }
+  // A bad MOBCACHE_* value is operator error, same bucket as bad usage.
+  if (dynamic_cast<const EnvError*>(&e) != nullptr) return kExitUsage;
+  return kExitInternal;
+}
+
+SimError::SimError(SimErrorKind kind, std::string message)
+    : kind_(kind), message_(std::move(message)) {
+  reformat();
+}
+
+SimError& SimError::with_point(std::uint64_t index) {
+  point_ = index;
+  reformat();
+  return *this;
+}
+
+SimError& SimError::with_scheme(std::string scheme) {
+  scheme_ = std::move(scheme);
+  reformat();
+  return *this;
+}
+
+SimError& SimError::with_workload(std::string workload) {
+  workload_ = std::move(workload);
+  reformat();
+  return *this;
+}
+
+void SimError::reformat() {
+  formatted_ = "[";
+  formatted_ += to_string(kind_);
+  formatted_ += "] ";
+  formatted_ += message_;
+  if (point_ || !scheme_.empty() || !workload_.empty()) {
+    formatted_ += " (";
+    bool first = true;
+    auto add = [&](const std::string& part) {
+      if (!first) formatted_ += ", ";
+      formatted_ += part;
+      first = false;
+    };
+    if (point_) add("point " + std::to_string(*point_));
+    if (!scheme_.empty()) add("scheme=" + scheme_);
+    if (!workload_.empty()) add("workload=" + workload_);
+    formatted_ += ")";
+  }
+}
+
+std::string error_type_of(const std::exception_ptr& e) {
+  try {
+    std::rethrow_exception(e);
+  } catch (const SimError& s) {
+    return to_string(s.kind());
+  } catch (const std::exception&) {
+    return "exception";
+  } catch (...) {
+    return "unknown";
+  }
+}
+
+std::string error_message_of(const std::exception_ptr& e) {
+  try {
+    std::rethrow_exception(e);
+  } catch (const SimError& s) {
+    // The kind is reported separately (error_type_of) and the context via
+    // PointFailure, so strip what()'s "[kind] ..." decoration here.
+    return s.message();
+  } catch (const std::exception& s) {
+    return s.what();
+  } catch (...) {
+    return "(non-standard exception)";
+  }
+}
+
+bool is_cancellation(const std::exception_ptr& e) {
+  try {
+    std::rethrow_exception(e);
+  } catch (const SimError& s) {
+    return s.kind() == SimErrorKind::Cancelled;
+  } catch (...) {
+    return false;
+  }
+}
+
+}  // namespace mobcache

@@ -1,0 +1,140 @@
+#pragma once
+/// \file error.hpp
+/// Typed error taxonomy for the experiment stack.
+///
+/// Multi-hour sweeps die in exactly four ways — bad input, bad
+/// configuration, numeric garbage, and time — and a supervisor can only
+/// make per-point decisions (quarantine, retry, abort) if the failure says
+/// which one it was. Every error the sweep machinery raises is therefore a
+/// SimError subclass carrying a machine-readable kind plus the context that
+/// identifies the failing point (index, scheme, workload), attached as the
+/// error crosses the executor boundary. Uncaught escapes still diagnose
+/// themselves: what() renders kind + message + context in one line.
+///
+/// Exit codes (docs/RELIABILITY.md): every tool main is wrapped in
+/// guarded_main (exp/bench_harness.hpp), which maps a caught error to the
+/// table below — scripts branch on the code, humans read the one-line
+/// stderr diagnostic.
+///
+///   0   success
+///   1   trace/input error        (TraceError — corrupt/unreadable input)
+///   2   usage/configuration      (ConfigError, EnvError — operator error)
+///   3   numeric invariant broken (NumericError — NaN/Inf in a result lane)
+///   4   per-point deadline hit   (DeadlineExceeded)
+///   5   unexpected exception     (anything else)
+///   75  interrupted, resumable   (CancelledError — SIGINT/SIGTERM drain;
+///                                 completed points are flushed, re-run
+///                                 with the same store to resume)
+
+#include <cstdint>
+#include <exception>
+#include <optional>
+#include <string>
+
+namespace mobcache {
+
+/// Machine-readable failure class; the supervisor branches on this, never
+/// on message text.
+enum class SimErrorKind {
+  Trace,      ///< input trace missing, corrupt, or inconsistent
+  Config,     ///< invalid configuration / usage
+  Numeric,    ///< NaN/Inf or impossible value in a computed result
+  Deadline,   ///< per-point deadline exceeded (cooperative cancellation)
+  Cancelled,  ///< whole-run cancellation (SIGINT/SIGTERM or explicit)
+  Internal,   ///< anything else raised as a SimError
+};
+
+const char* to_string(SimErrorKind kind);
+
+/// Documented process exit codes (see the table above). Values 1 and 2
+/// preserve the pre-taxonomy contract (1 = bad input, 2 = usage).
+enum ExitCode : int {
+  kExitOk = 0,
+  kExitTraceError = 1,
+  kExitUsage = 2,
+  kExitNumericError = 3,
+  kExitDeadline = 4,
+  kExitInternal = 5,
+  kExitInterrupted = 75,  ///< EX_TEMPFAIL: partial results flushed, resumable
+};
+
+/// Maps a caught exception to its documented exit code (SimError by kind,
+/// EnvError to kExitUsage, everything else to kExitInternal).
+int exit_code_for(const std::exception& e);
+
+/// Base of the taxonomy. Context setters return *this so call sites can
+/// attach-and-throw in one expression:
+///   throw NumericError("energy lane is NaN").with_point(i).with_scheme(s);
+class SimError : public std::exception {
+ public:
+  SimError(SimErrorKind kind, std::string message);
+
+  const char* what() const noexcept override { return formatted_.c_str(); }
+  SimErrorKind kind() const { return kind_; }
+  const std::string& message() const { return message_; }
+
+  const std::optional<std::uint64_t>& point_index() const { return point_; }
+  const std::string& scheme() const { return scheme_; }
+  const std::string& workload() const { return workload_; }
+
+  SimError& with_point(std::uint64_t index);
+  SimError& with_scheme(std::string scheme);
+  SimError& with_workload(std::string workload);
+
+ private:
+  void reformat();
+
+  SimErrorKind kind_;
+  std::string message_;
+  std::optional<std::uint64_t> point_;
+  std::string scheme_;
+  std::string workload_;
+  std::string formatted_;
+};
+
+class TraceError : public SimError {
+ public:
+  explicit TraceError(std::string msg)
+      : SimError(SimErrorKind::Trace, std::move(msg)) {}
+};
+
+class ConfigError : public SimError {
+ public:
+  explicit ConfigError(std::string msg)
+      : SimError(SimErrorKind::Config, std::move(msg)) {}
+};
+
+class NumericError : public SimError {
+ public:
+  explicit NumericError(std::string msg)
+      : SimError(SimErrorKind::Numeric, std::move(msg)) {}
+};
+
+class DeadlineExceeded : public SimError {
+ public:
+  explicit DeadlineExceeded(std::string msg)
+      : SimError(SimErrorKind::Deadline, std::move(msg)) {}
+};
+
+class CancelledError : public SimError {
+ public:
+  explicit CancelledError(std::string msg)
+      : SimError(SimErrorKind::Cancelled, std::move(msg)) {}
+};
+
+/// The taxonomy label of an in-flight exception: the SimErrorKind name for
+/// SimErrors, "exception" for other std::exceptions, "unknown" otherwise.
+/// This is the error_type persisted in failure manifests and poison
+/// records, so it must stay stable across versions.
+std::string error_type_of(const std::exception_ptr& e);
+
+/// Human message of an in-flight exception: the bare message() for
+/// SimErrors (kind and point context are reported separately), what() for
+/// other std::exceptions, a placeholder for non-standard throws.
+std::string error_message_of(const std::exception_ptr& e);
+
+/// True when the exception represents whole-run cancellation — the one
+/// failure class a keep-going sweep must NOT swallow as a point failure.
+bool is_cancellation(const std::exception_ptr& e);
+
+}  // namespace mobcache

@@ -6,6 +6,8 @@
 #include <filesystem>
 #include <fstream>
 
+#include "common/cancel.hpp"
+#include "common/error.hpp"
 #include "exp/parallel.hpp"
 #include "exp/report.hpp"
 
@@ -38,6 +40,84 @@ std::unique_ptr<ResultStore> bench_result_store(int argc, char** argv) {
   return nullptr;
 }
 
+namespace {
+
+bool has_flag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  return false;
+}
+
+}  // namespace
+
+bool bench_keep_going(int argc, char** argv) {
+  return has_flag(argc, argv, "--keep-going");
+}
+
+bool bench_retry_failed(int argc, char** argv) {
+  return has_flag(argc, argv, "--retry-failed");
+}
+
+std::uint64_t bench_point_deadline_ms(int argc, char** argv) {
+  std::uint64_t ms = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--point-deadline-ms=", 20) == 0)
+      ms = std::strtoull(argv[i] + 20, nullptr, 10);
+  }
+  return ms;
+}
+
+std::vector<std::size_t> bench_fail_points(int argc, char** argv) {
+  std::vector<std::size_t> points;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--fail-points=", 14) != 0) continue;
+    const char* p = argv[i] + 14;
+    while (*p != '\0') {
+      char* end = nullptr;
+      const unsigned long long v = std::strtoull(p, &end, 10);
+      if (end == p) {
+        throw ConfigError(std::string("bad --fail-points list: ") +
+                          (argv[i] + 14));
+      }
+      points.push_back(static_cast<std::size_t>(v));
+      p = (*end == ',') ? end + 1 : end;
+      if (end == p && *end != '\0') {
+        throw ConfigError(std::string("bad --fail-points list: ") +
+                          (argv[i] + 14));
+      }
+    }
+  }
+  return points;
+}
+
+void chaos_maybe_fail(const std::vector<std::size_t>& fail_points,
+                      std::size_t index) {
+  for (std::size_t p : fail_points) {
+    if (p != index) continue;
+    NumericError err("injected chaos fault");
+    err.with_point(index);
+    throw err;
+  }
+}
+
+int guarded_main(const char* tool, bool install_signals, int argc, char** argv,
+                 int (*real_main)(int, char**)) {
+  if (install_signals) install_cancellation_handlers();
+  try {
+    return real_main(argc, argv);
+  } catch (const SimError& e) {
+    if (e.kind() == SimErrorKind::Cancelled) {
+      std::fprintf(stderr, "%s: interrupted: %s\n", tool, e.what());
+    } else {
+      std::fprintf(stderr, "%s: error: %s\n", tool, e.what());
+    }
+    return exit_code_for(e);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s: error: %s\n", tool, e.what());
+    return exit_code_for(e);
+  }
+}
+
 bool write_json_results(const JsonWriter& w, const std::string& filename) {
   const std::string path = results_path(filename);
   std::error_code ec;
@@ -56,6 +136,15 @@ BenchReport::BenchReport(std::string name, unsigned jobs)
 
 void BenchReport::add_result(const std::string& key, double value) {
   results_.emplace_back(key, value);
+}
+
+void BenchReport::add_point_failure(const PointFailure& f, std::string point) {
+  ManifestEntry e;
+  e.point = std::move(point);
+  e.error_type = f.error_type;
+  e.message = f.message;
+  e.quarantined = f.quarantined;
+  failures_.push_back(std::move(e));
 }
 
 double BenchReport::wall_ms() const {
@@ -81,7 +170,35 @@ bool BenchReport::write() {
   w.key("stores").value(store_stats_.stores);
   w.key("corrupt_skipped").value(store_stats_.corrupt_skipped);
   w.key("loaded").value(store_stats_.loaded);
+  w.key("poisoned_loaded").value(store_stats_.poisoned_loaded);
+  w.key("poison_hits").value(store_stats_.poison_hits);
+  w.key("poison_stores").value(store_stats_.poison_stores);
   w.end_object();
+  // Failure manifest + sweep counters. Green runs report an empty array and
+  // failed = 0 — check_bench.py's validate asserts exactly that unless told
+  // --allow-failures.
+  std::uint64_t quarantined = 0;
+  for (const ManifestEntry& e : failures_)
+    if (e.quarantined) ++quarantined;
+  const std::uint64_t failed =
+      static_cast<std::uint64_t>(failures_.size());
+  w.key("sweep");
+  w.begin_object();
+  w.key("completed").value(points_ > failed ? points_ - failed : 0);
+  w.key("failed").value(failed);
+  w.key("quarantined").value(quarantined);
+  w.end_object();
+  w.key("failures");
+  w.begin_array();
+  for (const ManifestEntry& e : failures_) {
+    w.begin_object();
+    w.key("point").value(e.point);
+    w.key("error_type").value(e.error_type);
+    w.key("message").value(e.message);
+    w.key("quarantined").value(e.quarantined);
+    w.end_object();
+  }
+  w.end_array();
   w.key("results");
   w.begin_object();
   for (const auto& [key, value] : results_) w.key(key).value(value);

@@ -31,6 +31,31 @@ unsigned bench_jobs(int argc, char** argv);
 /// everything, exactly as before).
 std::unique_ptr<ResultStore> bench_result_store(int argc, char** argv);
 
+/// Fault-supervision CLI shared by sweep binaries (docs/RELIABILITY.md):
+///   --keep-going           failing points become manifest entries instead
+///                          of aborting the sweep
+///   --retry-failed         ignore poison records — quarantined points re-run
+///   --point-deadline-ms=N  per-point wall-clock budget (0 = off)
+///   --fail-points=i,j,...  chaos injection: those point indices throw
+///                          NumericError before simulating (testing/CI only)
+bool bench_keep_going(int argc, char** argv);
+bool bench_retry_failed(int argc, char** argv);
+std::uint64_t bench_point_deadline_ms(int argc, char** argv);
+std::vector<std::size_t> bench_fail_points(int argc, char** argv);
+
+/// The --fail-points hook: throws NumericError("injected chaos fault") when
+/// `index` is in `fail_points`. Call first thing in a sweep-point lambda.
+void chaos_maybe_fail(const std::vector<std::size_t>& fail_points,
+                      std::size_t index);
+
+/// Wraps a tool/bench main in the error-taxonomy contract: installs the
+/// SIGINT/SIGTERM cancellation handlers when asked (sweep binaries only —
+/// tools that should die on Ctrl-C pass false), runs `real_main`, and maps
+/// any escaping exception to a one-line stderr diagnostic plus its
+/// documented exit code (exit_code_for; cancellation exits 75, resumable).
+int guarded_main(const char* tool, bool install_signals, int argc, char** argv,
+                 int (*real_main)(int, char**));
+
 /// Writes a finished JsonWriter document under the results directory
 /// (results_path(filename)); returns success.
 bool write_json_results(const JsonWriter& w, const std::string& filename);
@@ -55,13 +80,20 @@ class BenchReport {
   void add_result(const std::string& key, double value);
 
   /// Result-store counters for this run, written as the top-level
-  /// "result_store" object (hits/misses/stores/corrupt_skipped/loaded).
-  /// Like the timing fields these vary run to run — a warm run reports
-  /// hits where a cold one reported misses — so they live *outside*
-  /// "results" and never break the determinism gate. Call with the store's
-  /// stats() right before write(); without a store the object reports
-  /// zeros.
+  /// "result_store" object (hits/misses/stores/corrupt_skipped/loaded and
+  /// the poison counters). Like the timing fields these vary run to run —
+  /// a warm run reports hits where a cold one reported misses — so they
+  /// live *outside* "results" and never break the determinism gate. Call
+  /// with the store's stats() right before write(); without a store the
+  /// object reports zeros.
   void set_store_stats(const ResultStoreStats& s) { store_stats_ = s; }
+
+  /// Adds one keep-going point failure to the manifest. `point` is a
+  /// human-stable label for the failing point (e.g. its pairing name).
+  /// write() derives the "sweep" counters from the manifest:
+  /// completed = points - failed, failed = manifest size, quarantined =
+  /// entries served from poison records.
+  void add_point_failure(const PointFailure& f, std::string point);
 
   double wall_ms() const;
 
@@ -70,10 +102,18 @@ class BenchReport {
   bool write();
 
  private:
+  struct ManifestEntry {
+    std::string point;
+    std::string error_type;
+    std::string message;
+    bool quarantined = false;
+  };
+
   std::string name_;
   unsigned jobs_;
   std::uint64_t points_ = 0;
   std::vector<std::pair<std::string, double>> results_;
+  std::vector<ManifestEntry> failures_;
   ResultStoreStats store_stats_;
   std::chrono::steady_clock::time_point start_;
 };

@@ -6,7 +6,9 @@
 #include <mutex>
 #include <thread>
 
+#include "common/cancel.hpp"
 #include "common/env.hpp"
+#include "common/error.hpp"
 #include "energy/technology.hpp"
 
 namespace mobcache {
@@ -53,15 +55,54 @@ struct Shard {
 
 }  // namespace
 
+PointFailure point_failure_from(std::size_t index,
+                                const std::exception_ptr& e) {
+  PointFailure f;
+  f.index = index;
+  f.error_type = error_type_of(e);
+  f.message = error_message_of(e);
+  return f;
+}
+
 void SweepExecutor::for_each(
     std::size_t n, const std::function<void(std::size_t)>& fn) const {
+  run(n, fn, nullptr);
+}
+
+void SweepExecutor::for_each_outcomes(
+    std::size_t n, const std::function<void(std::size_t)>& fn,
+    const std::function<void(PointFailure&&)>& on_failure) const {
+  run(n, fn, &on_failure);
+}
+
+void SweepExecutor::run(
+    std::size_t n, const std::function<void(std::size_t)>& fn,
+    const std::function<void(PointFailure&&)>* on_failure) const {
   if (n == 0) return;
   const std::size_t workers =
       std::min<std::size_t>(jobs_, n) > 0 ? std::min<std::size_t>(jobs_, n)
                                           : 1;
+  // Whole-run cancellation (SIGINT/SIGTERM) is checked once per point —
+  // cheap against whole-simulation points, and it makes the executor stop
+  // *handing out* points the moment the flag fires even if no simulate loop
+  // happens to be polling.
+  const CancelToken& cancel = global_cancel_token();
   if (workers == 1) {
     // Serial reference path: in index order, exceptions propagate directly.
-    for (std::size_t i = 0; i < n; ++i) fn(i);
+    for (std::size_t i = 0; i < n; ++i) {
+      cancel.check();
+      if (on_failure == nullptr) {
+        fn(i);
+        continue;
+      }
+      try {
+        fn(i);
+      } catch (...) {
+        const std::exception_ptr e = std::current_exception();
+        if (is_cancellation(e)) std::rethrow_exception(e);
+        (*on_failure)(point_failure_from(i, e));
+      }
+    }
     return;
   }
 
@@ -76,6 +117,7 @@ void SweepExecutor::for_each(
   }
 
   std::atomic<bool> cancelled{false};
+  std::atomic<std::size_t> done{0};
   std::mutex err_m;
   std::exception_ptr err;
   std::size_t err_index = std::numeric_limits<std::size_t>::max();
@@ -105,17 +147,26 @@ void SweepExecutor::for_each(
 
   auto worker = [&](std::size_t w) {
     ScopedTechnology scope(tech);
-    while (!cancelled.load(std::memory_order_relaxed)) {
+    while (!cancelled.load(std::memory_order_relaxed) &&
+           !cancel.cancel_requested()) {
       std::optional<std::size_t> i = take_own(w);
       if (!i) i = steal(w);
       if (!i) return;  // every shard drained — done
       try {
         fn(*i);
+        done.fetch_add(1, std::memory_order_relaxed);
       } catch (...) {
+        const std::exception_ptr e = std::current_exception();
         std::lock_guard<std::mutex> lock(err_m);
+        if (on_failure != nullptr && !is_cancellation(e)) {
+          // Keep-going: record the failure and let this worker continue.
+          (*on_failure)(point_failure_from(*i, e));
+          done.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
         if (*i < err_index) {
           err_index = *i;
-          err = std::current_exception();
+          err = e;
         }
         cancelled.store(true, std::memory_order_relaxed);
       }
@@ -128,6 +179,12 @@ void SweepExecutor::for_each(
   worker(0);
   for (std::thread& t : pool) t.join();
   if (err) std::rethrow_exception(err);
+  // No point raised an error, but points were left unrun: the global token
+  // fired and the sweep stopped handing out work. Surface that as
+  // CancelledError so the caller flushes and exits resumable instead of
+  // reporting a truncated sweep as a full result. (A token that fired
+  // *after* the last point drained changes nothing — the sweep completed.)
+  if (done.load(std::memory_order_relaxed) < n) cancel.check();
 }
 
 }  // namespace mobcache

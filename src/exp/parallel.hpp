@@ -20,11 +20,39 @@
 /// See docs/PARALLELISM.md for the full contract.
 
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <optional>
+#include <string>
 #include <vector>
 
 namespace mobcache {
+
+/// One failed sweep point, captured as data instead of an in-flight
+/// exception: the taxonomy label and message survive serialization into
+/// failure manifests and poison records, the index keys the failure back
+/// into the point vector.
+struct PointFailure {
+  std::size_t index = 0;
+  std::string error_type;  ///< error_type_of(): "trace", "numeric", ...
+  std::string message;
+  /// True when the failure was *served from the result store* (a poison
+  /// record from an earlier run) rather than observed live — the point was
+  /// quarantined, not re-run.
+  bool quarantined = false;
+};
+
+/// Converts an in-flight exception into a PointFailure record.
+PointFailure point_failure_from(std::size_t index, const std::exception_ptr& e);
+
+/// What one sweep point produced under the keep-going policy: exactly one
+/// of value/failure is set.
+template <typename R>
+struct PointOutcome {
+  std::optional<R> value;
+  std::optional<PointFailure> failure;
+  bool ok() const { return value.has_value(); }
+};
 
 /// Resolves a worker count: `requested` when nonzero, else the MOBCACHE_JOBS
 /// environment variable, else std::thread::hardware_concurrency() (min 1).
@@ -78,7 +106,40 @@ class SweepExecutor {
   void for_each(std::size_t n,
                 const std::function<void(std::size_t)>& fn) const;
 
+  /// Keep-going flavour of map(): a throwing point no longer aborts the
+  /// sweep — it becomes a PointFailure in that point's slot and the
+  /// remaining points still run. Returns one PointOutcome per index, in
+  /// index order. Two failure classes are still fail-fast by design:
+  /// cancellation (CancelledError must stop the whole sweep, not be
+  /// swallowed as one bad point) propagates out, and so does anything
+  /// thrown by the on-failure bookkeeping itself.
+  template <typename Fn>
+  auto map_outcomes(std::size_t n, Fn&& fn) const
+      -> std::vector<PointOutcome<decltype(fn(std::size_t{0}))>> {
+    using R = decltype(fn(std::size_t{0}));
+    std::vector<PointOutcome<R>> slots(n);
+    for_each_outcomes(
+        n, [&](std::size_t i) { slots[i].value.emplace(fn(i)); },
+        [&](PointFailure&& f) {
+          const std::size_t i = f.index;
+          slots[i].failure.emplace(std::move(f));
+        });
+    return slots;
+  }
+
+  /// Void flavour of map_outcomes(). on_failure is invoked under the
+  /// executor's error lock (serialized, but from worker threads) once per
+  /// failing point; point order within the callback stream is
+  /// timing-dependent, so callers needing order must key by
+  /// PointFailure::index — as map_outcomes() does.
+  void for_each_outcomes(
+      std::size_t n, const std::function<void(std::size_t)>& fn,
+      const std::function<void(PointFailure&&)>& on_failure) const;
+
  private:
+  void run(std::size_t n, const std::function<void(std::size_t)>& fn,
+           const std::function<void(PointFailure&&)>* on_failure) const;
+
   unsigned jobs_ = 1;
 };
 

@@ -17,6 +17,7 @@
 #endif
 
 #include "common/env.hpp"
+#include "common/error.hpp"
 #include "common/json_writer.hpp"
 #include "energy/technology.hpp"
 
@@ -436,6 +437,30 @@ std::optional<SimResult> result_from_record_json(const std::string& json) {
   return r;
 }
 
+std::string failure_to_record_json(const StoredFailure& f) {
+  std::string out = "{";
+  // The marker field comes first and is what dispatches payload parsing; a
+  // value payload can never contain it (no SimResult field is named
+  // "poison").
+  put_u64(out, "poison", 1);
+  put_str(out, "error_type", f.error_type);
+  put_str(out, "message", f.message);
+  out.back() = '}';  // replace the trailing comma
+  return out;
+}
+
+std::optional<StoredFailure> failure_from_record_json(const std::string& json) {
+  FlatParser f;
+  if (!f.parse(json)) return std::nullopt;
+  std::uint64_t marker = 0;
+  if (!f.get_u64("poison", marker) || marker != 1) return std::nullopt;
+  StoredFailure out;
+  if (!f.get_str("error_type", out.error_type) ||
+      !f.get_str("message", out.message))
+    return std::nullopt;
+  return out;
+}
+
 // ---------------------------------------------------------------------------
 // Persistence
 // ---------------------------------------------------------------------------
@@ -459,8 +484,16 @@ std::string render_record(std::uint64_t key, const std::string& payload) {
   return out;
 }
 
-bool parse_record(const std::string& text, std::uint64_t& key,
-                  SimResult& result) {
+/// A validated record: exactly one of result/failure is set (value record
+/// vs poison record).
+struct ParsedRecord {
+  std::uint64_t key = 0;
+  std::optional<SimResult> result;
+  std::optional<StoredFailure> failure;
+};
+
+bool parse_record(const std::string& text, ParsedRecord& out) {
+  std::uint64_t& key = out.key;
   const std::size_t nl = text.find('\n');
   if (nl == std::string::npos) return false;
   // The payload line must be newline-terminated — a record whose trailing
@@ -486,9 +519,15 @@ bool parse_record(const std::string& text, std::uint64_t& key,
   if (end == nullptr || *end != '\0' || fnv_text.size() != 16) return false;
   if (fnv1a(payload.data(), payload.size()) != want_fnv) return false;
 
+  // Checksum passed — dispatch on payload flavour. Poison first: its marker
+  // check is cheap and unambiguous.
+  if (std::optional<StoredFailure> f = failure_from_record_json(payload)) {
+    out.failure = std::move(*f);
+    return true;
+  }
   std::optional<SimResult> r = result_from_record_json(payload);
   if (!r) return false;
-  result = std::move(*r);
+  out.result = std::move(*r);
   return true;
 }
 
@@ -540,11 +579,15 @@ void ResultStore::load_existing() {
     std::ifstream in(entry.path(), std::ios::binary);
     std::ostringstream buf;
     buf << in.rdbuf();
-    std::uint64_t key = 0;
-    SimResult r;
-    if (in && parse_record(buf.str(), key, r)) {
-      mem_.emplace(key, std::move(r));
-      ++stats_.loaded;
+    ParsedRecord rec;
+    if (in && parse_record(buf.str(), rec)) {
+      if (rec.result) {
+        mem_.emplace(rec.key, std::move(*rec.result));
+        ++stats_.loaded;
+      } else {
+        poison_.emplace(rec.key, std::move(*rec.failure));
+        ++stats_.poisoned_loaded;
+      }
     } else {
       ++stats_.corrupt_skipped;
     }
@@ -562,8 +605,9 @@ std::optional<SimResult> ResultStore::lookup(std::uint64_t key) {
   return it->second;
 }
 
-void ResultStore::store(std::uint64_t key, const SimResult& r) {
-  const std::string record = render_record(key, result_to_record_json(r));
+void ResultStore::persist_record(std::uint64_t key,
+                                 const std::string& payload) {
+  const std::string record = render_record(key, payload);
   const std::string final_path =
       (fs::path(dir_) / ("r" + key_hex(key) + ".json")).string();
 
@@ -587,10 +631,34 @@ void ResultStore::store(std::uint64_t key, const SimResult& r) {
     throw std::runtime_error("result store: cannot publish '" + final_path +
                              "'");
   }
+}
 
+void ResultStore::store(std::uint64_t key, const SimResult& r) {
+  persist_record(key, result_to_record_json(r));
   std::lock_guard<std::mutex> lock(m_);
   mem_.insert_or_assign(key, r);
+  // Value and poison share one file per key; the rename that published the
+  // value just overwrote any poison record on disk, so forget it in memory
+  // too (a retried point has been rehabilitated).
+  poison_.erase(key);
   ++stats_.stores;
+}
+
+void ResultStore::store_failure(std::uint64_t key, const StoredFailure& f) {
+  persist_record(key, failure_to_record_json(f));
+  std::lock_guard<std::mutex> lock(m_);
+  poison_.insert_or_assign(key, f);
+  mem_.erase(key);
+  ++stats_.poison_stores;
+}
+
+std::optional<StoredFailure> ResultStore::lookup_failure(std::uint64_t key) {
+  std::lock_guard<std::mutex> lock(m_);
+  if (retry_failed_) return std::nullopt;
+  auto it = poison_.find(key);
+  if (it == poison_.end()) return std::nullopt;
+  ++stats_.poison_hits;
+  return it->second;
 }
 
 ResultStoreStats ResultStore::stats() const {
@@ -637,6 +705,60 @@ std::vector<SimResult> memoized_map(
   out.reserve(n);
   for (auto& s : slots) out.push_back(std::move(*s));
   return out;
+}
+
+std::vector<PointOutcome<SimResult>> memoized_map_outcomes(
+    const SweepExecutor& ex, ResultStore* store,
+    const std::vector<std::uint64_t>& keys,
+    const std::function<SimResult(std::size_t)>& fn) {
+  const std::size_t n = keys.size();
+  if (store == nullptr) return ex.map_outcomes(n, fn);
+
+  std::vector<PointOutcome<SimResult>> slots(n);
+  std::vector<std::size_t> missing;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (auto hit = store->lookup(keys[i])) {
+      slots[i].value = std::move(*hit);
+    } else if (auto poisoned = store->lookup_failure(keys[i])) {
+      PointFailure f;
+      f.index = i;
+      f.error_type = std::move(poisoned->error_type);
+      f.message = std::move(poisoned->message);
+      f.quarantined = true;
+      slots[i].failure = std::move(f);
+    } else {
+      missing.push_back(i);
+    }
+  }
+
+  // Only the missing points run. The computing worker persists the outcome
+  // — value or poison — at the moment it is known, so a drain or crash
+  // later in the sweep loses nothing already decided. Cancellation is not
+  // poisoned (the point did not fail; the run stopped) and propagates.
+  std::vector<PointOutcome<SimResult>> fresh =
+      ex.map_outcomes(missing.size(), [&](std::size_t j) -> SimResult {
+        try {
+          SimResult r = fn(missing[j]);
+          store->store(keys[missing[j]], r);
+          return r;
+        } catch (...) {
+          const std::exception_ptr e = std::current_exception();
+          if (!is_cancellation(e)) {
+            store->store_failure(
+                keys[missing[j]],
+                StoredFailure{error_type_of(e), error_message_of(e)});
+          }
+          throw;
+        }
+      });
+
+  for (std::size_t j = 0; j < missing.size(); ++j) {
+    PointOutcome<SimResult>& o = fresh[j];
+    // Re-key the failure from sub-sweep index space into the caller's.
+    if (o.failure) o.failure->index = missing[j];
+    slots[missing[j]] = std::move(o);
+  }
+  return slots;
 }
 
 }  // namespace mobcache

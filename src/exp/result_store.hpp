@@ -81,7 +81,19 @@ struct ResultStoreStats {
   std::uint64_t misses = 0;          ///< lookups that forced a simulation
   std::uint64_t stores = 0;          ///< records persisted this process
   std::uint64_t corrupt_skipped = 0; ///< records rejected at load time
-  std::uint64_t loaded = 0;          ///< valid records found at open
+  std::uint64_t loaded = 0;          ///< valid value records found at open
+  std::uint64_t poisoned_loaded = 0; ///< poison records found at open
+  std::uint64_t poison_hits = 0;     ///< lookups quarantined by a poison record
+  std::uint64_t poison_stores = 0;   ///< poison records persisted this process
+};
+
+/// A persisted point failure — the payload of a poison record. Carries the
+/// stable taxonomy label (error_type_of()) and the one-line message, so a
+/// resumed sweep can re-report *why* the point is quarantined without
+/// re-running it.
+struct StoredFailure {
+  std::string error_type;
+  std::string message;
 };
 
 /// Thread-safe persistent map key -> SimResult. All methods may be called
@@ -101,20 +113,43 @@ class ResultStore {
 
   /// Persists (temp + fsync + rename) and caches one completed point.
   /// Write failures throw std::runtime_error — a sweep that believes it
-  /// checkpointed must actually have.
+  /// checkpointed must actually have. Storing a value clears any poison
+  /// record for the same key (retry succeeded: the rename overwrites the
+  /// poison file in the same atomic step).
   void store(std::uint64_t key, const SimResult& r);
+
+  /// Quarantines a point: persists a *poison record* (same file name,
+  /// header, and checksum discipline as a value record, but a failure
+  /// payload) so later runs skip the known-bad point instead of
+  /// re-simulating it. Counts in stats().poison_stores.
+  void store_failure(std::uint64_t key, const StoredFailure& f);
+
+  /// The quarantine record for `key`, if any — unless retry_failed() is
+  /// set, in which case poison records are ignored so the sweep recomputes
+  /// the point (and replaces the poison on success). Counts a poison_hit
+  /// when it returns a failure.
+  std::optional<StoredFailure> lookup_failure(std::uint64_t key);
+
+  /// The --retry-failed escape hatch: when true, lookup_failure() reports
+  /// nothing so quarantined points re-run.
+  void set_retry_failed(bool retry) { retry_failed_ = retry; }
+  bool retry_failed() const { return retry_failed_; }
 
   const std::string& dir() const { return dir_; }
   ResultStoreStats stats() const;
 
  private:
   void load_existing();
+  /// Shared tmp + fsync + rename path for value and poison records.
+  void persist_record(std::uint64_t key, const std::string& payload);
 
   std::string dir_;
   mutable std::mutex m_;
   std::unordered_map<std::uint64_t, SimResult> mem_;
+  std::unordered_map<std::uint64_t, StoredFailure> poison_;
   ResultStoreStats stats_;
   std::uint64_t tmp_counter_ = 0;
+  bool retry_failed_ = false;
 };
 
 /// Exact-round-trip (de)serialization of one SimResult — the store's record
@@ -122,6 +157,13 @@ class ResultStore {
 /// digits to reparse to the identical bit pattern.
 std::string result_to_record_json(const SimResult& r);
 std::optional<SimResult> result_from_record_json(const std::string& json);
+
+/// Poison-record payload (de)serialization, exposed for tests. A poison
+/// payload is distinguished from a value payload by its `"poison":1` field;
+/// pre-quarantine readers reject it as corrupt (and recompute) rather than
+/// misread it as a result.
+std::string failure_to_record_json(const StoredFailure& f);
+std::optional<StoredFailure> failure_from_record_json(const std::string& json);
 
 /// SweepExecutor::map with memoization: point i is served from `store` when
 /// keys[i] is present, and only the missing points are simulated (through
@@ -131,6 +173,22 @@ std::optional<SimResult> result_from_record_json(const std::string& json);
 /// returns, so a killed run resumes from every completed point. With
 /// store == nullptr this is exactly ex.map(keys.size(), fn).
 std::vector<SimResult> memoized_map(
+    const SweepExecutor& ex, ResultStore* store,
+    const std::vector<std::uint64_t>& keys,
+    const std::function<SimResult(std::size_t)>& fn);
+
+/// Keep-going flavour of memoized_map(): returns one PointOutcome per key,
+/// in key order. Point i resolves, in priority order, to
+///  - a stored value (hit — never re-run),
+///  - a stored poison record (quarantined failure, PointFailure::quarantined
+///    set — never re-run unless store->retry_failed()),
+///  - a fresh run through ex.map_outcomes(). The computing worker persists a
+///    value record on success and a poison record on (non-cancellation)
+///    failure *at the moment it happens*, so a SIGTERM drain or crash later
+///    in the sweep loses neither.
+/// Cancellation still aborts the whole sweep (CancelledError propagates);
+/// with store == nullptr this is exactly ex.map_outcomes(keys.size(), fn).
+std::vector<PointOutcome<SimResult>> memoized_map_outcomes(
     const SweepExecutor& ex, ResultStore* store,
     const std::vector<std::uint64_t>& keys,
     const std::function<SimResult(std::size_t)>& fn);

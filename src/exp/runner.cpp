@@ -1,5 +1,8 @@
 #include "exp/runner.hpp"
 
+#include <cmath>
+
+#include "common/error.hpp"
 #include "common/stats.hpp"
 #include "energy/technology.hpp"
 #include "exp/parallel.hpp"
@@ -18,7 +21,40 @@ std::uint64_t scheme_design_hash(SchemeKind kind, const SchemeParams& p) {
       .digest();
 }
 
+/// simulate() + the numeric invariant gate — the only simulate entry the
+/// runner uses, so every aggregated cell has been validated.
+SimResult checked_simulate(const Trace& trace, std::unique_ptr<L2Interface> l2,
+                           const SimOptions& opts) {
+  SimResult r = simulate(trace, std::move(l2), opts);
+  validate_sim_result_finite(r);
+  return r;
+}
+
 }  // namespace
+
+void validate_sim_result_finite(const SimResult& r) {
+  const struct {
+    const char* name;
+    double v;
+  } lanes[] = {
+      {"cpi", r.cpi},
+      {"e.leakage_nj", r.l2_energy.leakage_nj},
+      {"e.read_nj", r.l2_energy.read_nj},
+      {"e.write_nj", r.l2_energy.write_nj},
+      {"e.refresh_nj", r.l2_energy.refresh_nj},
+      {"e.dram_nj", r.l2_energy.dram_nj},
+      {"e.ecc_nj", r.l2_energy.ecc_nj},
+      {"l1_energy_nj", r.l1_energy_nj},
+      {"l2_avg_enabled_bytes", r.l2_avg_enabled_bytes},
+  };
+  for (const auto& lane : lanes) {
+    if (std::isfinite(lane.v)) continue;
+    NumericError err(std::string("result lane ") + lane.name +
+                     " is not finite (" + std::to_string(lane.v) + ")");
+    err.with_scheme(r.scheme).with_workload(r.workload);
+    throw err;
+  }
+}
 
 MetricRegistry SchemeSuiteResult::merged_metrics() const {
   MetricRegistry merged;
@@ -95,7 +131,7 @@ SchemeSuiteResult ExperimentRunner::run_custom(
   if (design_hash && memoizable()) {
     std::vector<SimResult> results = memoized_map(
         ex, result_store, cell_keys(*design_hash), [&](std::size_t i) {
-          return simulate(*traces_[i], builder(), sim_options);
+          return checked_simulate(*traces_[i], builder(), sim_options);
         });
     out.per_workload.reserve(results.size());
     double miss_sum = 0.0;
@@ -116,7 +152,7 @@ SchemeSuiteResult ExperimentRunner::run_custom(
       cell.tel->set_sample_interval(telemetry_sample_interval);
       opts.telemetry = cell.tel.get();
     }
-    cell.res = simulate(*traces_[i], builder(), opts);
+    cell.res = checked_simulate(*traces_[i], builder(), opts);
     return cell;
   });
 
@@ -149,9 +185,9 @@ std::vector<SchemeSuiteResult> ExperimentRunner::run_schemes(
     }
     std::vector<SimResult> results =
         memoized_map(ex, result_store, keys, [&](std::size_t c) {
-          return simulate(*traces_[c % w_count],
-                          build_scheme(kinds[c / w_count], params),
-                          sim_options);
+          return checked_simulate(*traces_[c % w_count],
+                                  build_scheme(kinds[c / w_count], params),
+                                  sim_options);
         });
     cells.resize(results.size());
     for (std::size_t c = 0; c < results.size(); ++c)
@@ -167,7 +203,7 @@ std::vector<SchemeSuiteResult> ExperimentRunner::run_schemes(
         cell.tel->set_sample_interval(telemetry_sample_interval);
         opts.telemetry = cell.tel.get();
       }
-      cell.res = simulate(*traces_[w], build_scheme(kind, params), opts);
+      cell.res = checked_simulate(*traces_[w], build_scheme(kind, params), opts);
       return cell;
     });
   }
@@ -248,8 +284,10 @@ std::vector<FaultSweepPoint> run_fault_sweep(const ExperimentRunner& runner,
   SweepExecutor ex(runner.jobs);
   auto cell_fn = [&](std::size_t c) {
     const SchemeParams& p = per_rate[c / w_count];
-    return simulate(*traces[c % w_count], build_scheme(kind, p),
-                    runner.sim_options);
+    SimResult r = simulate(*traces[c % w_count], build_scheme(kind, p),
+                           runner.sim_options);
+    validate_sim_result_finite(r);
+    return r;
   };
   std::vector<SimResult> cells;
   if (runner.result_store != nullptr &&

@@ -32,6 +32,13 @@ namespace mobcache {
 
 class ResultStore;
 
+/// Throws NumericError (naming the scheme and workload) when any
+/// energy/timing lane of `r` is NaN or infinite. The runner calls this on
+/// every simulate() return — before the result can reach a result store,
+/// a JSON artifact, or a normalization divide — so numeric garbage fails
+/// the point loudly instead of silently poisoning downstream aggregates.
+void validate_sim_result_finite(const SimResult& r);
+
 /// One scheme evaluated over a suite.
 struct SchemeSuiteResult {
   SchemeKind kind = SchemeKind::BaselineSram;

@@ -48,10 +48,20 @@ struct SimResult {
 };
 
 class Telemetry;
+class CancelToken;
 
 struct SimOptions {
   HierarchyConfig hierarchy;
   TimingParams timing;
+  /// Wall-clock budget for this one run in milliseconds; 0 disables the
+  /// deadline. Checked cooperatively at the cancellation-poll stride; on
+  /// expiry the run throws DeadlineExceeded naming the workload and scheme.
+  std::uint64_t point_deadline_ms = 0;
+  /// Cancellation token the demand loop polls once per kCancelPollStride
+  /// records (common/cancel.hpp). Null means the process-wide
+  /// global_cancel_token() — the one SIGINT/SIGTERM flips — so every run is
+  /// interruptible by default at one relaxed atomic load per ~65k accesses.
+  const CancelToken* cancel = nullptr;
   /// Optional eviction observer installed on the L2 before the run.
   /// Deprecated shim: prefer `telemetry` + ObserverHub::on_eviction, which
   /// multicasts and carries the run context. Kept working — it is installed

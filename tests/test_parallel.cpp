@@ -10,6 +10,8 @@
 #include <stdexcept>
 #include <thread>
 
+#include "common/cancel.hpp"
+#include "common/error.hpp"
 #include "exp/json_export.hpp"
 #include "exp/runner.hpp"
 
@@ -159,6 +161,80 @@ TEST(SweepExecutor, SoleThrowingPointIsTheOneRethrown) {
   } catch (const std::runtime_error& e) {
     EXPECT_STREQ(e.what(), "13");
   }
+}
+
+TEST(SweepExecutor, KeepGoingCollectsFailuresInIndexOrder) {
+  // K injected throwing points out of N: the sweep must finish with N-K
+  // values and K failures, each failure slotted at its own index.
+  const std::set<std::size_t> bad = {3, 17, 40};
+  for (unsigned jobs : {1u, 8u}) {
+    SweepExecutor ex(jobs);
+    const auto out = ex.map_outcomes(64, [&](std::size_t i) {
+      if (bad.count(i)) throw NumericError("boom " + std::to_string(i));
+      return i * 2;
+    });
+    ASSERT_EQ(out.size(), 64u) << "jobs=" << jobs;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      if (bad.count(i)) {
+        ASSERT_FALSE(out[i].ok()) << i;
+        EXPECT_EQ(out[i].failure->index, i);
+        EXPECT_EQ(out[i].failure->error_type, "numeric");
+        EXPECT_EQ(out[i].failure->message, "boom " + std::to_string(i));
+        EXPECT_FALSE(out[i].failure->quarantined);
+      } else {
+        ASSERT_TRUE(out[i].ok()) << i;
+        EXPECT_EQ(*out[i].value, i * 2);
+      }
+    }
+  }
+}
+
+TEST(SweepExecutor, KeepGoingStillPropagatesCancellation) {
+  // Cancellation is a whole-run event, never a per-point failure: a
+  // keep-going sweep must rethrow it instead of recording it.
+  SweepExecutor ex(1);  // serial path checks the token before each point
+  global_cancel_token().request_cancel();
+  EXPECT_THROW(
+      ex.map_outcomes(16, [](std::size_t i) { return i; }),
+      CancelledError);
+  global_cancel_token().reset();
+  // After reset the pool runs normally again.
+  const auto out = ex.map_outcomes(4, [](std::size_t i) { return i; });
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_TRUE(out[3].ok());
+}
+
+TEST(SweepExecutor, ParallelSweepDrainsAndThrowsWhenCancelledMidRun) {
+  SweepExecutor ex(4);
+  std::atomic<std::size_t> ran{0};
+  try {
+    ex.for_each(256, [&](std::size_t) {
+      if (ran.fetch_add(1) == 20) global_cancel_token().request_cancel();
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    });
+    FAIL() << "expected CancelledError";
+  } catch (const CancelledError&) {
+  }
+  global_cancel_token().reset();
+  // Draining, not aborting: in-flight points complete, later ones are
+  // never handed out.
+  EXPECT_GE(ran.load(), 21u);
+  EXPECT_LT(ran.load(), 256u);
+}
+
+TEST(SweepExecutor, FullyDrainedSweepIgnoresLateCancellation) {
+  // A cancel request that lands once every point has already *started*
+  // skips nothing — the sweep drains to completion and must not be turned
+  // into a spurious failure.
+  SweepExecutor ex(4);
+  std::atomic<std::size_t> started{0};
+  const auto out = ex.map(32, [&](std::size_t i) {
+    if (started.fetch_add(1) + 1 == 32)
+      global_cancel_token().request_cancel();
+    return i;
+  });
+  global_cancel_token().reset();
+  EXPECT_EQ(out.size(), 32u);
 }
 
 TEST(SweepExecutor, TechnologyOverridePropagatesToWorkers) {

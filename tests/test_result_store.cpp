@@ -9,6 +9,8 @@
 #include <string>
 #include <vector>
 
+#include "common/cancel.hpp"
+#include "common/error.hpp"
 #include "energy/technology.hpp"
 #include "exp/parallel.hpp"
 #include "exp/runner.hpp"
@@ -351,6 +353,175 @@ TEST_F(ResultStoreTest, KilledSweepResumesByteIdentical) {
     ++compared;
   }
   EXPECT_EQ(compared, records.size());
+}
+
+TEST_F(ResultStoreTest, PoisonRecordRoundTripsAcrossReopen) {
+  {
+    ResultStore store(dir());
+    store.store_failure(777, {"numeric", "lane cpi is not finite"});
+    EXPECT_EQ(store.stats().poison_stores, 1u);
+    // A poisoned key serves no value...
+    EXPECT_FALSE(store.lookup(777).has_value());
+    // ...but does serve its failure.
+    const auto f = store.lookup_failure(777);
+    ASSERT_TRUE(f.has_value());
+    EXPECT_EQ(f->error_type, "numeric");
+    EXPECT_EQ(f->message, "lane cpi is not finite");
+  }
+  ResultStore reopened(dir());
+  EXPECT_EQ(reopened.stats().poisoned_loaded, 1u);
+  EXPECT_EQ(reopened.stats().corrupt_skipped, 0u);
+  const auto f = reopened.lookup_failure(777);
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->error_type, "numeric");
+  EXPECT_EQ(reopened.stats().poison_hits, 1u);
+}
+
+TEST_F(ResultStoreTest, ValueStoreRehabilitatesAPoisonedKey) {
+  ResultStore store(dir());
+  store.store_failure(5, {"deadline", "too slow"});
+  store.store(5, sample_result());
+  EXPECT_FALSE(store.lookup_failure(5).has_value());
+  EXPECT_TRUE(store.lookup(5).has_value());
+  // And the rehabilitation survives reopen: the value record atomically
+  // replaced the poison record on disk.
+  ResultStore reopened(dir());
+  EXPECT_EQ(reopened.stats().poisoned_loaded, 0u);
+  EXPECT_TRUE(reopened.lookup(5).has_value());
+}
+
+TEST_F(ResultStoreTest, MemoizedMapOutcomesQuarantinesKnownBadPoints) {
+  const std::vector<std::uint64_t> keys = {11, 12, 13};
+  int computed = 0;
+  const auto fn = [&](std::size_t i) -> SimResult {
+    ++computed;
+    if (i == 1) throw NumericError("injected");
+    SimResult r = sample_result();
+    r.cycles = 2000 + i;
+    return r;
+  };
+
+  SweepExecutor ex(1);
+  {
+    ResultStore store(dir());
+    const auto cold = memoized_map_outcomes(ex, &store, keys, fn);
+    ASSERT_EQ(cold.size(), 3u);
+    EXPECT_EQ(computed, 3);
+    EXPECT_TRUE(cold[0].ok());
+    ASSERT_FALSE(cold[1].ok());
+    EXPECT_EQ(cold[1].failure->error_type, "numeric");
+    EXPECT_FALSE(cold[1].failure->quarantined);  // fresh failure, not cached
+    EXPECT_TRUE(cold[2].ok());
+  }
+
+  // Resume against the same directory: values hit, the bad point is served
+  // from its poison record — fn must not run at all.
+  computed = 0;
+  ResultStore warm(dir());
+  const auto resumed = memoized_map_outcomes(ex, &warm, keys, fn);
+  EXPECT_EQ(computed, 0);
+  EXPECT_TRUE(resumed[0].ok());
+  ASSERT_FALSE(resumed[1].ok());
+  EXPECT_TRUE(resumed[1].failure->quarantined);
+  EXPECT_EQ(resumed[1].failure->index, 1u);
+  EXPECT_EQ(resumed[1].failure->error_type, "numeric");
+  EXPECT_EQ(resumed[1].failure->message, "injected");
+  EXPECT_EQ(warm.stats().hits, 2u);
+  EXPECT_EQ(warm.stats().poison_hits, 1u);
+}
+
+TEST_F(ResultStoreTest, RetryFailedReRunsQuarantinedPoints) {
+  const std::vector<std::uint64_t> keys = {21};
+  bool fail = true;
+  int computed = 0;
+  const auto fn = [&](std::size_t) -> SimResult {
+    ++computed;
+    if (fail) throw NumericError("transient");
+    return sample_result();
+  };
+
+  SweepExecutor ex(1);
+  {
+    ResultStore store(dir());
+    (void)memoized_map_outcomes(ex, &store, keys, fn);
+    EXPECT_EQ(store.stats().poison_stores, 1u);
+  }
+
+  // The flaky cause is fixed; --retry-failed bypasses the quarantine and a
+  // successful re-run replaces the poison record with a value for good.
+  fail = false;
+  computed = 0;
+  {
+    ResultStore store(dir());
+    store.set_retry_failed(true);
+    const auto out = memoized_map_outcomes(ex, &store, keys, fn);
+    EXPECT_EQ(computed, 1);
+    EXPECT_TRUE(out[0].ok());
+  }
+  computed = 0;
+  ResultStore healed(dir());
+  const auto warm = memoized_map_outcomes(ex, &healed, keys, fn);
+  EXPECT_EQ(computed, 0);
+  EXPECT_TRUE(warm[0].ok());
+  EXPECT_FALSE(warm[0].failure.has_value());
+  EXPECT_EQ(healed.stats().hits, 1u);
+}
+
+TEST_F(ResultStoreTest, CancelledSweepNeverPoisonsAndResumesByteIdentical) {
+  // The SIGTERM-drain contract: cancellation mid-sweep persists the
+  // completed prefix, poisons nothing, and a resumed run fills in the rest
+  // so the store ends byte-identical to an uninterrupted one.
+  const std::vector<std::uint64_t> keys = {31, 32, 33, 34, 35};
+  const auto fn = [&](std::size_t i) {
+    SimResult r = sample_result();
+    r.cycles = 3000 + i;
+    return r;
+  };
+  const auto cancel_after_two = [&](std::size_t i) {
+    // Requested *during* point 1: the point still completes and persists;
+    // the serial executor's pre-point check then stops 2..4 from running.
+    if (i == 1) global_cancel_token().request_cancel();
+    return fn(i);
+  };
+
+  const fs::path cold_dir = fs::path(dir()) / "cold";
+  const fs::path resumed_dir = fs::path(dir()) / "resumed";
+  SweepExecutor ex(1);
+  {
+    ResultStore store(cold_dir.string());
+    (void)memoized_map_outcomes(ex, &store, keys, fn);
+  }
+  {
+    ResultStore store(resumed_dir.string());
+    EXPECT_THROW(memoized_map_outcomes(ex, &store, keys, cancel_after_two),
+                 CancelledError);
+    global_cancel_token().reset();
+    // The serial path checks the token before each point: points 0 and 1
+    // completed and were persisted, 2..4 never ran and were not poisoned.
+    EXPECT_EQ(store.stats().stores, 2u);
+    EXPECT_EQ(store.stats().poison_stores, 0u);
+  }
+  {
+    ResultStore store(resumed_dir.string());
+    EXPECT_EQ(store.stats().poisoned_loaded, 0u);
+    const auto out = memoized_map_outcomes(ex, &store, keys, fn);
+    EXPECT_EQ(store.stats().hits, 2u);
+    for (const auto& o : out) EXPECT_TRUE(o.ok());
+  }
+  auto slurp = [](const fs::path& p) {
+    std::ifstream in(p, std::ios::binary);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+  };
+  std::size_t compared = 0;
+  for (const auto& e : fs::directory_iterator(cold_dir)) {
+    const fs::path resumed = resumed_dir / e.path().filename();
+    ASSERT_TRUE(fs::exists(resumed)) << resumed;
+    EXPECT_EQ(slurp(e.path()), slurp(resumed)) << e.path().filename();
+    ++compared;
+  }
+  EXPECT_EQ(compared, keys.size());
 }
 
 TEST_F(ResultStoreTest, RunnerMemoizationMatchesDirectRun) {

@@ -12,6 +12,7 @@
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "core/scheme.hpp"
+#include "exp/bench_harness.hpp"
 #include "sim/simulator.hpp"
 #include "workload/suite.hpp"
 
@@ -53,7 +54,7 @@ bool check_app(AppId id, std::uint64_t records, std::uint64_t seed,
 
 }  // namespace
 
-int main(int argc, char** argv) {
+static int tool_main(int argc, char** argv) {
   const std::uint64_t records =
       argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 400'000;
   const std::uint64_t seed =
@@ -89,4 +90,9 @@ int main(int argc, char** argv) {
               "accesses, compute <15%%; L2 miss <75%%.\n%s\n",
               all_ok ? "ALL IN BAND" : "CALIBRATION DRIFT DETECTED");
   return all_ok ? 0 : 1;
+}
+
+int main(int argc, char** argv) {
+  return guarded_main("mobcache_appcheck", /*install_signals=*/false, argc,
+                      argv, tool_main);
 }

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/table.hpp"
+#include "exp/bench_harness.hpp"
 
 using namespace mobcache;
 
@@ -95,7 +96,7 @@ std::vector<SchemeRow> load(const std::string& path) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+static int tool_main(int argc, char** argv) {
   if (argc < 3) {
     std::fprintf(stderr, "usage: %s <old.json> <new.json> [tolerance]\n",
                  argv[0]);
@@ -133,4 +134,9 @@ int main(int argc, char** argv) {
   std::printf("\ntolerance: %.3f (absolute, on normalized metrics)\n%s\n",
               tol, regressed ? "REGRESSIONS FOUND" : "no regressions");
   return regressed ? 1 : 0;
+}
+
+int main(int argc, char** argv) {
+  return guarded_main("mobcache_compare", /*install_signals=*/false, argc,
+                      argv, tool_main);
 }

@@ -10,6 +10,7 @@
 ///                   [--fault-rate=R] [--ecc=KIND] [--fault-seed=N]
 ///                   [--way-disable-threshold=N] [--fault-sweep=R1,R2,...]
 ///                   [--jobs=N] [--store-dir=PATH] [--resume]
+///                   [--keep-going] [--retry-failed] [--point-deadline-ms=N]
 /// Schemes: base shrunk sharedstt sp spmrstt dp dpstt all (default: all)
 ///
 /// Parallelism (docs/PARALLELISM.md):
@@ -63,8 +64,25 @@
 ///                              scheme at every rate, normalized against
 ///                              its own rate-0 run (bench E21 from the CLI).
 ///
-/// Exit codes: 0 ok, 1 corrupt/unreadable input (typed diagnostic on
-/// stderr), 2 usage error.
+/// Fault supervision (docs/RELIABILITY.md):
+///   --keep-going               a failing (trace, scheme) run becomes a
+///                              one-line diagnostic plus sweep.failed
+///                              counter instead of aborting; with a store
+///                              it is quarantined as a poison record and
+///                              skipped (not re-run) on later resumes.
+///                              --fault-sweep mode stays fail-fast: its
+///                              points are normalized against each other,
+///                              so a partial sweep has no meaning.
+///   --retry-failed             ignore poison records: quarantined points
+///                              re-run, and a success replaces the poison.
+///   --point-deadline-ms=N      per-run wall-clock budget; an overrunning
+///                              point throws DeadlineExceeded (exit 4, or a
+///                              keep-going failure).
+///
+/// Exit codes (shared guarded_main contract, src/common/error.hpp):
+/// 0 ok, 1 corrupt/unreadable input, 2 usage error, 3 numeric invariant
+/// broken, 4 point deadline exceeded, 5 unexpected exception, 75
+/// interrupted by SIGINT/SIGTERM (resumable — completed points persisted).
 
 #include <cstdio>
 #include <cstdlib>
@@ -74,6 +92,7 @@
 #include <string>
 #include <vector>
 
+#include "common/error.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "core/scheme.hpp"
@@ -159,6 +178,9 @@ struct CliFlags {
   /// --store-dir / --resume are parsed here for validation but resolved by
   /// bench_result_store(argc, argv), the shared precedence logic.
   bool want_store = false;
+  bool keep_going = false;
+  bool retry_failed = false;
+  std::uint64_t point_deadline_ms = 0;
 
   bool telemetry_needed() const {
     return !trace_out.empty() || want_metrics || sample_interval != 0;
@@ -249,6 +271,13 @@ std::vector<std::string> parse_flags(int argc, char** argv, CliFlags& f) {
       f.want_store = true;
     } else if (a == "--resume") {
       f.want_store = true;
+    } else if (a == "--keep-going") {
+      f.keep_going = true;
+    } else if (a == "--retry-failed") {
+      f.retry_failed = true;
+    } else if (a.rfind("--point-deadline-ms=", 0) == 0) {
+      f.point_deadline_ms = std::strtoull(
+          a.c_str() + std::strlen("--point-deadline-ms="), nullptr, 10);
     } else {
       std::fprintf(stderr, "unknown flag '%s'\n", a.c_str());
       std::exit(2);
@@ -302,6 +331,7 @@ int run_sweep_mode(const CliFlags& flags, std::vector<Trace> traces,
   ExperimentRunner runner(std::move(traces));
   runner.jobs = effective_jobs(flags.jobs);
   runner.result_store = store;
+  runner.sim_options.point_deadline_ms = flags.point_deadline_ms;
   SchemeParams tmpl;
   tmpl.fault = flags.fault_config(0.0);
   tmpl.fault.ecc = flags.ecc;
@@ -333,7 +363,7 @@ int run_sweep_mode(const CliFlags& flags, std::vector<Trace> traces,
 
 }  // namespace
 
-int main(int argc, char** argv) {
+static int tool_main(int argc, char** argv) {
   CliFlags flags;
   const std::vector<std::string> pos = parse_flags(argc, argv, flags);
   if (pos.empty()) {
@@ -345,7 +375,8 @@ int main(int argc, char** argv) {
         "          [--fault-rate=R] [--ecc=none|parity|secded|dected]\n"
         "          [--fault-seed=N] [--way-disable-threshold=N]\n"
         "          [--fault-sweep=R1,R2,...] [--jobs=N]\n"
-        "          [--store-dir=PATH] [--resume]\n",
+        "          [--store-dir=PATH] [--resume]\n"
+        "          [--keep-going] [--retry-failed] [--point-deadline-ms=N]\n",
         argv[0]);
     return 2;
   }
@@ -370,6 +401,7 @@ int main(int argc, char** argv) {
   }
 
   const std::unique_ptr<ResultStore> store = bench_result_store(argc, argv);
+  if (store) store->set_retry_failed(flags.retry_failed);
 
   if (!flags.sweep_rates.empty())
     return run_sweep_mode(flags, std::move(traces), kinds, store.get());
@@ -397,6 +429,13 @@ int main(int argc, char** argv) {
   // the sink's render (hub subscribers reference them).
   std::vector<std::unique_ptr<Telemetry>> sessions;
 
+  // Keep-going bookkeeping, surfaced as sweep.* counters under --metrics.
+  // quarantined counts within failed: those points were skipped because a
+  // poison record already diagnosed them.
+  std::uint64_t sweep_completed = 0;
+  std::uint64_t sweep_failed = 0;
+  std::uint64_t sweep_quarantined = 0;
+
   for (const Trace& trace : traces) {
     const std::uint64_t trace_hash = memoize ? hash_trace(trace) : 0;
     std::printf("trace '%s' (%s records, kernel %s)\n\n", trace.name().c_str(),
@@ -412,13 +451,15 @@ int main(int argc, char** argv) {
     std::optional<SimResult> base;
     for (SchemeKind k : kinds) {
       SimOptions opts;
+      opts.point_deadline_ms = flags.point_deadline_ms;
       SimResult r;
       bool cached_hit = false;
       std::uint64_t key = 0;
       if (memoize) {
         // Same key recipe as ExperimentRunner::run_scheme. The key ignores
-        // opts.telemetry (hash_sim_options covers semantic fields only), so
-        // it can be computed before a session is attached.
+        // opts.telemetry and the supervision knobs (hash_sim_options covers
+        // semantic fields only), so it can be computed before a session is
+        // attached.
         const std::uint64_t dh = ContentHasher()
                                      .mix(std::string("scheme"))
                                      .mix(static_cast<std::uint64_t>(k))
@@ -429,6 +470,19 @@ int main(int argc, char** argv) {
         if (std::optional<SimResult> cached = store->lookup(key)) {
           r = std::move(*cached);
           cached_hit = true;
+        } else if (flags.keep_going) {
+          if (std::optional<StoredFailure> poisoned =
+                  store->lookup_failure(key)) {
+            std::fprintf(stderr,
+                         "simrun: quarantined %s/%s: [%s] %s "
+                         "(--retry-failed to re-run)\n",
+                         trace.name().c_str(), scheme_name(k),
+                         poisoned->error_type.c_str(),
+                         poisoned->message.c_str());
+            ++sweep_failed;
+            ++sweep_quarantined;
+            continue;
+          }
         }
       }
       if (!cached_hit) {
@@ -439,9 +493,32 @@ int main(int argc, char** argv) {
           if (!flags.trace_out.empty()) sink.attach(tel);
           opts.telemetry = &tel;
         }
-        r = simulate(trace, build_scheme(k, params), opts);
+        if (flags.keep_going) {
+          try {
+            r = simulate(trace, build_scheme(k, params), opts);
+            validate_sim_result_finite(r);
+          } catch (...) {
+            const std::exception_ptr e = std::current_exception();
+            // Cancellation is a run-level event, never a point failure.
+            if (is_cancellation(e)) std::rethrow_exception(e);
+            std::fprintf(stderr, "simrun: point failed: %s/%s: [%s] %s\n",
+                         trace.name().c_str(), scheme_name(k),
+                         error_type_of(e).c_str(),
+                         error_message_of(e).c_str());
+            if (memoize) {
+              store->store_failure(
+                  key, StoredFailure{error_type_of(e), error_message_of(e)});
+            }
+            ++sweep_failed;
+            continue;
+          }
+        } else {
+          r = simulate(trace, build_scheme(k, params), opts);
+          validate_sim_result_finite(r);
+        }
         if (memoize) store->store(key, r);
       }
+      ++sweep_completed;
       if (!base) base = r;
       const EnergyBreakdown& e = r.l2_energy;
       t.add_row({scheme_name(k), format_percent(r.l2_miss_rate()),
@@ -496,7 +573,15 @@ int main(int argc, char** argv) {
       merged.counter("result_store.stores").add(st.stores);
       merged.counter("result_store.corrupt_skipped").add(st.corrupt_skipped);
       merged.counter("result_store.loaded").add(st.loaded);
+      merged.counter("result_store.poisoned_loaded").add(st.poisoned_loaded);
+      merged.counter("result_store.poison_hits").add(st.poison_hits);
+      merged.counter("result_store.poison_stores").add(st.poison_stores);
     }
+    // Sweep supervision counters (failure details: one stderr line each,
+    // plus poison records when a store is attached).
+    merged.counter("sweep.completed").add(sweep_completed);
+    merged.counter("sweep.failed").add(sweep_failed);
+    merged.counter("sweep.quarantined").add(sweep_quarantined);
     if (flags.metrics_out.empty()) {
       std::printf("merged metrics (%zu runs)\n", sessions.size());
       print_metrics_table(merged);
@@ -516,4 +601,11 @@ int main(int argc, char** argv) {
     }
   }
   return 0;
+}
+
+int main(int argc, char** argv) {
+  // Signal handlers on: simrun drives resumable sweeps, so SIGINT/SIGTERM
+  // drain in-flight points, keep the store consistent, and exit 75.
+  return guarded_main("mobcache_simrun", /*install_signals=*/true, argc, argv,
+                      tool_main);
 }

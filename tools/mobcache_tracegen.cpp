@@ -11,6 +11,7 @@
 
 #include "common/stats.hpp"
 #include "common/table.hpp"
+#include "exp/bench_harness.hpp"
 #include "trace/trace_compress.hpp"
 #include "trace/trace_io.hpp"
 #include "workload/scenario.hpp"
@@ -18,7 +19,7 @@
 
 using namespace mobcache;
 
-int main(int argc, char** argv) {
+static int tool_main(int argc, char** argv) {
   if (argc < 4) {
     std::fprintf(stderr,
                  "usage: %s <app|mix> <records> <out.mct> [seed]\napps:",
@@ -74,4 +75,11 @@ int main(int argc, char** argv) {
                              static_cast<double>(s.total)).c_str(),
               argv[3]);
   return 0;
+}
+
+int main(int argc, char** argv) {
+  // No signal handlers: trace generation has no resumable state — Ctrl-C
+  // should kill it like any other short-lived tool.
+  return guarded_main("mobcache_tracegen", /*install_signals=*/false, argc,
+                      argv, tool_main);
 }

@@ -11,11 +11,12 @@
 
 #include "common/stats.hpp"
 #include "common/table.hpp"
+#include "exp/bench_harness.hpp"
 #include "trace/trace_compress.hpp"
 
 using namespace mobcache;
 
-int main(int argc, char** argv) {
+static int tool_main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr, "usage: %s <trace.mct>\n", argv[0]);
     return 2;
@@ -73,4 +74,9 @@ int main(int argc, char** argv) {
   }
   th.print();
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return guarded_main("mobcache_tracestat", /*install_signals=*/false, argc,
+                      argv, tool_main);
 }
