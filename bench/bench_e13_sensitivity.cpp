@@ -56,6 +56,7 @@ std::vector<Variant> variants() {
 
 static int run_bench(int argc, char** argv) {
   const unsigned jobs = bench_jobs(argc, argv);
+  const unsigned batch = bench_sweep_batch(argc, argv);
   const std::unique_ptr<ResultStore> store = bench_result_store(argc, argv);
   BenchReport bench("e13_sensitivity", jobs);
   print_banner("E13", "Sensitivity of the conclusions to technology constants");
@@ -67,6 +68,11 @@ static int run_bench(int argc, char** argv) {
   // Safe under ScopedTechnology: the runner hashes technology() on the
   // worker thread, so each variant's cells key on its own perturbed config.
   runner.result_store = store.get();
+  // --batch[=N]: each variant's run_schemes() call below then decodes every
+  // trace once and replays it into all three scheme lanes (the inner sweep
+  // stays on the variant's worker, so its ScopedTechnology still applies).
+  runner.sweep_batch = batch;
+  bench.set_sweep_batch(batch, runner.batchable());
 
   const std::vector<Variant> vars = variants();
 

@@ -3,9 +3,11 @@
 /// energy and execution time of (user+kernel) segment sizings against the
 /// shared 2 MB baseline. Shows the knee the paper's chosen config sits on.
 ///
-/// The baseline plus the seven sizings run as SweepExecutor points;
-/// `--jobs=N` / MOBCACHE_JOBS pick the worker count without changing any
-/// emitted number.
+/// The baseline plus the seven sizings run as one run_designs() grid:
+/// `--jobs=N` / MOBCACHE_JOBS pick the worker count, and `--batch[=N]` /
+/// MOBCACHE_SWEEP_BATCH switch the grid onto the single-pass batch engine
+/// (one trace decode drives all sizings — docs/SWEEP_ENGINE.md). Neither
+/// knob changes any emitted number.
 
 #include "common/stats.hpp"
 #include "common/table.hpp"
@@ -29,6 +31,7 @@ struct Sizing {
 
 static int run_bench(int argc, char** argv) {
   const unsigned jobs = bench_jobs(argc, argv);
+  const unsigned batch = bench_sweep_batch(argc, argv);
   const std::unique_ptr<ResultStore> store = bench_result_store(argc, argv);
   BenchReport bench("e3_static_sweep", jobs);
   print_banner("E3",
@@ -37,6 +40,9 @@ static int run_bench(int argc, char** argv) {
 
   ExperimentRunner runner(interactive_apps(), len, 42);
   runner.result_store = store.get();
+  runner.jobs = jobs;
+  runner.sweep_batch = batch;
+  bench.set_sweep_batch(batch, runner.batchable());
 
   const std::vector<Sizing> sweep = {
       {256, 8, 128, 8},  {512, 8, 128, 8},   {512, 8, 256, 8},
@@ -44,31 +50,31 @@ static int run_bench(int argc, char** argv) {
       {1536, 12, 512, 8},
   };
 
-  // Point 0 is the shared baseline; point i (>0) the sizing sweep[i-1].
-  SweepExecutor ex(jobs);
-  const std::vector<SchemeSuiteResult> cells =
-      ex.map(1 + sweep.size(), [&](std::size_t i) {
-        if (i == 0) return runner.run_scheme(SchemeKind::BaselineSram);
-        const Sizing& s = sweep[i - 1];
-        // Design hash covers everything the builder bakes in: both SRAM
-        // segment geometries (sram_segment derives the rest from these).
-        const std::uint64_t dh = ContentHasher()
-                                     .mix(std::string("e3-sp-sram"))
-                                     .mix(s.user_kb << 10)
-                                     .mix(std::uint64_t{s.user_assoc})
-                                     .mix(s.kernel_kb << 10)
-                                     .mix(std::uint64_t{s.kernel_assoc})
-                                     .digest();
-        return runner.run_custom(
-            "sp",
-            [&] {
-              StaticPartitionConfig pc;
-              pc.user = sram_segment(s.user_kb << 10, s.user_assoc);
-              pc.kernel = sram_segment(s.kernel_kb << 10, s.kernel_assoc);
-              return std::make_unique<StaticPartitionedL2>(pc);
-            },
-            dh);
-      });
+  // Spec 0 is the shared baseline; spec i (>0) the sizing sweep[i-1].
+  std::vector<DesignSpec> specs;
+  specs.reserve(1 + sweep.size());
+  specs.push_back(scheme_design(SchemeKind::BaselineSram));
+  for (const Sizing& s : sweep) {
+    DesignSpec d;
+    d.name = "sp";
+    d.build = [s] {
+      StaticPartitionConfig pc;
+      pc.user = sram_segment(s.user_kb << 10, s.user_assoc);
+      pc.kernel = sram_segment(s.kernel_kb << 10, s.kernel_assoc);
+      return std::make_unique<StaticPartitionedL2>(pc);
+    };
+    // Design hash covers everything the builder bakes in: both SRAM
+    // segment geometries (sram_segment derives the rest from these).
+    d.design_hash = ContentHasher()
+                        .mix(std::string("e3-sp-sram"))
+                        .mix(s.user_kb << 10)
+                        .mix(std::uint64_t{s.user_assoc})
+                        .mix(s.kernel_kb << 10)
+                        .mix(std::uint64_t{s.kernel_assoc})
+                        .digest();
+    specs.push_back(std::move(d));
+  }
+  const std::vector<SchemeSuiteResult> cells = runner.run_designs(specs);
   bench.set_points(static_cast<std::uint64_t>(cells.size()));
   const SchemeSuiteResult& base = cells[0];
 

@@ -3,10 +3,13 @@
 /// partition: all 3×3 (user, kernel) class pairings, validating the
 /// advisor's (MID, LO) pick as the energy/performance sweet spot.
 ///
-/// Sweep points (the baseline plus the nine pairings) run through a
-/// SweepExecutor: pass `--jobs=N` (or MOBCACHE_JOBS) to spread them over
-/// worker threads. Results are keyed by point index, so the emitted table,
-/// CSV and JSON are byte-identical for every job count.
+/// Sweep points (the baseline plus the nine pairings) run as one
+/// run_designs() grid: pass `--jobs=N` (or MOBCACHE_JOBS) to spread them
+/// over worker threads, and `--batch[=N]` (or MOBCACHE_SWEEP_BATCH) to
+/// drive all pairings from one trace decode per workload
+/// (docs/SWEEP_ENGINE.md). Results are keyed by point index, so the emitted
+/// table, CSV and JSON are byte-identical for every job count and batch
+/// setting.
 ///
 /// Fault supervision (docs/RELIABILITY.md): --keep-going turns a failing
 /// pairing into a manifest entry (the table/CSV/JSON simply omit that row)
@@ -26,6 +29,7 @@ using namespace mobcache;
 
 static int run_bench(int argc, char** argv) {
   const unsigned jobs = bench_jobs(argc, argv);
+  const unsigned batch = bench_sweep_batch(argc, argv);
   const bool keep_going = bench_keep_going(argc, argv);
   const std::vector<std::size_t> fail_points = bench_fail_points(argc, argv);
   const std::unique_ptr<ResultStore> store = bench_result_store(argc, argv);
@@ -40,33 +44,31 @@ static int run_bench(int argc, char** argv) {
       {AppId::Launcher, AppId::Browser, AppId::Email, AppId::Maps}, len, 42);
   runner.result_store = store.get();
   runner.sim_options.point_deadline_ms = bench_point_deadline_ms(argc, argv);
+  runner.jobs = jobs;
+  runner.sweep_batch = batch;
+  bench.set_sweep_batch(batch, runner.batchable());
 
   const RetentionClass classes[] = {RetentionClass::Lo, RetentionClass::Mid,
                                     RetentionClass::Hi};
 
-  // Point 0 is the SRAM baseline; points 1..9 the (user, kernel) pairings
+  // Spec 0 is the SRAM baseline; specs 1..9 the (user, kernel) pairings
   // in row-major class order. Each cell depends only on its index.
   const std::size_t n_points = 1 + 3 * 3;
-  SweepExecutor ex(jobs);
-  auto point_fn = [&](std::size_t i) {
-    chaos_maybe_fail(fail_points, i);
-    if (i == 0) return runner.run_scheme(SchemeKind::BaselineSram);
+  std::vector<DesignSpec> specs;
+  specs.reserve(n_points);
+  specs.push_back(scheme_design(SchemeKind::BaselineSram));
+  for (std::size_t i = 1; i < n_points; ++i) {
     SchemeParams p;
     p.mrstt_user = classes[(i - 1) / 3];
     p.mrstt_kernel = classes[(i - 1) % 3];
-    return runner.run_scheme(SchemeKind::StaticPartMrstt, p);
-  };
-  std::vector<PointOutcome<SchemeSuiteResult>> cells;
-  if (keep_going) {
-    cells = ex.map_outcomes(n_points, point_fn);
-  } else {
-    // Fail-fast (the default): any failure propagates to guarded_main, so
-    // every outcome below holds a value.
-    std::vector<SchemeSuiteResult> values = ex.map(n_points, point_fn);
-    cells.resize(n_points);
-    for (std::size_t i = 0; i < n_points; ++i)
-      cells[i].value = std::move(values[i]);
+    specs.push_back(scheme_design(SchemeKind::StaticPartMrstt, p));
   }
+  // Fail-fast (the default, keep_going == false): any failure propagates to
+  // guarded_main, so every outcome below holds a value.
+  std::vector<PointOutcome<SchemeSuiteResult>> cells =
+      runner.run_designs_outcomes(specs, keep_going, [&](std::size_t i) {
+        chaos_maybe_fail(fail_points, i);
+      });
   bench.set_points(static_cast<std::uint64_t>(n_points));
 
   auto pair_label = [&](std::size_t i) -> std::string {

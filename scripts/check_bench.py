@@ -101,6 +101,17 @@ def validate(path, allow_failures=0):
         if not isinstance(value, int) or value < 0:
             fail(f"{path}: sweep.{counter} must be a non-negative integer "
                  f"(got {value!r})")
+    batch_size = sweep.get("batch_size")
+    if not isinstance(batch_size, int) or batch_size < 1:
+        fail(f"{path}: sweep.batch_size must be a positive integer "
+             f"(got {batch_size!r}) — benches must record the resolved "
+             f"lane cap (docs/SWEEP_ENGINE.md)")
+    batched = sweep.get("batched")
+    if not isinstance(batched, bool):
+        fail(f"{path}: sweep.batched must be a boolean (got {batched!r})")
+    if batched and batch_size < 2:
+        fail(f"{path}: sweep.batched is true but sweep.batch_size is "
+             f"{batch_size} — a batched run needs at least 2 lanes")
     failures = doc["failures"]
     if not isinstance(failures, list):
         fail(f"{path}: 'failures' must be an array")
@@ -140,6 +151,9 @@ def validate(path, allow_failures=0):
         if not isinstance(value, (int, float)) or not math.isfinite(value):
             fail(f"{path}: results.{key} is not a finite number "
                  f"(got {value!r})")
+        if key.startswith("timing/sweep/") and value <= 0:
+            fail(f"{path}: results.{key} must be positive (got {value!r}) "
+                 f"— a zero throughput/speedup means the sweep timer broke")
     note = (f" ({sweep['failed']} failed, {sweep['quarantined']} "
             f"quarantined)" if sweep["failed"] else "")
     print(f"check_bench: OK: {path} ({doc['bench']}, jobs={doc['jobs']}, "
@@ -166,6 +180,16 @@ def compare(serial_path, parallel_path, min_speedup, rel_tol):
     for key in sorted(keys):
         a = serial["results"].get(key)
         b = parallel["results"].get(key)
+        if key not in serial["results"] or key not in parallel["results"]:
+            # Distinguish a missing key from a differing value: a one-sided
+            # key means the two runs executed different sweep definitions
+            # (or binaries), not that determinism broke.
+            missing_from, present_in = (
+                (serial_path, parallel_path) if key not in serial["results"]
+                else (parallel_path, serial_path))
+            fail(f"{serial['bench']}: results.{key} is missing from "
+                 f"{missing_from} but present in {present_in} — the two "
+                 f"reports do not describe the same sweep")
         if a == b:
             continue
         if rel_tol is not None and key.startswith("timing/"):

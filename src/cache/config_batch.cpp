@@ -1,0 +1,96 @@
+#include "cache/config_batch.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mobcache {
+
+namespace {
+
+/// Line addresses are kLineSize-aligned, so an all-ones word can never be a
+/// real tag — same trick as the kNoTag sentinel in SetAssocCache.
+constexpr Addr kEmptyTag = ~Addr{0};
+
+}  // namespace
+
+ShadowConfigBatch::ShadowConfigBatch(std::vector<ShadowGeometry> geometries,
+                                     std::uint32_t sample_shift)
+    : geoms_(std::move(geometries)), sample_shift_(sample_shift) {
+  meta_.reserve(geoms_.size());
+  std::size_t tag_total = 0;
+  std::size_t depth_total = 0;
+  for (const ShadowGeometry& g : geoms_) {
+    if (g.num_sets == 0 || g.assoc == 0) {
+      throw std::invalid_argument(
+          "ShadowConfigBatch: geometry needs num_sets > 0 and assoc > 0");
+    }
+    LaneMeta m;
+    m.sampled_sets = std::max(1u, g.num_sets >> sample_shift_);
+    m.assoc = g.assoc;
+    m.tag_base = tag_total;
+    m.depth_base = depth_total;
+    meta_.push_back(m);
+    tag_total += static_cast<std::size_t>(m.sampled_sets) * m.assoc;
+    depth_total += m.assoc;
+  }
+  tags_.assign(tag_total, kEmptyTag);
+  hits_at_depth_.assign(depth_total, 0);
+  accesses_.assign(geoms_.size(), 0);
+}
+
+void ShadowConfigBatch::observe(Addr line) {
+  const Addr l = line_addr(line);
+  const Addr block = l / kLineSize;
+  for (std::size_t g = 0; g < geoms_.size(); ++g) {
+    const std::uint32_t set =
+        static_cast<std::uint32_t>(block % geoms_[g].num_sets);
+    if ((set & ((1u << sample_shift_) - 1u)) != 0) continue;
+    const LaneMeta& m = meta_[g];
+    ++accesses_[g];
+    Addr* row = tags_.data() + m.tag_base +
+                static_cast<std::size_t>((set >> sample_shift_) %
+                                         m.sampled_sets) *
+                    m.assoc;
+    // MRU-first stack update in place: find the hit depth (or the end of the
+    // row), shift everything above it down one slot, insert at MRU.
+    std::uint32_t depth = m.assoc - 1;  // miss: the LRU entry falls off
+    for (std::uint32_t d = 0; d < m.assoc; ++d) {
+      if (row[d] == l) {
+        ++hits_at_depth_[m.depth_base + d];
+        depth = d;
+        break;
+      }
+    }
+    for (std::uint32_t d = depth; d > 0; --d) row[d] = row[d - 1];
+    row[0] = l;
+  }
+}
+
+std::uint64_t ShadowConfigBatch::observed_accesses(std::size_t g) const {
+  return accesses_[g] * (1ull << sample_shift_);
+}
+
+std::uint64_t ShadowConfigBatch::hits_with_ways(std::size_t g,
+                                                std::uint32_t ways) const {
+  const LaneMeta& m = meta_[g];
+  const std::uint32_t limit = std::min(ways, m.assoc);
+  std::uint64_t hits = 0;
+  for (std::uint32_t d = 0; d < limit; ++d) {
+    hits += hits_at_depth_[m.depth_base + d];
+  }
+  return hits * (1ull << sample_shift_);
+}
+
+double ShadowConfigBatch::estimated_miss_rate(std::size_t g) const {
+  return estimated_miss_rate(g, meta_[g].assoc);
+}
+
+double ShadowConfigBatch::estimated_miss_rate(std::size_t g,
+                                              std::uint32_t ways) const {
+  if (accesses_[g] == 0) return 0.0;
+  const double hits = static_cast<double>(hits_with_ways(g, ways));
+  const double acc = static_cast<double>(observed_accesses(g));
+  return 1.0 - hits / acc;
+}
+
+}  // namespace mobcache

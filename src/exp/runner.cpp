@@ -1,12 +1,15 @@
 #include "exp/runner.hpp"
 
 #include <cmath>
+#include <mutex>
+#include <utility>
 
 #include "common/error.hpp"
 #include "common/stats.hpp"
 #include "energy/technology.hpp"
 #include "exp/parallel.hpp"
 #include "exp/result_store.hpp"
+#include "sim/batch.hpp"
 
 namespace mobcache {
 
@@ -111,6 +114,15 @@ std::vector<std::uint64_t> ExperimentRunner::cell_keys(
   return keys;
 }
 
+DesignSpec scheme_design(SchemeKind kind, const SchemeParams& params) {
+  DesignSpec d;
+  d.name = scheme_name(kind);
+  d.build = [kind, params] { return build_scheme(kind, params); };
+  d.design_hash = scheme_design_hash(kind, params);
+  d.kind = kind;
+  return d;
+}
+
 SchemeSuiteResult ExperimentRunner::run_scheme(SchemeKind kind,
                                                const SchemeParams& params) const {
   SchemeSuiteResult r =
@@ -124,10 +136,17 @@ SchemeSuiteResult ExperimentRunner::run_custom(
     const std::string& name,
     const std::function<std::unique_ptr<L2Interface>()>& builder,
     std::optional<std::uint64_t> design_hash) const {
+  return run_custom_impl(name, builder, design_hash, jobs);
+}
+
+SchemeSuiteResult ExperimentRunner::run_custom_impl(
+    const std::string& name,
+    const std::function<std::unique_ptr<L2Interface>()>& builder,
+    std::optional<std::uint64_t> design_hash, unsigned exec_jobs) const {
   SchemeSuiteResult out;
   out.name = name;
 
-  SweepExecutor ex(jobs);
+  SweepExecutor ex(exec_jobs);
   if (design_hash && memoizable()) {
     std::vector<SimResult> results = memoized_map(
         ex, result_store, cell_keys(*design_hash), [&](std::size_t i) {
@@ -169,8 +188,211 @@ SchemeSuiteResult ExperimentRunner::run_custom(
   return out;
 }
 
+bool ExperimentRunner::batchable() const {
+  return sweep_batch >= 2 && !collect_telemetry && batch_eligible(sim_options);
+}
+
+std::vector<SchemeSuiteResult> ExperimentRunner::run_designs(
+    const std::vector<DesignSpec>& specs) const {
+  std::vector<PointOutcome<SchemeSuiteResult>> outcomes =
+      run_designs_outcomes(specs, /*keep_going=*/false);
+  std::vector<SchemeSuiteResult> out;
+  out.reserve(outcomes.size());
+  for (PointOutcome<SchemeSuiteResult>& o : outcomes)
+    out.push_back(std::move(*o.value));
+  return out;
+}
+
+std::vector<PointOutcome<SchemeSuiteResult>>
+ExperimentRunner::run_designs_outcomes(
+    const std::vector<DesignSpec>& specs, bool keep_going,
+    const std::function<void(std::size_t)>& point_hook) const {
+  const std::size_t n = specs.size();
+  if (batchable()) return run_designs_batched(specs, keep_going, point_hook);
+
+  // Per-point fallback: specs across `jobs` workers, each spec a serial
+  // suite evaluation — exactly the outer-executor / inner-serial structure
+  // the sweep benches ran before batching existed, so results AND
+  // result-store traffic are unchanged.
+  SweepExecutor ex(jobs);
+  auto point = [&](std::size_t s) {
+    if (point_hook) point_hook(s);
+    SchemeSuiteResult r = run_custom_impl(specs[s].name, specs[s].build,
+                                          specs[s].design_hash,
+                                          /*exec_jobs=*/1);
+    if (specs[s].kind) r.kind = *specs[s].kind;
+    return r;
+  };
+  if (keep_going) return ex.map_outcomes(n, point);
+  std::vector<SchemeSuiteResult> values = ex.map(n, point);
+  std::vector<PointOutcome<SchemeSuiteResult>> out(n);
+  for (std::size_t s = 0; s < n; ++s) out[s].value = std::move(values[s]);
+  return out;
+}
+
+std::vector<PointOutcome<SchemeSuiteResult>>
+ExperimentRunner::run_designs_batched(
+    const std::vector<DesignSpec>& specs, bool keep_going,
+    const std::function<void(std::size_t)>& point_hook) const {
+  const std::size_t n = specs.size();
+  const std::size_t w_count = traces_.size();
+  std::vector<PointOutcome<SchemeSuiteResult>> out(n);
+
+  // Point hooks (chaos injection) run up front in ascending spec order:
+  // fail-fast therefore throws the lowest-indexed hook failure
+  // deterministically, matching the serial per-point sweep.
+  std::vector<char> live(n, 1);
+  if (point_hook) {
+    for (std::size_t s = 0; s < n; ++s) {
+      try {
+        point_hook(s);
+      } catch (...) {
+        if (!keep_going) throw;
+        out[s].failure = point_failure_from(s, std::current_exception());
+        live[s] = 0;
+      }
+    }
+  }
+
+  // Warm cells come straight from the store under the *same* content keys
+  // the per-point path uses — a store written per-point resumes batched and
+  // vice versa. Keep-going deliberately does not consult poison records
+  // here: the per-point grid path (fail-fast memoized_map inside each
+  // point) never does either, and equivalence wins over quarantine reuse.
+  const bool memo = memoizable();
+  std::vector<std::vector<std::uint64_t>> keys(n);
+  std::vector<std::optional<SimResult>> cells(n * w_count);
+  std::vector<std::vector<std::size_t>> unit_missing(w_count);
+  for (std::size_t s = 0; s < n; ++s) {
+    if (!live[s]) continue;
+    const bool spec_memo = memo && specs[s].design_hash.has_value();
+    if (spec_memo) keys[s] = cell_keys(*specs[s].design_hash);
+    for (std::size_t w = 0; w < w_count; ++w) {
+      if (spec_memo) {
+        if (auto hit = result_store->lookup(keys[s][w])) {
+          cells[s * w_count + w] = std::move(*hit);
+          continue;
+        }
+      }
+      unit_missing[w].push_back(s);
+    }
+  }
+
+  // A spec's failure is attributed to its lowest failing workload — the
+  // per-point path's serial inner sweep surfaces exactly that one. Units
+  // run concurrently, so the (workload, error) pair is kept under a lock.
+  std::mutex mu;
+  std::vector<std::optional<std::pair<std::size_t, std::exception_ptr>>>
+      spec_fail(n);
+  auto note_failure = [&](std::size_t s, std::size_t w,
+                          const std::exception_ptr& e) {
+    std::lock_guard<std::mutex> lock(mu);
+    auto& f = spec_fail[s];
+    if (!f || w < f->first) f = std::make_pair(w, e);
+  };
+
+  // One unit per workload: decode/L1-simulate the trace once, then replay
+  // its demand stream into the missing specs in chunks of <= sweep_batch
+  // lanes. Units shard across the executor; lanes within a unit are serial.
+  const std::size_t lane_cap = sweep_batch;
+  SweepExecutor ex(jobs);
+  ex.for_each(w_count, [&](std::size_t w) {
+    const std::vector<std::size_t>& todo = unit_missing[w];
+    if (todo.empty()) return;
+    try {
+      const DemandStream stream =
+          build_demand_stream(*traces_[w], sim_options);
+      std::size_t pos = 0;
+      while (pos < todo.size()) {
+        const std::size_t chunk_end =
+            std::min(todo.size(), pos + lane_cap);
+        std::vector<std::unique_ptr<L2Interface>> designs;
+        std::vector<L2Interface*> lanes;
+        std::vector<std::size_t> lane_spec;
+        designs.reserve(chunk_end - pos);
+        std::optional<std::pair<std::size_t, std::exception_ptr>> chunk_err;
+        auto chunk_failed = [&](std::size_t s, const std::exception_ptr& e) {
+          note_failure(s, w, e);
+          if (!chunk_err || s < chunk_err->first)
+            chunk_err = std::make_pair(s, e);
+        };
+        for (std::size_t j = pos; j < chunk_end; ++j) {
+          const std::size_t s = todo[j];
+          try {
+            designs.push_back(specs[s].build());
+            lanes.push_back(designs.back().get());
+            lane_spec.push_back(s);
+          } catch (...) {
+            chunk_failed(s, std::current_exception());
+          }
+        }
+        std::vector<BatchLaneOutcome> lane_out =
+            simulate_batch_lanes(stream, lanes, sim_options);
+        for (std::size_t l = 0; l < lane_out.size(); ++l) {
+          const std::size_t s = lane_spec[l];
+          if (lane_out[l].ok()) {
+            try {
+              SimResult r = std::move(*lane_out[l].result);
+              validate_sim_result_finite(r);
+              if (memo && !keys[s].empty()) result_store->store(keys[s][w], r);
+              cells[s * w_count + w] = std::move(r);
+              continue;
+            } catch (...) {
+              lane_out[l].error = std::current_exception();
+            }
+          }
+          chunk_failed(s, lane_out[l].error);
+        }
+        // Fail-fast aborts after the chunk's completed lanes have been
+        // persisted: a killed sweep still resumes from every finished cell.
+        if (!keep_going && chunk_err)
+          std::rethrow_exception(chunk_err->second);
+        pos = chunk_end;
+      }
+    } catch (...) {
+      const std::exception_ptr e = std::current_exception();
+      if (!keep_going || is_cancellation(e)) throw;
+      // Unit-level failure (stream build, batch-wide error): every spec of
+      // this unit that has no cell yet fails at this workload.
+      for (std::size_t s : todo) {
+        if (!cells[s * w_count + w]) note_failure(s, w, e);
+      }
+    }
+  });
+
+  for (std::size_t s = 0; s < n; ++s) {
+    if (!live[s]) continue;
+    if (spec_fail[s]) {
+      if (!keep_going) std::rethrow_exception(spec_fail[s]->second);
+      out[s].failure = point_failure_from(s, spec_fail[s]->second);
+      continue;
+    }
+    SchemeSuiteResult r;
+    r.name = specs[s].name;
+    if (specs[s].kind) r.kind = *specs[s].kind;
+    r.per_workload.reserve(w_count);
+    double miss_sum = 0.0;
+    for (std::size_t w = 0; w < w_count; ++w) {
+      SimResult& res = *cells[s * w_count + w];
+      miss_sum += res.l2_miss_rate();
+      r.per_workload.push_back(std::move(res));
+    }
+    if (w_count > 0)
+      r.avg_miss_rate = miss_sum / static_cast<double>(w_count);
+    out[s].value = std::move(r);
+  }
+  return out;
+}
+
 std::vector<SchemeSuiteResult> ExperimentRunner::run_schemes(
     const std::vector<SchemeKind>& kinds, const SchemeParams& params) const {
+  if (batchable()) {
+    std::vector<DesignSpec> specs;
+    specs.reserve(kinds.size());
+    for (SchemeKind kind : kinds) specs.push_back(scheme_design(kind, params));
+    return run_designs(specs);
+  }
+
   const std::size_t w_count = traces_.size();
 
   // One flat (scheme × workload) sweep: cell c = (kinds[c / W], c % W).

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "core/scheme.hpp"
+#include "exp/parallel.hpp"
 #include "obs/telemetry.hpp"
 #include "sim/simulator.hpp"
 #include "workload/suite.hpp"
@@ -31,6 +32,24 @@
 namespace mobcache {
 
 class ResultStore;
+
+/// One point of a multi-design sweep grid (ExperimentRunner::run_designs): a
+/// named L2 factory plus its memoization identity. The factory is invoked
+/// once per workload, possibly from worker threads — building fresh objects
+/// from captured read-only state is the contract (same as run_custom's
+/// builder). `design_hash` opts the point into result-store memoization;
+/// `kind` is carried onto SchemeSuiteResult::kind when set.
+struct DesignSpec {
+  std::string name;
+  std::function<std::unique_ptr<L2Interface>()> build;
+  std::optional<std::uint64_t> design_hash;
+  std::optional<SchemeKind> kind;
+};
+
+/// The DesignSpec equivalent of run_scheme(kind, params): same name, same
+/// builder, same content hash — a grid built from these memoizes into the
+/// same result-store records as per-point run_scheme calls.
+DesignSpec scheme_design(SchemeKind kind, const SchemeParams& params = {});
 
 /// Throws NumericError (naming the scheme and workload) when any
 /// energy/timing lane of `r` is NaN or infinite. The runner calls this on
@@ -92,10 +111,42 @@ class ExperimentRunner {
       std::optional<std::uint64_t> design_hash = std::nullopt) const;
 
   /// Runs several schemes as one flat (scheme × workload) sweep — the
-  /// maximum-parallelism path. No normalization is applied.
+  /// maximum-parallelism path. No normalization is applied. When the runner
+  /// is batchable() this delegates to run_designs(), which drives up to
+  /// `sweep_batch` schemes per trace decode; results are byte-identical
+  /// either way.
   std::vector<SchemeSuiteResult> run_schemes(
       const std::vector<SchemeKind>& kinds,
       const SchemeParams& params = {}) const;
+
+  /// Runs a sweep grid of designs (one suite evaluation per spec), in spec
+  /// order. With `sweep_batch` >= 2 and a batch-eligible configuration the
+  /// grid executes on the single-pass engine (sim/batch.hpp): one demand
+  /// stream per workload drives up to `sweep_batch` design lanes at once.
+  /// Otherwise each spec runs exactly like
+  /// `run_custom(spec.name, spec.build, spec.design_hash)` on a serial inner
+  /// executor, with the specs sharded across `jobs` workers — the structure
+  /// every sweep bench used before batching existed. Both paths produce
+  /// byte-identical SchemeSuiteResults and result-store artifacts
+  /// (docs/SWEEP_ENGINE.md). Fail-fast: the first failing point aborts the
+  /// sweep.
+  std::vector<SchemeSuiteResult> run_designs(
+      const std::vector<DesignSpec>& specs) const;
+
+  /// Keep-going flavour of run_designs(): a failing spec becomes a
+  /// PointFailure in its outcome slot (index = spec index) instead of
+  /// aborting; cancellation still propagates. `point_hook`, when set, runs
+  /// at the start of every spec's work (chaos injection seam — a throwing
+  /// hook fails that spec). With keep_going == false this *is*
+  /// run_designs(), returned in outcome form.
+  std::vector<PointOutcome<SchemeSuiteResult>> run_designs_outcomes(
+      const std::vector<DesignSpec>& specs, bool keep_going,
+      const std::function<void(std::size_t)>& point_hook = {}) const;
+
+  /// True when run_designs()/run_schemes() will take the batched single-pass
+  /// path: `sweep_batch` >= 2, no telemetry collection, and a
+  /// batch-eligible SimOptions (batch_eligible() in sim/batch.hpp).
+  bool batchable() const;
 
   /// Runs all headline schemes and normalizes against the first (baseline).
   std::vector<SchemeSuiteResult> run_headline(
@@ -141,8 +192,23 @@ class ExperimentRunner {
   /// replay their side channels.
   ResultStore* result_store = nullptr;
 
+  /// Design lanes driven per demand-stream replay in run_designs()/
+  /// run_schemes(). 0/1 = per-point (the default — every spec simulates its
+  /// own L1 pass), N >= 2 = decode each trace once and replay it into up to
+  /// N design lanes. Benches wire this to --batch / MOBCACHE_SWEEP_BATCH
+  /// (bench_sweep_batch). Results are byte-identical for every value; only
+  /// wall-clock changes.
+  unsigned sweep_batch = 1;
+
  private:
   bool memoizable() const;
+  SchemeSuiteResult run_custom_impl(
+      const std::string& name,
+      const std::function<std::unique_ptr<L2Interface>()>& builder,
+      std::optional<std::uint64_t> design_hash, unsigned exec_jobs) const;
+  std::vector<PointOutcome<SchemeSuiteResult>> run_designs_batched(
+      const std::vector<DesignSpec>& specs, bool keep_going,
+      const std::function<void(std::size_t)>& point_hook) const;
   /// Per-cell content keys for a (design × workload) grid slice.
   std::vector<std::uint64_t> cell_keys(std::uint64_t design_hash) const;
 
