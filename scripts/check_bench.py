@@ -29,6 +29,12 @@ halves:
   identical A B             byte-for-byte file comparison — for the
                             deterministic result artifacts (CSV / result
                             JSON) emitted by a --jobs=1 vs --jobs=N run.
+  rss-gate SMALL LARGE      the constant-memory gate for streaming sweeps
+                            (docs/SWEEP_ENGINE.md): LARGE ran many times the
+                            sessions of SMALL, yet its peak_rss_bytes must
+                            stay within --max-ratio (default 2.0) of SMALL's.
+                            A ratio tracking the session count means a
+                            session was materialized somewhere.
   store-gate WARM           the warm-run report of a resumable sweep
                             (docs/RESULT_STORE.md): asserts the result
                             store served >= --min-hit-rate (default 0.9)
@@ -45,8 +51,8 @@ import math
 import sys
 
 REQUIRED_FIELDS = ("bench", "schema_version", "jobs", "points", "wall_ms",
-                   "points_per_sec", "result_store", "sweep", "failures",
-                   "results")
+                   "points_per_sec", "peak_rss_bytes", "result_store",
+                   "sweep", "failures", "results")
 
 STORE_COUNTERS = ("hits", "misses", "stores", "corrupt_skipped", "loaded",
                   "poisoned_loaded", "poison_hits", "poison_stores")
@@ -85,6 +91,11 @@ def validate(path, allow_failures=0):
              f"(got {doc['points']!r}) — a zero-point sweep ran nothing")
     if not isinstance(doc["wall_ms"], (int, float)) or doc["wall_ms"] <= 0:
         fail(f"{path}: wall_ms must be positive (got {doc['wall_ms']!r})")
+    rss = doc["peak_rss_bytes"]
+    if not isinstance(rss, int) or rss <= 0:
+        fail(f"{path}: peak_rss_bytes must be a positive integer "
+             f"(got {rss!r}) — getrusage max_rss is never zero on a live "
+             f"process")
     store = doc["result_store"]
     if not isinstance(store, dict):
         fail(f"{path}: 'result_store' must be an object")
@@ -228,6 +239,27 @@ def identical(path_a, path_b):
     print(f"check_bench: OK: {path_a} == {path_b} ({len(a)} bytes)")
 
 
+def rss_gate(small_path, large_path, max_ratio):
+    small = load_report(small_path)
+    large = load_report(large_path)
+    if small["bench"] != large["bench"]:
+        fail(f"bench mismatch: {small['bench']} vs {large['bench']}")
+    if large["points"] <= small["points"]:
+        fail(f"{large_path}: expected more points than {small_path} "
+             f"({large['points']} vs {small['points']}) — the rss-gate "
+             f"needs a small run and a large run")
+    ratio = large["peak_rss_bytes"] / small["peak_rss_bytes"]
+    scale = large["points"] / small["points"]
+    if ratio > max_ratio:
+        fail(f"{large['bench']}: peak RSS grew {ratio:.2f}x while points "
+             f"grew {scale:.1f}x (limit {max_ratio:.2f}x) — streaming "
+             f"memory is no longer constant in the session count")
+    print(f"check_bench: OK: {large['bench']} peak RSS {ratio:.2f}x across "
+          f"a {scale:.1f}x session scale-up "
+          f"({small['peak_rss_bytes']} -> {large['peak_rss_bytes']} bytes, "
+          f"limit {max_ratio:.2f}x)")
+
+
 def store_gate(path, min_hit_rate):
     doc = load_report(path)
     store = doc["result_store"]
@@ -274,6 +306,12 @@ def main():
     p_identical.add_argument("a")
     p_identical.add_argument("b")
 
+    p_rss = sub.add_parser("rss-gate",
+                           help="constant-memory gate across session counts")
+    p_rss.add_argument("small")
+    p_rss.add_argument("large")
+    p_rss.add_argument("--max-ratio", type=float, default=2.0)
+
     p_store = sub.add_parser("store-gate",
                              help="warm-run result-store hit-rate gate")
     p_store.add_argument("warm")
@@ -287,6 +325,8 @@ def main():
         compare(args.serial, args.parallel, args.min_speedup, args.rel_tol)
     elif args.command == "identical":
         identical(args.a, args.b)
+    elif args.command == "rss-gate":
+        rss_gate(args.small, args.large, args.max_ratio)
     else:
         store_gate(args.warm, args.min_hit_rate)
 

@@ -88,6 +88,113 @@ double Log2Histogram::fraction_below(std::uint64_t threshold) const {
   return count / static_cast<double>(total_);
 }
 
+long QuantileSketch::index_of(double v) {
+  int exp = 0;
+  const double mant = std::frexp(v, &exp);  // mant in [0.5, 1)
+  long sub = static_cast<long>((mant - 0.5) * (2 * kSubBuckets));
+  if (sub >= kSubBuckets) sub = kSubBuckets - 1;  // mant rounding guard
+  return static_cast<long>(exp) * kSubBuckets + sub;
+}
+
+double QuantileSketch::lower_bound_of(long index) {
+  // Floor division so negative exponents (values < 0.5) map correctly.
+  long exp = index / kSubBuckets;
+  long sub = index % kSubBuckets;
+  if (sub < 0) {
+    sub += kSubBuckets;
+    --exp;
+  }
+  return std::ldexp(0.5 + static_cast<double>(sub) * 0.5 / kSubBuckets,
+                    static_cast<int>(exp));
+}
+
+double QuantileSketch::width_of(long index) {
+  long exp = index / kSubBuckets;
+  if (index % kSubBuckets < 0) --exp;
+  return std::ldexp(0.5 / kSubBuckets, static_cast<int>(exp));
+}
+
+void QuantileSketch::ensure_range(long lo, long hi) {
+  // Grow buckets_ to cover global indices [lo, hi] inclusive.
+  if (buckets_.empty()) {
+    base_index_ = lo;
+    buckets_.assign(static_cast<std::size_t>(hi - lo + 1), 0);
+    return;
+  }
+  if (lo < base_index_) {
+    const std::size_t grow = static_cast<std::size_t>(base_index_ - lo);
+    buckets_.insert(buckets_.begin(), grow, 0);
+    base_index_ = lo;
+  }
+  const long top = base_index_ + static_cast<long>(buckets_.size()) - 1;
+  if (hi > top) {
+    buckets_.resize(buckets_.size() + static_cast<std::size_t>(hi - top), 0);
+  }
+}
+
+void QuantileSketch::add(double v) {
+  const bool positive = v > 0.0;  // false for NaN too
+  const double clamped = positive ? v : 0.0;
+  if (count_ == 0) {
+    min_ = max_ = clamped;
+  } else {
+    min_ = std::min(min_, clamped);
+    max_ = std::max(max_, clamped);
+  }
+  ++count_;
+  if (!positive) {
+    ++zero_count_;
+    return;
+  }
+  const long idx = index_of(v);
+  ensure_range(idx, idx);
+  ++buckets_[static_cast<std::size_t>(idx - base_index_)];
+}
+
+void QuantileSketch::merge(const QuantileSketch& o) {
+  if (o.count_ == 0) return;
+  if (count_ == 0) {
+    *this = o;
+    return;
+  }
+  min_ = std::min(min_, o.min_);
+  max_ = std::max(max_, o.max_);
+  count_ += o.count_;
+  zero_count_ += o.zero_count_;
+  if (!o.buckets_.empty()) {
+    const long lo = o.base_index_;
+    const long hi = o.base_index_ + static_cast<long>(o.buckets_.size()) - 1;
+    ensure_range(lo, hi);
+    for (std::size_t b = 0; b < o.buckets_.size(); ++b) {
+      buckets_[static_cast<std::size_t>(lo - base_index_) + b] +=
+          o.buckets_[b];
+    }
+  }
+}
+
+double QuantileSketch::min() const { return count_ ? min_ : 0.0; }
+double QuantileSketch::max() const { return count_ ? max_ : 0.0; }
+
+double QuantileSketch::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count_ - 1);
+  double cum = static_cast<double>(zero_count_);
+  if (target < cum) return std::clamp(0.0, min_, max_);
+  for (std::size_t b = 0; b < buckets_.size(); ++b) {
+    const double c = static_cast<double>(buckets_[b]);
+    if (c == 0.0) continue;
+    if (target < cum + c) {
+      const long idx = base_index_ + static_cast<long>(b);
+      const double frac = (target - cum + 0.5) / c;
+      const double v = lower_bound_of(idx) + width_of(idx) * frac;
+      return std::clamp(v, min_, max_);
+    }
+    cum += c;
+  }
+  return max_;
+}
+
 std::vector<CdfPoint> build_cdf(std::vector<double> samples,
                                 std::size_t max_points) {
   std::vector<CdfPoint> out;

@@ -62,6 +62,51 @@ class Log2Histogram {
   std::uint64_t total_ = 0;
 };
 
+/// Deterministic, mergeable quantile sketch for non-negative doubles
+/// (HdrHistogram-style): each power-of-two octave is split into
+/// 2^kSubBucketBits linear sub-buckets, bounding relative quantile error to
+/// ~1/2^kSubBucketBits while the footprint stays a few KB for any
+/// realistically clustered metric. All state is integer counts plus exact
+/// min/max, so merge() is associative, commutative, and independent of how
+/// samples were sharded — the property the fleet accumulator's
+/// "identical results for every --jobs value" contract rests on
+/// (tests/test_stats.cpp pins it).
+class QuantileSketch {
+ public:
+  /// Adds one sample. Values <= 0 (and NaN) land in a dedicated zero
+  /// bucket; the sketch is meant for magnitudes (energy, CPI, latency).
+  void add(double v);
+
+  /// Adds another sketch's counts into this one, exactly.
+  void merge(const QuantileSketch& o);
+
+  std::uint64_t count() const { return count_; }
+  double min() const;
+  double max() const;
+
+  /// Quantile q in [0,1] with midpoint interpolation inside the straddling
+  /// sub-bucket, clamped to the exact [min, max]. Deterministic pure
+  /// function of the merged counts; 0 when empty.
+  double quantile(double q) const;
+
+ private:
+  /// Sub-bucket resolution per octave: 128 buckets → ≤0.8% relative error.
+  static constexpr int kSubBucketBits = 7;
+  static constexpr int kSubBuckets = 1 << kSubBucketBits;
+
+  static long index_of(double v);
+  static double lower_bound_of(long index);
+  static double width_of(long index);
+  void ensure_range(long lo, long hi);
+
+  std::uint64_t zero_count_ = 0;
+  std::uint64_t count_ = 0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  long base_index_ = 0;                  ///< global index of buckets_[0]
+  std::vector<std::uint64_t> buckets_;   ///< contiguous, grown on demand
+};
+
 /// Builds an empirical CDF from raw samples; used by the lifetime study (E5).
 struct CdfPoint {
   double value;

@@ -1,5 +1,7 @@
 #include "exp/bench_harness.hpp"
 
+#include <sys/resource.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -147,6 +149,16 @@ int guarded_main(const char* tool, bool install_signals, int argc, char** argv,
   }
 }
 
+std::uint64_t peak_rss_bytes() {
+  struct rusage ru {};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::uint64_t>(ru.ru_maxrss);  // bytes on Darwin
+#else
+  return static_cast<std::uint64_t>(ru.ru_maxrss) * 1024;  // KiB on Linux
+#endif
+}
+
 bool write_json_results(const JsonWriter& w, const std::string& filename) {
   const std::string path = results_path(filename);
   std::error_code ec;
@@ -165,6 +177,10 @@ BenchReport::BenchReport(std::string name, unsigned jobs)
 
 void BenchReport::add_result(const std::string& key, double value) {
   results_.emplace_back(key, value);
+}
+
+void BenchReport::add_run_fact(const std::string& key, double value) {
+  run_facts_.emplace_back(key, value);
 }
 
 void BenchReport::add_point_failure(const PointFailure& f, std::string point) {
@@ -192,6 +208,8 @@ bool BenchReport::write() {
   w.key("wall_ms").value(ms);
   w.key("points_per_sec")
       .value(ms > 0.0 ? static_cast<double>(points_) * 1e3 / ms : 0.0);
+  w.key("peak_rss_bytes").value(peak_rss_bytes());
+  for (const auto& [key, value] : run_facts_) w.key(key).value(value);
   w.key("result_store");
   w.begin_object();
   w.key("hits").value(store_stats_.hits);

@@ -73,6 +73,12 @@ int guarded_main(const char* tool, bool install_signals, int argc, char** argv,
 /// (results_path(filename)); returns success.
 bool write_json_results(const JsonWriter& w, const std::string& filename);
 
+/// Peak resident set size of this process so far, in bytes (getrusage
+/// max_rss). Every BENCH_*.json records it — the E22 fleet gate compares it
+/// across session counts to prove the streaming pipeline's memory ceiling is
+/// independent of fleet size (docs/SWEEP_ENGINE.md).
+std::uint64_t peak_rss_bytes();
+
 /// Wall-clock + headline-metric record for one bench run, written as
 /// results_path("BENCH_<name>.json").
 ///
@@ -91,6 +97,12 @@ class BenchReport {
 
   /// Adds one deterministic headline metric to the "results" section.
   void add_result(const std::string& key, double value);
+
+  /// Adds one top-level *run fact* — a number that, like wall_ms, describes
+  /// this run rather than the sweep definition (e.g. E22's sessions_per_s).
+  /// Run facts live outside "results" so check_bench.py's determinism
+  /// compare never sees them.
+  void add_run_fact(const std::string& key, double value);
 
   /// Result-store counters for this run, written as the top-level
   /// "result_store" object (hits/misses/stores/corrupt_skipped/loaded and
@@ -138,6 +150,7 @@ class BenchReport {
   bool sweep_batched_ = false;
   std::uint64_t points_ = 0;
   std::vector<std::pair<std::string, double>> results_;
+  std::vector<std::pair<std::string, double>> run_facts_;
   std::vector<ManifestEntry> failures_;
   ResultStoreStats store_stats_;
   std::chrono::steady_clock::time_point start_;

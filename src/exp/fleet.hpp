@@ -1,0 +1,101 @@
+#pragma once
+/// \file fleet.hpp
+/// E22 population sweep: stream sampled user sessions through an L2 design
+/// and fold per-session metrics into mergeable accumulators, so fleet-level
+/// p50/p95/p99 energy and CPI come out of one pass with O(shards) memory.
+///
+/// Determinism contract (what makes the BENCH "results" section identical
+/// for every --jobs value):
+///   * session i's configuration comes from
+///     sample_session(mix, sweep_point_seed(seed, i)) — a pure function of
+///     (mix, seed, i);
+///   * sessions are carved into a FIXED shard count that depends only on
+///     the session count, never on the worker count: shard s owns the
+///     contiguous range [s·n/shards, (s+1)·n/shards);
+///   * each shard folds its sessions in index order into its own
+///     accumulator, and shard accumulators merge in shard-index order.
+/// SweepExecutor only decides *when* each shard runs, never what it
+/// computes, so the merged accumulator is bit-identical across jobs counts
+/// (RunningStat's float merge sees the same operand order every time, and
+/// QuantileSketch merges are exact regardless). tests/test_fleet.cpp pins
+/// this; docs/SWEEP_ENGINE.md has the full story.
+
+#include <cstdint>
+
+#include "common/stats.hpp"
+#include "core/scheme.hpp"
+#include "exp/parallel.hpp"
+#include "sim/simulator.hpp"
+#include "workload/scenario.hpp"
+
+namespace mobcache {
+
+/// One streamed fleet metric: exact-merge quantiles plus mean/extrema.
+struct FleetMetric {
+  RunningStat stat;
+  QuantileSketch sketch;
+
+  void add(double v) {
+    stat.add(v);
+    sketch.add(v);
+  }
+  void merge(const FleetMetric& o) {
+    stat.merge(o.stat);
+    sketch.merge(o.sketch);
+  }
+};
+
+/// Mergeable per-shard (and merged fleet-wide) session statistics.
+struct FleetAccumulator {
+  std::uint64_t sessions = 0;
+  std::uint64_t records = 0;        ///< total trace records simulated
+  FleetMetric cache_energy_nj;      ///< per-session L2 cache energy (nJ)
+  FleetMetric total_energy_nj;      ///< per-session L2+DRAM+L1 energy (nJ)
+  FleetMetric cpi;                  ///< per-session mean CPI
+
+  void add_session(const SimResult& r);
+  void merge(const FleetAccumulator& o);
+};
+
+struct FleetConfig {
+  PopulationModel mix = PopulationModel::default_mix();
+  std::uint64_t sessions = 1000;
+  /// Base seed; session i draws sweep_point_seed(seed, i).
+  std::uint64_t seed = 1;
+  SchemeKind scheme = SchemeKind::BaselineSram;
+  SchemeParams params;
+  SimOptions sim;
+  /// Worker threads (0 = effective_jobs()); affects wall clock only.
+  unsigned jobs = 0;
+  /// Shard count override; 0 = fleet_shard_count(sessions). Results are a
+  /// pure function of (mix, sessions, seed, scheme, params, sim, shards).
+  std::size_t shards = 0;
+};
+
+/// The default shard count: enough shards to keep any plausible worker pool
+/// busy, few enough that O(shards) accumulator memory is trivial. A pure
+/// function of the session count — NEVER of the jobs value.
+std::size_t fleet_shard_count(std::uint64_t sessions);
+
+struct FleetResult {
+  FleetAccumulator acc;
+  std::size_t shards = 0;
+};
+
+/// Runs the population sweep: sessions stream through ScenarioStream +
+/// simulate(TraceStream&), one live chunk per worker — peak RSS is bounded
+/// by jobs · O(chunk), independent of session count or length.
+FleetResult run_fleet(const FleetConfig& cfg);
+
+/// Process-wide fleet counters, surfaced by `simrun --metrics` as the
+/// fleet.* group.
+struct FleetCounters {
+  std::uint64_t sessions_simulated = 0;
+  std::uint64_t session_records = 0;
+  std::uint64_t shard_merges = 0;
+};
+
+FleetCounters fleet_counters();
+void reset_fleet_counters();
+
+}  // namespace mobcache

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <chrono>
+#include <span>
 
 #include "common/cancel.hpp"
 #include "common/error.hpp"
+#include "trace/trace_stream.hpp"
 
 namespace mobcache {
 
@@ -113,10 +115,18 @@ bool batch_eligible(const SimOptions& opts) {
          opts.telemetry == nullptr && !opts.l2_eviction_observer;
 }
 
-DemandStream build_demand_stream(const Trace& trace, const SimOptions& opts) {
+namespace {
+
+/// Shared L1 pass over any chunk provider. Supervision polls at chunk
+/// boundaries — the exact positions of the pre-streaming loop when fed
+/// kCancelPollStride-sized subspans, and a pure check in any case, so the
+/// captured stream is identical however the records arrive.
+template <typename NextChunk>
+DemandStream build_demand_stream_chunked(const std::string& workload,
+                                         NextChunk&& next_chunk,
+                                         const SimOptions& opts) {
   DemandStream s;
-  s.workload = trace.name();
-  s.total_records = trace.size();
+  s.workload = workload;
   s.l1_hit_latency = opts.hierarchy.l1_hit_latency;
   s.base_cpi = opts.timing.base_cpi;
   s.l1_tech = make_sram(opts.hierarchy.l1i.size_bytes +
@@ -130,19 +140,19 @@ DemandStream build_demand_stream(const Trace& trace, const SimOptions& opts) {
   // is irrelevant to L1 outcomes (replacement state advances on an internal
   // tick; retention/fault hooks are L2-only), so the pass runs at now = 0 —
   // per-lane clocks are reconstructed at replay time.
-  const std::vector<Access>& accesses = trace.accesses();
-  const std::size_t total = accesses.size();
-  std::size_t i = 0;
-  while (i < total) {
-    const std::size_t end = std::min<std::size_t>(
-        total, i + static_cast<std::size_t>(kCancelPollStride));
-    for (; i < end; ++i) {
-      const Access& a = accesses[i];
-      recorder.begin_record(static_cast<std::uint64_t>(i), a.is_write());
+  std::uint64_t index = 0;
+  bool first = true;
+  for (;;) {
+    const std::span<const Access> chunk = next_chunk();
+    if (chunk.empty()) break;
+    if (!first) sup.poll();
+    first = false;
+    for (const Access& a : chunk) {
+      recorder.begin_record(index++, a.is_write());
       hier.access(a, /*now=*/0);
     }
-    if (i < total) sup.poll();
   }
+  s.total_records = index;
 
   // Deliberately no hier.finalize(): finalize would fold L1 leakage (a
   // function of each lane's end cycle) into l1_energy_nj. The pure dynamic
@@ -151,6 +161,28 @@ DemandStream build_demand_stream(const Trace& trace, const SimOptions& opts) {
   s.l1d = hier.l1d_stats();
   s.l1_dynamic_nj = hier.l1_energy_nj();
   return s;
+}
+
+}  // namespace
+
+DemandStream build_demand_stream(const Trace& trace, const SimOptions& opts) {
+  const std::vector<Access>& accesses = trace.accesses();
+  const std::size_t total = accesses.size();
+  std::size_t i = 0;
+  auto next_chunk = [&]() -> std::span<const Access> {
+    if (i >= total) return {};
+    const std::size_t end = std::min<std::size_t>(
+        total, i + static_cast<std::size_t>(kCancelPollStride));
+    const std::span<const Access> chunk(accesses.data() + i, end - i);
+    i = end;
+    return chunk;
+  };
+  return build_demand_stream_chunked(trace.name(), next_chunk, opts);
+}
+
+DemandStream build_demand_stream(TraceStream& stream, const SimOptions& opts) {
+  return build_demand_stream_chunked(
+      stream.name(), [&stream] { return stream.next_chunk(); }, opts);
 }
 
 std::vector<BatchLaneOutcome> simulate_batch_lanes(

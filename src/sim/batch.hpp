@@ -84,6 +84,15 @@ bool batch_eligible(const SimOptions& opts);
 /// Precondition: batch_eligible(opts).
 DemandStream build_demand_stream(const Trace& trace, const SimOptions& opts);
 
+class TraceStream;
+
+/// Streaming front end: same shared L1 pass fed chunk by chunk from a
+/// TraceStream, so the source trace never exists in memory (the captured
+/// DemandStream still does — it is the compact L2-visible residue). The
+/// captured stream is byte-identical to the Trace overload's
+/// (tests/test_trace_stream.cpp); the stream is consumed.
+DemandStream build_demand_stream(TraceStream& stream, const SimOptions& opts);
+
 /// One lane's outcome: exactly one of result/error is set. Lane errors
 /// (e.g. a design throwing mid-replay) are confined to their lane so a
 /// keep-going sweep loses one point, not the batch; cancellation and

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <chrono>
+#include <span>
 
 #include "common/cancel.hpp"
 #include "common/error.hpp"
 #include "obs/telemetry.hpp"
+#include "trace/trace_stream.hpp"
 
 namespace mobcache {
 
@@ -52,12 +54,20 @@ class IntervalSampler {
   EnergyBreakdown last_energy_;
 };
 
-}  // namespace
-
-SimResult simulate(const Trace& trace, L2Interface& l2,
-                   const SimOptions& opts) {
+/// One simulation over any chunk provider. `next_chunk()` returns the next
+/// span of records (empty = end of trace); the materialized overload feeds
+/// kCancelPollStride-sized subspans of the trace vector (zero copy) and the
+/// streaming overload whatever its generator produces. Supervision is
+/// polled between chunks — for the materialized path that is the exact
+/// cadence (and the exact poll positions) of the pre-streaming demand loop,
+/// and polls are pure checks, so SimResults are bit-identical across chunk
+/// geometries (tests/test_trace_stream.cpp pins streaming vs materialized
+/// for every scheme).
+template <typename NextChunk>
+SimResult simulate_chunked(const std::string& workload, NextChunk&& next_chunk,
+                           L2Interface& l2, const SimOptions& opts) {
   SimResult res;
-  res.workload = trace.name();
+  res.workload = workload;
   res.scheme = l2.describe();
   res.l2_capacity_bytes = l2.capacity_bytes();
 
@@ -68,7 +78,7 @@ SimResult simulate(const Trace& trace, L2Interface& l2,
     l2.set_eviction_observer(opts.l2_eviction_observer);
   }
   if (opts.telemetry != nullptr) {
-    opts.telemetry->set_context(trace.name(), res.scheme);
+    opts.telemetry->set_context(workload, res.scheme);
     l2.attach_telemetry(opts.telemetry);
     Telemetry* tel = opts.telemetry;
     l2.add_eviction_observer(
@@ -79,10 +89,11 @@ SimResult simulate(const Trace& trace, L2Interface& l2,
   CpiModel cpu(opts.timing);
 
   // Cancellation/deadline supervision stays out of the per-record path:
-  // the demand loops below run in kCancelPollStride-record chunks and only
-  // the chunk boundary polls the token / the clock. With the default-off
-  // deadline that is one relaxed atomic load per ~65k records — the
-  // BENCH_micro gate sees no inner-loop change at all.
+  // the demand loops below run chunk by chunk (one chunk ≈ one
+  // kCancelPollStride block) and only the chunk boundary polls the token /
+  // the clock. With the default-off deadline that is one relaxed atomic
+  // load per ~65k records — the BENCH_micro gate sees no inner-loop change
+  // at all.
   const CancelToken& cancel =
       opts.cancel != nullptr ? *opts.cancel : global_cancel_token();
   using SimClock = std::chrono::steady_clock;
@@ -112,29 +123,28 @@ SimResult simulate(const Trace& trace, L2Interface& l2,
   // produce bit-identical SimResults (the sampler is a pure reader) —
   // tests/test_kernel_equiv.cpp pins this.
   Cycle now = 0;
-  const std::vector<Access>& accesses = trace.accesses();
-  const std::size_t total = accesses.size();
+  bool first = true;
   if (opts.telemetry != nullptr && opts.telemetry->sample_interval() != 0) {
     IntervalSampler sampler(opts.telemetry, l2);
-    std::size_t i = 0;
-    while (i < total) {
-      const std::size_t end = std::min<std::size_t>(
-          total, i + static_cast<std::size_t>(kCancelPollStride));
-      for (; i < end; ++i) {
-        now = cpu.retire(hier.access(accesses[i], now));
+    for (;;) {
+      const std::span<const Access> chunk = next_chunk();
+      if (chunk.empty()) break;
+      if (!first) poll_supervision();
+      first = false;
+      for (const Access& a : chunk) {
+        now = cpu.retire(hier.access(a, now));
         sampler.tick(now);
       }
-      if (i < total) poll_supervision();
     }
   } else {
-    std::size_t i = 0;
-    while (i < total) {
-      const std::size_t end = std::min<std::size_t>(
-          total, i + static_cast<std::size_t>(kCancelPollStride));
-      for (; i < end; ++i) {
-        now = cpu.retire(hier.access(accesses[i], now));
+    for (;;) {
+      const std::span<const Access> chunk = next_chunk();
+      if (chunk.empty()) break;
+      if (!first) poll_supervision();
+      first = false;
+      for (const Access& a : chunk) {
+        now = cpu.retire(hier.access(a, now));
       }
-      if (i < total) poll_supervision();
     }
   }
   hier.finalize(now);
@@ -156,9 +166,33 @@ SimResult simulate(const Trace& trace, L2Interface& l2,
   return res;
 }
 
+}  // namespace
+
+SimResult simulate(const Trace& trace, L2Interface& l2,
+                   const SimOptions& opts) {
+  const std::vector<Access>& accesses = trace.accesses();
+  const std::size_t total = accesses.size();
+  std::size_t i = 0;
+  auto next_chunk = [&]() -> std::span<const Access> {
+    if (i >= total) return {};
+    const std::size_t end = std::min<std::size_t>(
+        total, i + static_cast<std::size_t>(kCancelPollStride));
+    const std::span<const Access> chunk(accesses.data() + i, end - i);
+    i = end;
+    return chunk;
+  };
+  return simulate_chunked(trace.name(), next_chunk, l2, opts);
+}
+
 SimResult simulate(const Trace& trace, std::unique_ptr<L2Interface> l2,
                    const SimOptions& opts) {
   return simulate(trace, *l2, opts);
+}
+
+SimResult simulate(TraceStream& stream, L2Interface& l2,
+                   const SimOptions& opts) {
+  return simulate_chunked(stream.name(),
+                          [&stream] { return stream.next_chunk(); }, l2, opts);
 }
 
 }  // namespace mobcache

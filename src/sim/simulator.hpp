@@ -84,4 +84,15 @@ SimResult simulate(const Trace& trace, L2Interface& l2,
 SimResult simulate(const Trace& trace, std::unique_ptr<L2Interface> l2,
                    const SimOptions& opts = {});
 
+class TraceStream;
+
+/// Streaming overload: consumes `stream` chunk by chunk, so only one chunk
+/// of records is live at a time — peak memory is O(chunk), independent of
+/// session length. Byte-identical to materializing the stream and calling
+/// the Trace overload (supervision polls move to chunk boundaries but are
+/// pure checks); tests/test_trace_stream.cpp pins this for all schemes.
+/// The stream is consumed (call reset() to reuse it).
+SimResult simulate(TraceStream& stream, L2Interface& l2,
+                   const SimOptions& opts = {});
+
 }  // namespace mobcache

@@ -8,6 +8,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <string>
 #include <type_traits>
 #include <vector>
@@ -76,6 +77,11 @@ class Trace {
       accesses_.insert(accesses_.end(), batch.begin(), batch.end());
     }
     batch.clear();
+  }
+
+  /// Bulk append from a borrowed chunk (trace streaming / materialize()).
+  void append(std::span<const Access> chunk) {
+    accesses_.insert(accesses_.end(), chunk.begin(), chunk.end());
   }
 
   const std::vector<Access>& accesses() const { return accesses_; }

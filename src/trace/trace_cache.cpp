@@ -90,6 +90,13 @@ std::shared_ptr<const Trace> TraceCache::get_or_generate(
       ++impl_->counters.hits;
       it->second.last_use = ++impl_->tick;
       fut = it->second.fut;
+      // Re-converge on hits too: publishes that ran while every entry was
+      // pinned leave the cache over budget, and without this the budget
+      // would only be enforced again at the next publish or capacity
+      // change — possibly never (tests/test_trace_cache.cpp,
+      // ReleasedPinsReconvergeOnNextHit). The hit entry itself is safe:
+      // `fut` keeps the trace alive even if the map entry is evicted.
+      impl_->evict_to_budget();
     } else {
       ++impl_->counters.misses;
       owner = true;

@@ -16,7 +16,10 @@
 /// Memory is bounded: entries nobody currently references are evicted LRU
 /// once the resident budget (MOBCACHE_TRACE_CACHE_MB, default 1024) is
 /// exceeded. Entries still referenced by a live runner are never evicted, so
-/// a returned pointer stays valid for as long as the caller holds it.
+/// a returned pointer stays valid for as long as the caller holds it; pinned
+/// entries can push residency over budget transiently, and the budget is
+/// re-enforced on every subsequent access (hit or publish), not just when
+/// the capacity changes.
 
 #include <cstdint>
 #include <functional>

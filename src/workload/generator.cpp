@@ -1,6 +1,8 @@
 #include "workload/generator.hpp"
 
+#include <algorithm>
 #include <memory>
+#include <vector>
 
 #include "common/rng.hpp"
 
@@ -34,45 +36,55 @@ Addr phase_data_base(std::size_t phase) {
 
 }  // namespace
 
-Trace generate_trace(const AppSpec& spec, const GeneratorConfig& cfg) {
-  Trace trace(spec.name);
-  // Records accumulate in a flat buffer and transfer to the Trace in one
-  // bulk move at the end (Trace::append) — no per-record push into the
-  // trace object on this path.
-  std::vector<Access> buf;
-  buf.reserve(cfg.target_accesses + 4096);
-  Rng rng(cfg.seed * 0x9e37'79b9'7f4a'7c15ull + static_cast<int>(spec.id));
-  KernelModel kernel(cfg.seed);
-
-  std::vector<PhaseState> states(spec.phases.size());
-  for (std::size_t i = 0; i < spec.phases.size(); ++i) {
-    const PhaseSpec& p = spec.phases[i];
-    states[i].ws_lines = std::max<std::uint64_t>(1, p.ws_bytes / kLineSize);
-    states[i].code = std::make_unique<ZipfSampler>(p.hot_code_lines,
-                                                   p.code_zipf_alpha);
-    if (p.pattern == AccessPattern::ZipfReuse) {
-      states[i].data_zipf =
-          std::make_unique<ZipfSampler>(states[i].ws_lines, p.data_zipf_alpha);
-    }
-  }
-
+/// The whole generate_trace() loop, suspended between chunks. `emitted` plus
+/// the in-flight chunk size plays the role the growing buffer's size played
+/// in the batch formulation, so every "have we hit the target yet" decision
+/// — and therefore every Rng draw — lands on the same record boundaries.
+struct AppTraceStream::Impl {
+  AppSpec spec;
+  GeneratorConfig cfg;
+  Rng rng{0};
+  KernelModel kernel{0};
+  std::vector<PhaseState> states;
   std::size_t phase_idx = 0;
   std::uint64_t phase_remaining = 0;
   std::uint64_t user_accesses = 0;
-  std::uint64_t next_tick = spec.sched_tick_interval;
+  std::uint64_t next_tick = 0;
   double ifetch_debt = 0.0;
+  std::uint64_t emitted = 0;  ///< records handed out in earlier chunks
+  bool finished = false;
+  ChunkBuffer chunk;
 
-  auto emit_user = [&](Addr addr, AccessType type) {
-    Access a;
-    a.addr = addr;
-    a.type = type;
-    a.mode = Mode::User;
-    a.thread = 0;
-    buf.push_back(a);
-    ++user_accesses;
-  };
+  Impl(const AppSpec& s, const GeneratorConfig& c) : spec(s), cfg(c) {
+    restart();
+  }
 
-  auto next_data_addr = [&](const PhaseSpec& p, PhaseState& st) -> Addr {
+  void restart() {
+    rng = Rng(cfg.seed * 0x9e37'79b9'7f4a'7c15ull +
+              static_cast<int>(spec.id));
+    kernel = KernelModel(cfg.seed);
+    states.clear();
+    states.resize(spec.phases.size());
+    for (std::size_t i = 0; i < spec.phases.size(); ++i) {
+      const PhaseSpec& p = spec.phases[i];
+      states[i].ws_lines = std::max<std::uint64_t>(1, p.ws_bytes / kLineSize);
+      states[i].code = std::make_unique<ZipfSampler>(p.hot_code_lines,
+                                                     p.code_zipf_alpha);
+      if (p.pattern == AccessPattern::ZipfReuse) {
+        states[i].data_zipf = std::make_unique<ZipfSampler>(
+            states[i].ws_lines, p.data_zipf_alpha);
+      }
+    }
+    phase_idx = 0;
+    phase_remaining = 0;
+    user_accesses = 0;
+    next_tick = spec.sched_tick_interval;
+    ifetch_debt = 0.0;
+    emitted = 0;
+    finished = false;
+  }
+
+  Addr next_data_addr(const PhaseSpec& p, PhaseState& st) {
     const Addr base = phase_data_base(phase_idx);
     std::uint64_t line = 0;
     switch (p.pattern) {
@@ -98,66 +110,104 @@ Trace generate_trace(const AppSpec& spec, const GeneratorConfig& cfg) {
         break;
     }
     return base + line * kLineSize;
-  };
-
-  while (buf.size() < cfg.target_accesses) {
-    if (phase_remaining == 0) {
-      // Enter next phase.
-      if (!spec.transitions.empty()) {
-        phase_idx = rng.weighted(spec.transitions[phase_idx]);
-      } else {
-        phase_idx = rng.below(spec.phases.size());
-      }
-      const PhaseSpec& p = spec.phases[phase_idx];
-      phase_remaining =
-          rng.geometric(1.0 / static_cast<double>(p.mean_phase_len));
-    }
-    const PhaseSpec& p = spec.phases[phase_idx];
-    PhaseState& st = states[phase_idx];
-
-    // One user-mode chunk.
-    const std::uint64_t chunk =
-        std::min<std::uint64_t>(phase_remaining, rng.range(128, 512));
-    for (std::uint64_t i = 0;
-         i < chunk && buf.size() < cfg.target_accesses; ++i) {
-      ifetch_debt += p.ifetch_per_data;
-      while (ifetch_debt >= 1.0) {
-        emit_user(phase_text_base(phase_idx) +
-                      st.code->sample(rng) * kLineSize,
-                  AccessType::InstFetch);
-        ifetch_debt -= 1.0;
-      }
-      emit_user(next_data_addr(p, st), rng.chance(p.store_fraction)
-                                           ? AccessType::Write
-                                           : AccessType::Read);
-    }
-    phase_remaining -= std::min(chunk, phase_remaining);
-
-    // Periodic timer interrupt.
-    while (user_accesses >= next_tick) {
-      kernel.emit_episode(KernelService::SchedTick, /*thread=*/1, buf, rng);
-      next_tick += spec.sched_tick_interval;
-    }
-
-    // Phase-driven kernel services.
-    for (const ServiceRate& sr : p.services) {
-      if (sr.per_kilo_user <= 0.0) continue;
-      const double expected =
-          sr.per_kilo_user * static_cast<double>(chunk) / 1000.0;
-      std::uint64_t episodes = static_cast<std::uint64_t>(expected);
-      if (rng.chance(expected - static_cast<double>(episodes))) ++episodes;
-      const bool irq_context = sr.service == KernelService::InputEvent ||
-                               sr.service == KernelService::AudioDma ||
-                               sr.service == KernelService::FrameFlip;
-      for (std::uint64_t e = 0;
-           e < episodes && buf.size() < cfg.target_accesses; ++e) {
-        kernel.emit_episode(sr.service, irq_context ? 1 : 0, buf, rng);
-      }
-    }
   }
 
-  trace.append(std::move(buf));
-  return trace;
+  /// Fills `out` with at least kStreamChunkRecords records (or everything
+  /// remaining). The loop body is the batch generator's, with the running
+  /// buffer size replaced by emitted + out.size().
+  void fill(std::vector<Access>& out) {
+    auto total = [&] { return emitted + out.size(); };
+    auto emit_user = [&](Addr addr, AccessType type) {
+      Access a;
+      a.addr = addr;
+      a.type = type;
+      a.mode = Mode::User;
+      a.thread = 0;
+      out.push_back(a);
+      ++user_accesses;
+    };
+
+    while (total() < cfg.target_accesses &&
+           out.size() < kStreamChunkRecords) {
+      if (phase_remaining == 0) {
+        // Enter next phase.
+        if (!spec.transitions.empty()) {
+          phase_idx = rng.weighted(spec.transitions[phase_idx]);
+        } else {
+          phase_idx = rng.below(spec.phases.size());
+        }
+        const PhaseSpec& p = spec.phases[phase_idx];
+        phase_remaining =
+            rng.geometric(1.0 / static_cast<double>(p.mean_phase_len));
+      }
+      const PhaseSpec& p = spec.phases[phase_idx];
+      PhaseState& st = states[phase_idx];
+
+      // One user-mode chunk.
+      const std::uint64_t burst =
+          std::min<std::uint64_t>(phase_remaining, rng.range(128, 512));
+      for (std::uint64_t i = 0;
+           i < burst && total() < cfg.target_accesses; ++i) {
+        ifetch_debt += p.ifetch_per_data;
+        while (ifetch_debt >= 1.0) {
+          emit_user(phase_text_base(phase_idx) +
+                        st.code->sample(rng) * kLineSize,
+                    AccessType::InstFetch);
+          ifetch_debt -= 1.0;
+        }
+        emit_user(next_data_addr(p, st), rng.chance(p.store_fraction)
+                                             ? AccessType::Write
+                                             : AccessType::Read);
+      }
+      phase_remaining -= std::min(burst, phase_remaining);
+
+      // Periodic timer interrupt.
+      while (user_accesses >= next_tick) {
+        kernel.emit_episode(KernelService::SchedTick, /*thread=*/1, out, rng);
+        next_tick += spec.sched_tick_interval;
+      }
+
+      // Phase-driven kernel services.
+      for (const ServiceRate& sr : p.services) {
+        if (sr.per_kilo_user <= 0.0) continue;
+        const double expected =
+            sr.per_kilo_user * static_cast<double>(burst) / 1000.0;
+        std::uint64_t episodes = static_cast<std::uint64_t>(expected);
+        if (rng.chance(expected - static_cast<double>(episodes))) ++episodes;
+        const bool irq_context = sr.service == KernelService::InputEvent ||
+                                 sr.service == KernelService::AudioDma ||
+                                 sr.service == KernelService::FrameFlip;
+        for (std::uint64_t e = 0;
+             e < episodes && total() < cfg.target_accesses; ++e) {
+          kernel.emit_episode(sr.service, irq_context ? 1 : 0, out, rng);
+        }
+      }
+    }
+    if (total() >= cfg.target_accesses) finished = true;
+    emitted += out.size();
+  }
+};
+
+AppTraceStream::AppTraceStream(const AppSpec& spec, const GeneratorConfig& cfg)
+    : impl_(std::make_unique<Impl>(spec, cfg)) {}
+
+AppTraceStream::~AppTraceStream() = default;
+
+const std::string& AppTraceStream::name() const { return impl_->spec.name; }
+
+std::span<const Access> AppTraceStream::next_chunk() {
+  if (impl_->finished) return {};
+  std::vector<Access>& out = impl_->chunk.refill();
+  impl_->fill(out);
+  if (out.empty()) return {};
+  return impl_->chunk.publish();
+}
+
+void AppTraceStream::reset() { impl_->restart(); }
+
+Trace generate_trace(const AppSpec& spec, const GeneratorConfig& cfg) {
+  AppTraceStream stream(spec, cfg);
+  return materialize(stream);
 }
 
 }  // namespace mobcache

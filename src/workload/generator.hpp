@@ -3,8 +3,10 @@
 /// Turns an AppSpec into a concrete interleaved user/kernel access trace.
 
 #include <cstdint>
+#include <memory>
 
 #include "trace/trace.hpp"
+#include "trace/trace_stream.hpp"
 #include "workload/app_model.hpp"
 
 namespace mobcache {
@@ -13,6 +15,26 @@ struct GeneratorConfig {
   /// Total records to emit (user + kernel combined).
   std::uint64_t target_accesses = 2'000'000;
   std::uint64_t seed = 1;
+};
+
+/// Streaming app-trace generator: the phase machine of generate_trace() as a
+/// resumable state machine emitting ~kStreamChunkRecords records per chunk,
+/// so an app trace never has to exist fully in memory. Deterministic in
+/// (spec, cfg.seed); generate_trace() is exactly materialize() over this
+/// stream, so the chunked and batch record sequences are identical by
+/// construction (tests/test_trace_stream.cpp pins it).
+class AppTraceStream final : public TraceStream {
+ public:
+  AppTraceStream(const AppSpec& spec, const GeneratorConfig& cfg);
+  ~AppTraceStream() override;
+
+  const std::string& name() const override;
+  std::span<const Access> next_chunk() override;
+  void reset() override;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
 };
 
 /// Generates the trace for one app. Deterministic in (spec, cfg.seed).

@@ -1,0 +1,126 @@
+// Fleet sampler (E22) contract: session sampling is a pure function of the
+// seed, and the merged fleet statistics are identical for every --jobs value
+// (fixed shard layout + ordered merge) with exactly deterministic quantiles
+// across shard counts (integer-count sketch).
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "exp/fleet.hpp"
+
+namespace mobcache {
+namespace {
+
+FleetConfig small_fleet(unsigned jobs) {
+  FleetConfig cfg;
+  cfg.mix = PopulationModel::default_mix(/*mean_session_accesses=*/18'000);
+  cfg.sessions = 16;
+  cfg.seed = 42;
+  cfg.scheme = SchemeKind::DynamicStt;
+  cfg.jobs = jobs;
+  return cfg;
+}
+
+TEST(Fleet, SampleSessionIsDeterministic) {
+  const PopulationModel mix = PopulationModel::default_mix(50'000);
+  const ScenarioConfig a = sample_session(mix, 123);
+  const ScenarioConfig b = sample_session(mix, 123);
+  EXPECT_EQ(a.apps, b.apps);
+  EXPECT_EQ(a.total_accesses, b.total_accesses);
+  EXPECT_EQ(a.slice_mean, b.slice_mean);
+  EXPECT_EQ(a.seed, 123u);
+}
+
+TEST(Fleet, SampleSessionCoversMixAndKeepsAppsDistinct) {
+  const PopulationModel mix = PopulationModel::default_mix(50'000);
+  std::set<std::uint64_t> session_lengths;
+  for (std::uint64_t s = 0; s < 200; ++s) {
+    const ScenarioConfig sc = sample_session(mix, sweep_point_seed(9, s));
+    ASSERT_GE(sc.apps.size(), mix.min_apps);
+    ASSERT_LE(sc.apps.size(), mix.max_apps);
+    const std::set<AppId> distinct(sc.apps.begin(), sc.apps.end());
+    EXPECT_EQ(distinct.size(), sc.apps.size()) << "seed " << s;
+    session_lengths.insert(sc.total_accesses);
+  }
+  // All three device tiers (0.5x / 1x / 2x mean) appear across 200 draws.
+  EXPECT_EQ(session_lengths.size(), 3u);
+}
+
+TEST(Fleet, DefaultShardCountIsAPureFunctionOfSessions) {
+  EXPECT_EQ(fleet_shard_count(0), 0u);
+  EXPECT_EQ(fleet_shard_count(10), 10u);
+  EXPECT_EQ(fleet_shard_count(64), 64u);
+  EXPECT_EQ(fleet_shard_count(1'000'000), 64u);
+}
+
+TEST(Fleet, ResultsAreBitIdenticalAcrossJobs) {
+  const FleetResult serial = run_fleet(small_fleet(1));
+  const FleetResult parallel = run_fleet(small_fleet(4));
+
+  EXPECT_EQ(serial.shards, parallel.shards);
+  EXPECT_EQ(serial.acc.sessions, 16u);
+  EXPECT_EQ(serial.acc.sessions, parallel.acc.sessions);
+  EXPECT_EQ(serial.acc.records, parallel.acc.records);
+  // Exact double equality on purpose: same shard layout + same merge order
+  // means the float paths see identical operand sequences.
+  for (const double q : {0.5, 0.95, 0.99}) {
+    EXPECT_EQ(serial.acc.cache_energy_nj.sketch.quantile(q),
+              parallel.acc.cache_energy_nj.sketch.quantile(q));
+    EXPECT_EQ(serial.acc.cpi.sketch.quantile(q),
+              parallel.acc.cpi.sketch.quantile(q));
+  }
+  EXPECT_EQ(serial.acc.cache_energy_nj.stat.mean(),
+            parallel.acc.cache_energy_nj.stat.mean());
+  EXPECT_EQ(serial.acc.total_energy_nj.stat.mean(),
+            parallel.acc.total_energy_nj.stat.mean());
+  EXPECT_EQ(serial.acc.cpi.stat.max(), parallel.acc.cpi.stat.max());
+}
+
+TEST(Fleet, SketchQuantilesAreExactAcrossShardCounts) {
+  FleetConfig one_shard = small_fleet(2);
+  one_shard.shards = 1;
+  FleetConfig many_shards = small_fleet(2);
+  many_shards.shards = 7;
+
+  const FleetResult a = run_fleet(one_shard);
+  const FleetResult b = run_fleet(many_shards);
+  EXPECT_EQ(a.acc.sessions, b.acc.sessions);
+  EXPECT_EQ(a.acc.records, b.acc.records);
+  // Quantiles come from integer counts: exact under any sharding. (The
+  // Welford mean may differ in the last bit across shard counts — that is
+  // why the BENCH results report sketch quantiles, not merged means.)
+  for (const double q : {0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0}) {
+    EXPECT_EQ(a.acc.cache_energy_nj.sketch.quantile(q),
+              b.acc.cache_energy_nj.sketch.quantile(q));
+    EXPECT_EQ(a.acc.total_energy_nj.sketch.quantile(q),
+              b.acc.total_energy_nj.sketch.quantile(q));
+    EXPECT_EQ(a.acc.cpi.sketch.quantile(q), b.acc.cpi.sketch.quantile(q));
+  }
+  EXPECT_EQ(a.acc.cpi.sketch.min(), b.acc.cpi.sketch.min());
+  EXPECT_EQ(a.acc.cpi.sketch.max(), b.acc.cpi.sketch.max());
+}
+
+TEST(Fleet, CountersTrackSessions) {
+  reset_fleet_counters();
+  const FleetResult r = run_fleet(small_fleet(2));
+  const FleetCounters c = fleet_counters();
+  EXPECT_EQ(c.sessions_simulated, r.acc.sessions);
+  EXPECT_EQ(c.session_records, r.acc.records);
+  EXPECT_EQ(c.shard_merges, r.shards);
+  reset_fleet_counters();
+  EXPECT_EQ(fleet_counters().sessions_simulated, 0u);
+}
+
+TEST(Fleet, EmptyFleetIsEmpty) {
+  FleetConfig cfg = small_fleet(1);
+  cfg.sessions = 0;
+  const FleetResult r = run_fleet(cfg);
+  EXPECT_EQ(r.acc.sessions, 0u);
+  EXPECT_EQ(r.shards, 0u);
+  EXPECT_EQ(r.acc.cpi.sketch.quantile(0.5), 0.0);
+}
+
+}  // namespace
+}  // namespace mobcache

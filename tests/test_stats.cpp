@@ -2,10 +2,34 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <vector>
 
 namespace mobcache {
 namespace {
+
+/// Deterministic wide-range sample set (spans several octaves, includes
+/// repeats and zeros) used by the merge property tests below.
+std::vector<double> property_samples(std::size_t n) {
+  std::vector<double> v;
+  v.reserve(n);
+  std::uint64_t x = 0x2545f4914f6cdd1dull;
+  for (std::size_t i = 0; i < n; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    if (i % 97 == 0) {
+      v.push_back(0.0);
+    } else {
+      // Magnitudes from ~1e-3 to ~1e6.
+      const double mant = 1.0 + static_cast<double>(x % 1000) / 1000.0;
+      const int exp = static_cast<int>(x >> 60) * 2 - 10;
+      v.push_back(std::ldexp(mant, exp));
+    }
+  }
+  return v;
+}
 
 TEST(RunningStat, EmptyIsZero) {
   RunningStat s;
@@ -138,6 +162,160 @@ TEST(Log2Histogram, EmptyQuantileIsZero) {
   Log2Histogram h;
   EXPECT_EQ(h.quantile_upper_bound(0.5), 0u);
   EXPECT_EQ(h.fraction_below(100), 0.0);
+}
+
+// --- Merge property suite: the fleet accumulator contract ------------------
+// (docs/SWEEP_ENGINE.md: merged statistics must not depend on how samples
+// were sharded or in which order shards merged.)
+
+TEST(RunningStat, MergeIsCommutativeAndAssociative) {
+  const std::vector<double> samples = property_samples(600);
+  RunningStat a, b, c;
+  for (std::size_t i = 0; i < samples.size(); ++i)
+    (i % 3 == 0 ? a : (i % 3 == 1 ? b : c)).add(samples[i]);
+
+  RunningStat ab = a;
+  ab.merge(b);
+  RunningStat ba = b;
+  ba.merge(a);
+  EXPECT_EQ(ab.count(), ba.count());
+  EXPECT_NEAR(ab.mean(), ba.mean(), 1e-9 * std::abs(ab.mean()) + 1e-12);
+  EXPECT_NEAR(ab.variance(), ba.variance(), 1e-6 * ab.variance() + 1e-9);
+  EXPECT_EQ(ab.min(), ba.min());
+  EXPECT_EQ(ab.max(), ba.max());
+
+  RunningStat ab_c = ab;
+  ab_c.merge(c);
+  RunningStat bc = b;
+  bc.merge(c);
+  RunningStat a_bc = a;
+  a_bc.merge(bc);
+  EXPECT_EQ(ab_c.count(), a_bc.count());
+  EXPECT_NEAR(ab_c.mean(), a_bc.mean(),
+              1e-9 * std::abs(ab_c.mean()) + 1e-12);
+  EXPECT_NEAR(ab_c.variance(), a_bc.variance(),
+              1e-6 * ab_c.variance() + 1e-9);
+  EXPECT_EQ(ab_c.min(), a_bc.min());
+  EXPECT_EQ(ab_c.max(), a_bc.max());
+}
+
+TEST(Log2Histogram, MergeIsCommutativeAndAssociativeExactly) {
+  Log2Histogram a, b, c;
+  std::uint64_t x = 12345;
+  for (int i = 0; i < 500; ++i) {
+    x = x * 6364136223846793005ull + 1442695040888963407ull;
+    (i % 3 == 0 ? a : (i % 3 == 1 ? b : c)).add(x >> (x % 50));
+  }
+  Log2Histogram ab = a;
+  ab.merge(b);
+  Log2Histogram ba = b;
+  ba.merge(a);
+  EXPECT_EQ(ab.buckets(), ba.buckets());
+  EXPECT_EQ(ab.total(), ba.total());
+
+  Log2Histogram ab_c = ab;
+  ab_c.merge(c);
+  Log2Histogram bc = b;
+  bc.merge(c);
+  Log2Histogram a_bc = a;
+  a_bc.merge(bc);
+  EXPECT_EQ(ab_c.buckets(), a_bc.buckets());
+  EXPECT_EQ(ab_c.total(), a_bc.total());
+  // Integer counts ⇒ identical quantiles however the merge happened.
+  for (const double q : {0.1, 0.5, 0.9, 0.99})
+    EXPECT_EQ(ab_c.quantile_upper_bound(q), a_bc.quantile_upper_bound(q));
+}
+
+TEST(QuantileSketch, EmptyAndSingle) {
+  QuantileSketch s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.quantile(0.5), 0.0);
+  s.add(42.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.min(), 42.0);
+  EXPECT_EQ(s.max(), 42.0);
+  EXPECT_EQ(s.quantile(0.0), 42.0);
+  EXPECT_EQ(s.quantile(0.5), 42.0);
+  EXPECT_EQ(s.quantile(1.0), 42.0);
+}
+
+TEST(QuantileSketch, NonPositiveValuesLandInZeroBucket) {
+  QuantileSketch s;
+  s.add(0.0);
+  s.add(-3.0);
+  s.add(8.0);
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 8.0);
+  EXPECT_EQ(s.quantile(0.0), 0.0);
+  EXPECT_EQ(s.quantile(1.0), 8.0);
+}
+
+TEST(QuantileSketch, QuantilesWithinRelativeErrorBound) {
+  std::vector<double> samples = property_samples(20'000);
+  QuantileSketch s;
+  for (double v : samples) s.add(v);
+  std::sort(samples.begin(), samples.end());
+  for (const double q : {0.05, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99}) {
+    const double exact =
+        samples[static_cast<std::size_t>(q * (samples.size() - 1))];
+    const double got = s.quantile(q);
+    // 128 sub-buckets per octave ⇒ ≤ ~0.8% relative bucket width; allow 2%
+    // for rank interpolation at bucket edges.
+    EXPECT_NEAR(got, exact, 0.02 * exact + 1e-12) << "q=" << q;
+  }
+  EXPECT_EQ(s.quantile(0.0), samples.front());
+  EXPECT_EQ(s.quantile(1.0), samples.back());
+}
+
+TEST(QuantileSketch, MergeIsExactlyCommutativeAndAssociative) {
+  const std::vector<double> samples = property_samples(3'000);
+  QuantileSketch a, b, c;
+  for (std::size_t i = 0; i < samples.size(); ++i)
+    (i % 3 == 0 ? a : (i % 3 == 1 ? b : c)).add(samples[i]);
+
+  QuantileSketch ab = a;
+  ab.merge(b);
+  QuantileSketch ba = b;
+  ba.merge(a);
+  QuantileSketch ab_c = ab;
+  ab_c.merge(c);
+  QuantileSketch bc = b;
+  bc.merge(c);
+  QuantileSketch a_bc = a;
+  a_bc.merge(bc);
+
+  EXPECT_EQ(ab.count(), ba.count());
+  EXPECT_EQ(ab_c.count(), a_bc.count());
+  for (const double q : {0.0, 0.01, 0.1, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_EQ(ab.quantile(q), ba.quantile(q)) << "q=" << q;
+    EXPECT_EQ(ab_c.quantile(q), a_bc.quantile(q)) << "q=" << q;
+  }
+  EXPECT_EQ(ab_c.min(), a_bc.min());
+  EXPECT_EQ(ab_c.max(), a_bc.max());
+}
+
+TEST(QuantileSketch, MergedQuantilesDeterministicAcrossShardCounts) {
+  const std::vector<double> samples = property_samples(10'000);
+  QuantileSketch reference;
+  for (double v : samples) reference.add(v);
+
+  for (const std::size_t shards : {2u, 3u, 7u, 16u, 64u}) {
+    std::vector<QuantileSketch> parts(shards);
+    // Contiguous ranges, like the fleet sampler's session shards.
+    for (std::size_t s = 0; s < shards; ++s) {
+      const std::size_t lo = samples.size() * s / shards;
+      const std::size_t hi = samples.size() * (s + 1) / shards;
+      for (std::size_t i = lo; i < hi; ++i) parts[s].add(samples[i]);
+    }
+    QuantileSketch merged;
+    for (const QuantileSketch& p : parts) merged.merge(p);
+    EXPECT_EQ(merged.count(), reference.count()) << shards << " shards";
+    for (const double q : {0.0, 0.05, 0.5, 0.95, 0.99, 1.0}) {
+      EXPECT_EQ(merged.quantile(q), reference.quantile(q))
+          << shards << " shards, q=" << q;
+    }
+  }
 }
 
 TEST(Cdf, MonotoneAndEndsAtOne) {

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <deque>
+#include <future>
 #include <thread>
 #include <vector>
 
@@ -119,6 +121,111 @@ TEST_F(TraceCacheTest, ReferencedEntriesSurviveEviction) {
   const auto again =
       c.get_or_generate({8, n, 1}, [&] { return tiny_trace("h2", n); });
   EXPECT_EQ(again.get(), held.get()) << "live entries must never be evicted";
+  c.set_capacity_bytes(1024ull << 20);
+}
+
+// Eviction under pressure: four workers churn distinct keys while pinning
+// their last few results, so publishes constantly race pinned entries and
+// other keys' in-flight generations. Pins may push residency over budget
+// transiently; once every pin is gone, the budget must hold again and
+// clear() must account back down to exactly zero (any drift in the
+// resident-bytes bookkeeping shows up here as a nonzero remainder).
+TEST_F(TraceCacheTest, EvictionUnderPressureHoldsBudgetAndAccounting) {
+  TraceCache& c = TraceCache::instance();
+  const std::size_t n = 4'000;  // ~64 KB per trace
+  const std::uint64_t budget = sizeof(Access) * n * 3;
+  c.set_capacity_bytes(budget);
+
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      std::deque<std::shared_ptr<const Trace>> held;
+      for (std::uint64_t i = 0; i < 24; ++i) {
+        held.push_back(c.get_or_generate(
+            {40 + t, n, i}, [&] { return tiny_trace("pressure", n); }));
+        if (held.size() > 3) held.pop_front();
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  // All pins released. The next access — hit or miss — must re-converge
+  // the cache to its budget; the caller's own copy is the only legal pin.
+  const auto last = c.get_or_generate(
+      {40, n, 23}, [&] { return tiny_trace("pressure", n); });
+  EXPECT_LE(c.stats().resident_bytes, budget);
+
+  c.set_capacity_bytes(1024ull << 20);
+  c.clear();
+  // `last` still pins its entry if resident; everything else must be gone
+  // and the byte ledger must match the survivors exactly.
+  const auto s = c.stats();
+  EXPECT_LE(s.resident_entries, 1u);
+  if (s.resident_entries == 0) {
+    EXPECT_EQ(s.resident_bytes, 0u);
+  }
+}
+
+// The budget holds even while a shared_future generation is in flight: the
+// in-flight entry is unevictable (and contributes zero bytes until it
+// publishes), but churn around it must keep evicting.
+TEST_F(TraceCacheTest, BudgetEnforcedWhileGenerationInFlight) {
+  TraceCache& c = TraceCache::instance();
+  const std::size_t n = 4'000;
+  const std::uint64_t budget = sizeof(Access) * n * 3;
+  c.set_capacity_bytes(budget);
+
+  std::promise<void> unblock;
+  std::shared_future<void> gate = unblock.get_future().share();
+  std::atomic<bool> started{false};
+  std::thread slow([&] {
+    (void)c.get_or_generate({60, n, 0}, [&] {
+      started.store(true);
+      gate.wait();
+      return tiny_trace("slow", n);
+    });
+  });
+  while (!started.load()) std::this_thread::yield();
+
+  // Churn unpinned keys past the budget while the slow generation holds
+  // its key in flight: every publish must leave residency within budget.
+  for (std::uint64_t i = 1; i <= 12; ++i) {
+    (void)c.get_or_generate({60, n, i},
+                            [&] { return tiny_trace("churn", n); });
+    EXPECT_LE(c.stats().resident_bytes, budget) << "after key " << i;
+  }
+  unblock.set_value();
+  slow.join();
+  // The slow entry published after the churn; the next access settles it.
+  (void)c.get_or_generate({60, n, 1},
+                          [&] { return tiny_trace("churn", n); });
+  EXPECT_LE(c.stats().resident_bytes, budget);
+  c.set_capacity_bytes(1024ull << 20);
+}
+
+// The accounting-drift regression this suite exposed: publishes while every
+// entry is pinned legitimately overshoot the budget, but releasing those
+// pins used to leave the cache over budget *forever* — eviction only ran on
+// publish and set_capacity, never on hits. A plain hit must re-converge.
+TEST_F(TraceCacheTest, ReleasedPinsReconvergeOnNextHit) {
+  TraceCache& c = TraceCache::instance();
+  const std::size_t n = 4'000;
+  const std::uint64_t budget = sizeof(Access) * n * 2;
+  c.set_capacity_bytes(budget);
+
+  auto a = c.get_or_generate({70, n, 1}, [&] { return tiny_trace("a", n); });
+  auto b = c.get_or_generate({70, n, 2}, [&] { return tiny_trace("b", n); });
+  auto d = c.get_or_generate({70, n, 3}, [&] { return tiny_trace("d", n); });
+  // Three pinned traces against a two-trace budget: nothing is evictable,
+  // so the cache is legitimately over budget right now.
+  EXPECT_GT(c.stats().resident_bytes, budget);
+
+  a.reset();
+  b.reset();
+  d.reset();
+  // A pure hit — no publish, no capacity change — must enforce the budget.
+  (void)c.get_or_generate({70, n, 3}, [&] { return tiny_trace("d2", n); });
+  EXPECT_LE(c.stats().resident_bytes, budget);
   c.set_capacity_bytes(1024ull << 20);
 }
 

@@ -43,7 +43,9 @@
 ///                              chrome; otherwise jsonl).
 ///   --metrics[=FILE]           merged metric registry across all runs —
 ///                              printed as a table, or written as JSON when
-///                              FILE is given.
+///                              FILE is given. Includes the process-wide
+///                              stream.* (trace chunking) and fleet.* (E22
+///                              population sweep) counter groups.
 ///   --sample=N                 push an epoch sample every N trace records
 ///                              (schemes without internal epochs; the
 ///                              dynamic L2 always samples at its epochs).
@@ -98,6 +100,7 @@
 #include "core/scheme.hpp"
 #include "energy/technology.hpp"
 #include "exp/bench_harness.hpp"
+#include "exp/fleet.hpp"
 #include "exp/parallel.hpp"
 #include "exp/result_store.hpp"
 #include "exp/runner.hpp"
@@ -105,6 +108,7 @@
 #include "obs/trace_export.hpp"
 #include "sim/simulator.hpp"
 #include "trace/trace_compress.hpp"
+#include "trace/trace_stream.hpp"
 #include "workload/suite.hpp"
 
 using namespace mobcache;
@@ -582,6 +586,21 @@ static int tool_main(int argc, char** argv) {
     merged.counter("sweep.completed").add(sweep_completed);
     merged.counter("sweep.failed").add(sweep_failed);
     merged.counter("sweep.quarantined").add(sweep_quarantined);
+    // Streaming-pipeline counters (docs/SWEEP_ENGINE.md): every generated
+    // workload now flows through chunked TraceStreams, so chunks_generated
+    // ticks even for materialized runs; high_water_chunk_bytes is the
+    // constant-memory witness. fleet.* stays zero unless a fleet sweep ran
+    // in this process (bench_e22_fleet), but the keys are part of the
+    // registry contract either way.
+    const StreamCounters stream = stream_counters();
+    merged.counter("stream.chunks_generated").add(stream.chunks_generated);
+    merged.counter("stream.chunk_reuse_hits").add(stream.chunk_reuse_hits);
+    merged.counter("stream.high_water_chunk_bytes")
+        .add(stream.high_water_chunk_bytes);
+    const FleetCounters fleet = fleet_counters();
+    merged.counter("fleet.sessions_simulated").add(fleet.sessions_simulated);
+    merged.counter("fleet.session_records").add(fleet.session_records);
+    merged.counter("fleet.shard_merges").add(fleet.shard_merges);
     if (flags.metrics_out.empty()) {
       std::printf("merged metrics (%zu runs)\n", sessions.size());
       print_metrics_table(merged);
