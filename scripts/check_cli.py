@@ -1,0 +1,147 @@
+#!/usr/bin/env python3
+"""CLI flag-contract checks for mobcache_simrun and mobcache_daemon.
+
+Every `--name=value` flag given with an empty value must be a hard usage
+error: exit code 2 plus a `--name needs <what>` diagnostic on stderr. A
+silently ignored `--metrics=` (a truncated shell variable, usually) is how
+results end up in the wrong place without anyone noticing. Also smokes the
+daemon's usage error paths and a `--once` run on an empty service dir.
+
+Usage:
+  check_cli.py --simrun PATH --daemon PATH --workdir DIR
+"""
+
+import argparse
+import pathlib
+import shutil
+import subprocess
+import sys
+
+FAILURES = []
+
+# Every =-flag each binary accepts; kept in sync with the tools' usage text
+# (tool_cli_contract fails when a new =-flag forgets the empty-value check).
+SIMRUN_EQ_FLAGS = [
+    "--trace-out",
+    "--metrics",
+    "--sample",
+    "--fault-rate",
+    "--ecc",
+    "--fault-seed",
+    "--way-disable-threshold",
+    "--fault-sweep",
+    "--jobs",
+    "--store-dir",
+    "--point-deadline-ms",
+]
+
+DAEMON_EQ_FLAGS = [
+    "--store-dir",
+    "--jobs",
+    "--poll-ms",
+    "--epoch-ms",
+    "--idle-exit-ms",
+]
+
+
+def run(cmd):
+    return subprocess.run(
+        [str(c) for c in cmd], capture_output=True, text=True, timeout=120
+    )
+
+
+def check(name, ok, detail=""):
+    if ok:
+        print(f"ok   {name}")
+    else:
+        print(f"FAIL {name}: {detail}")
+        FAILURES.append(name)
+
+
+def expect_usage_error(tool_name, cmd, needle):
+    p = run(cmd)
+    label = f"{tool_name} {' '.join(str(c) for c in cmd[1:])!r}"
+    check(
+        label,
+        p.returncode == 2 and needle in p.stderr,
+        f"rc={p.returncode} stderr={p.stderr.strip()!r} (wanted rc=2 "
+        f"containing {needle!r})",
+    )
+
+
+def check_empty_value_flags(tool_name, binary, flags):
+    for flag in flags:
+        expect_usage_error(tool_name, [binary, f"{flag}="], f"{flag} needs")
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--simrun", required=True, type=pathlib.Path)
+    ap.add_argument("--daemon", required=True, type=pathlib.Path)
+    ap.add_argument("--workdir", required=True, type=pathlib.Path)
+    args = ap.parse_args()
+
+    shutil.rmtree(args.workdir, ignore_errors=True)
+    args.workdir.mkdir(parents=True)
+
+    # simrun: empty =-values, missing positionals, unknown flags.
+    check_empty_value_flags("simrun", args.simrun, SIMRUN_EQ_FLAGS)
+    p = run([args.simrun])
+    check(
+        "simrun usage without args",
+        p.returncode == 2 and "usage:" in p.stderr,
+        f"rc={p.returncode} stderr={p.stderr.strip()!r}",
+    )
+    p = run([args.simrun, "nofile.mctz", "--frobnicate"])
+    check(
+        "simrun unknown flag",
+        p.returncode == 2 and "unknown flag" in p.stderr,
+        f"rc={p.returncode} stderr={p.stderr.strip()!r}",
+    )
+
+    # daemon: same empty-value contract, then a --once smoke.
+    check_empty_value_flags("daemon", args.daemon, DAEMON_EQ_FLAGS)
+    p = run([args.daemon])
+    check(
+        "daemon usage without args",
+        p.returncode == 2 and "usage:" in p.stderr,
+        f"rc={p.returncode} stderr={p.stderr.strip()!r}",
+    )
+    p = run([args.daemon, args.workdir / "svc", "--frobnicate"])
+    check(
+        "daemon unknown flag",
+        p.returncode == 2 and "unknown flag" in p.stderr,
+        f"rc={p.returncode} stderr={p.stderr.strip()!r}",
+    )
+
+    svc = args.workdir / "svc"
+    p = run([args.daemon, svc, "--once"])
+    check(
+        "daemon --once on empty dir",
+        p.returncode == 0,
+        f"rc={p.returncode} stderr={p.stderr.strip()!r}",
+    )
+    check(
+        "daemon creates service layout",
+        all(
+            (svc / d).is_dir() for d in ("inbox", "outbox", "quarantine")
+        )
+        and (svc / "metrics.json").is_file(),
+        f"contents={sorted(q.name for q in svc.iterdir())}",
+    )
+    metrics = (svc / "metrics.json").read_text()
+    check(
+        "metrics.json carries service counters",
+        '"service.served":0' in metrics,
+        f"metrics={metrics.strip()!r}",
+    )
+
+    if FAILURES:
+        print(f"{len(FAILURES)} CLI contract check(s) failed", file=sys.stderr)
+        return 1
+    print("all CLI contract checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

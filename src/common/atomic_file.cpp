@@ -1,0 +1,49 @@
+#include "common/atomic_file.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <stdexcept>
+
+#if !defined(_WIN32)
+#include <unistd.h>
+#endif
+
+namespace mobcache {
+
+namespace fs = std::filesystem;
+
+bool write_file_synced(const std::string& path, const std::string& bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const bool wrote =
+      std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size() &&
+      std::fflush(f) == 0;
+#if defined(_WIN32)
+  const bool synced = wrote;
+#else
+  const bool synced = wrote && ::fsync(::fileno(f)) == 0;
+#endif
+  return (std::fclose(f) == 0) && synced;
+}
+
+void atomic_publish(const std::string& final_path, const std::string& bytes,
+                    const std::string& tmp_token) {
+  const fs::path target(final_path);
+  const std::string tmp_path =
+      (target.parent_path() / (".tmp-" + tmp_token)).string();
+  if (!write_file_synced(tmp_path, bytes)) {
+    std::error_code ec;
+    fs::remove(tmp_path, ec);
+    throw std::runtime_error("atomic publish: cannot write '" + tmp_path +
+                             "'");
+  }
+  std::error_code ec;
+  fs::rename(tmp_path, final_path, ec);
+  if (ec) {
+    fs::remove(tmp_path, ec);
+    throw std::runtime_error("atomic publish: cannot publish '" + final_path +
+                             "'");
+  }
+}
+
+}  // namespace mobcache

@@ -1,0 +1,128 @@
+#include "common/flat_json.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+
+namespace mobcache {
+
+bool FlatParser::parse(const std::string& text) {
+  fields_.clear();
+  p_ = text.c_str();
+  skip_ws();
+  if (!consume('{')) return false;
+  skip_ws();
+  if (consume('}')) {
+    skip_ws();
+    return *p_ == '\0';
+  }
+  while (true) {
+    std::string key, value;
+    bool is_string = false;
+    if (!parse_string(key)) return false;
+    skip_ws();
+    if (!consume(':')) return false;
+    skip_ws();
+    if (*p_ == '"') {
+      if (!parse_string(value)) return false;
+      is_string = true;
+    } else {
+      const char* start = p_;
+      while (*p_ != '\0' && *p_ != ',' && *p_ != '}' && *p_ != ' ' &&
+             *p_ != '\n')
+        ++p_;
+      if (p_ == start) return false;
+      value.assign(start, p_);
+    }
+    fields_[key] = {std::move(value), is_string};
+    skip_ws();
+    if (consume('}')) break;
+    if (!consume(',')) return false;
+    skip_ws();
+  }
+  skip_ws();
+  return *p_ == '\0';
+}
+
+bool FlatParser::has(const char* key) const {
+  return fields_.find(key) != fields_.end();
+}
+
+bool FlatParser::get_str(const char* key, std::string& out) const {
+  auto it = fields_.find(key);
+  if (it == fields_.end() || !it->second.second) return false;
+  out = it->second.first;
+  return true;
+}
+
+bool FlatParser::get_u64(const char* key, std::uint64_t& out) const {
+  auto it = fields_.find(key);
+  if (it == fields_.end() || it->second.second) return false;
+  const std::string& t = it->second.first;
+  if (t.empty()) return false;
+  for (char c : t)
+    if (c < '0' || c > '9') return false;
+  errno = 0;
+  char* end = nullptr;
+  out = std::strtoull(t.c_str(), &end, 10);
+  return errno == 0 && end != nullptr && *end == '\0';
+}
+
+bool FlatParser::get_dbl(const char* key, double& out) const {
+  auto it = fields_.find(key);
+  if (it == fields_.end() || it->second.second) return false;
+  const std::string& t = it->second.first;
+  char* end = nullptr;
+  out = std::strtod(t.c_str(), &end);
+  return end != nullptr && end != t.c_str() && *end == '\0';
+}
+
+void FlatParser::skip_ws() {
+  while (*p_ == ' ' || *p_ == '\n' || *p_ == '\t' || *p_ == '\r') ++p_;
+}
+
+bool FlatParser::consume(char c) {
+  if (*p_ != c) return false;
+  ++p_;
+  return true;
+}
+
+bool FlatParser::parse_string(std::string& out) {
+  if (!consume('"')) return false;
+  out.clear();
+  while (*p_ != '\0' && *p_ != '"') {
+    if (*p_ == '\\') {
+      ++p_;
+      switch (*p_) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case 'n': out += '\n'; break;
+        case 't': out += '\t'; break;
+        case 'r': out += '\r'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u': {
+          // json_escape only emits \u00xx for control bytes.
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            ++p_;
+            const char c = *p_;
+            if (c >= '0' && c <= '9') code = code * 16 + (c - '0');
+            else if (c >= 'a' && c <= 'f') code = code * 16 + (c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F') code = code * 16 + (c - 'A' + 10);
+            else return false;
+          }
+          out += static_cast<char>(code);
+          break;
+        }
+        default: return false;
+      }
+      ++p_;
+    } else {
+      out += *p_;
+      ++p_;
+    }
+  }
+  return consume('"');
+}
+
+}  // namespace mobcache

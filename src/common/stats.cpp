@@ -49,6 +49,8 @@ void Log2Histogram::add(std::uint64_t value) {
       value == 0 ? 0 : static_cast<std::size_t>(std::bit_width(value) - 1);
   if (bucket >= buckets_.size()) buckets_.resize(bucket + 1, 0);
   ++buckets_[bucket];
+  max_value_ = std::max(max_value_, value);
+  min_value_ = total_ == 0 ? value : std::min(min_value_, value);
   ++total_;
 }
 
@@ -56,19 +58,26 @@ void Log2Histogram::merge(const Log2Histogram& o) {
   if (o.buckets_.size() > buckets_.size()) buckets_.resize(o.buckets_.size(), 0);
   for (std::size_t b = 0; b < o.buckets_.size(); ++b)
     buckets_[b] += o.buckets_[b];
+  if (o.total_ > 0) {
+    max_value_ = std::max(max_value_, o.max_value_);
+    min_value_ = total_ == 0 ? o.min_value_ : std::min(min_value_, o.min_value_);
+  }
   total_ += o.total_;
 }
 
 std::uint64_t Log2Histogram::quantile_upper_bound(double q) const {
   if (total_ == 0) return 0;
-  const auto target = static_cast<std::uint64_t>(
-      q * static_cast<double>(total_));
+  auto target = static_cast<std::uint64_t>(q * static_cast<double>(total_));
+  // q=0 (or any q naming the rank-1 sample) is exactly the smallest sample
+  // recorded — never bucket 0's bound, never the first bucket's sentinel.
+  if (target <= 1) return min_value_;
   std::uint64_t seen = 0;
   for (std::size_t b = 0; b < buckets_.size(); ++b) {
     seen += buckets_[b];
-    if (seen >= target) return (2ull << b) - 1;
+    if (seen >= target)
+      return std::min<std::uint64_t>((2ull << b) - 1, max_value_);
   }
-  return (2ull << (buckets_.size() - 1)) - 1;
+  return max_value_;
 }
 
 double Log2Histogram::fraction_below(std::uint64_t threshold) const {
@@ -177,6 +186,11 @@ double QuantileSketch::max() const { return count_ ? max_ : 0.0; }
 
 double QuantileSketch::quantile(double q) const {
   if (count_ == 0) return 0.0;
+  // Boundaries are exact: interpolation inside the straddling sub-bucket
+  // could otherwise report a midpoint above the smallest (or clamp-mask the
+  // largest) recorded sample.
+  if (q <= 0.0) return min_;
+  if (q >= 1.0) return max_;
   q = std::clamp(q, 0.0, 1.0);
   const double target = q * static_cast<double>(count_ - 1);
   double cum = static_cast<double>(zero_count_);

@@ -48,8 +48,18 @@ class Log2Histogram {
   std::uint64_t total() const { return total_; }
   const std::vector<std::uint64_t>& buckets() const { return buckets_; }
 
+  /// Largest sample ever add()ed (or merged in); 0 when empty.
+  std::uint64_t max_value() const { return total_ ? max_value_ : 0; }
+
+  /// Smallest sample ever add()ed (or merged in); 0 when empty.
+  std::uint64_t min_value() const { return total_ ? min_value_ : 0; }
+
   /// Smallest value v such that at least `q` (0..1) of samples are <= upper
-  /// bound of v's bucket. Returns bucket upper bound; 0 when empty.
+  /// bound of v's bucket. Returns the bucket upper bound clamped to the
+  /// maximum observed sample, so q=1 (or any q landing in the top occupied
+  /// bucket) never reports a value above anything recorded; q=0 (or any q
+  /// naming the rank-1 sample) is exactly the minimum observed sample.
+  /// 0 when empty.
   std::uint64_t quantile_upper_bound(double q) const;
 
   /// Fraction of samples whose value is strictly below `threshold`
@@ -60,6 +70,8 @@ class Log2Histogram {
  private:
   std::vector<std::uint64_t> buckets_;
   std::uint64_t total_ = 0;
+  std::uint64_t max_value_ = 0;
+  std::uint64_t min_value_ = 0;
 };
 
 /// Deterministic, mergeable quantile sketch for non-negative doubles
@@ -85,8 +97,10 @@ class QuantileSketch {
   double max() const;
 
   /// Quantile q in [0,1] with midpoint interpolation inside the straddling
-  /// sub-bucket, clamped to the exact [min, max]. Deterministic pure
-  /// function of the merged counts; 0 when empty.
+  /// sub-bucket, clamped to the exact [min, max]; q<=0 and q>=1 return the
+  /// exact min / max observed sample, so the boundaries never report a value
+  /// that was not recorded. Deterministic pure function of the merged
+  /// counts; 0 when empty.
   double quantile(double q) const;
 
  private:

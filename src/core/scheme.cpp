@@ -17,6 +17,19 @@ const char* scheme_name(SchemeKind k) {
   return "?";
 }
 
+std::optional<SchemeKind> parse_scheme_kind(std::string_view s) {
+  if (s == "base") return SchemeKind::BaselineSram;
+  if (s == "shrunk") return SchemeKind::ShrunkSram;
+  if (s == "sharedstt") return SchemeKind::SharedStt;
+  if (s == "drowsy") return SchemeKind::DrowsySram;
+  if (s == "victim") return SchemeKind::VictimSram;
+  if (s == "sp") return SchemeKind::StaticPartSram;
+  if (s == "spmrstt") return SchemeKind::StaticPartMrstt;
+  if (s == "dp") return SchemeKind::DynamicSram;
+  if (s == "dpstt") return SchemeKind::DynamicStt;
+  return std::nullopt;
+}
+
 namespace {
 
 CacheConfig shared_geometry(const char* name, std::uint64_t bytes,

@@ -5,7 +5,9 @@
 /// configuration choices; benches override fields to run sweeps.
 
 #include <memory>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/drowsy_l2.hpp"
@@ -84,5 +86,10 @@ std::unique_ptr<L2Interface> build_scheme(SchemeKind kind,
 
 /// The scheme list of the headline comparison (E9), baseline first.
 std::vector<SchemeKind> headline_schemes();
+
+/// The CLI scheme vocabulary, shared by simrun and the service protocol:
+/// base shrunk sharedstt drowsy victim sp spmrstt dp dpstt. Returns nullopt
+/// for anything else (including "all", which is a selection, not a kind).
+std::optional<SchemeKind> parse_scheme_kind(std::string_view s);
 
 }  // namespace mobcache

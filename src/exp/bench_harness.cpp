@@ -208,7 +208,11 @@ bool BenchReport::write() {
   w.key("wall_ms").value(ms);
   w.key("points_per_sec")
       .value(ms > 0.0 ? static_cast<double>(points_) * 1e3 / ms : 0.0);
-  w.key("peak_rss_bytes").value(peak_rss_bytes());
+  // A failed getrusage probe reports 0 — omit the key entirely rather than
+  // publish a bogus measurement (check_bench.py treats absence as
+  // "unmeasured" and skips the RSS checks with a warning).
+  if (const std::uint64_t rss = peak_rss_bytes(); rss > 0)
+    w.key("peak_rss_bytes").value(rss);
   for (const auto& [key, value] : run_facts_) w.key(key).value(value);
   w.key("result_store");
   w.begin_object();

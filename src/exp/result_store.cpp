@@ -1,23 +1,17 @@
 #include "exp/result_store.hpp"
 
-#include <cerrno>
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
-#include <map>
 #include <sstream>
 
-#if defined(_WIN32)
-#include <io.h>
-#else
-#include <unistd.h>
-#endif
-
+#include "common/atomic_file.hpp"
 #include "common/env.hpp"
 #include "common/error.hpp"
+#include "common/flat_json.hpp"
 #include "common/json_writer.hpp"
 #include "energy/technology.hpp"
 
@@ -227,125 +221,9 @@ void put_cache_stats(std::string& out, const char* prefix,
   put_u64(out, key("silent_faults").c_str(), s.silent_faults);
 }
 
-/// Minimal parser for the flat JSON objects this file writes: string or
-/// bare-number values only, one nesting level. Returns false on anything
-/// unexpected — a reject is a corrupt record, never a crash.
-class FlatParser {
- public:
-  bool parse(const std::string& text) {
-    p_ = text.c_str();
-    skip_ws();
-    if (!consume('{')) return false;
-    skip_ws();
-    if (consume('}')) return true;
-    while (true) {
-      std::string key, value;
-      bool is_string = false;
-      if (!parse_string(key)) return false;
-      skip_ws();
-      if (!consume(':')) return false;
-      skip_ws();
-      if (*p_ == '"') {
-        if (!parse_string(value)) return false;
-        is_string = true;
-      } else {
-        const char* start = p_;
-        while (*p_ != '\0' && *p_ != ',' && *p_ != '}' && *p_ != ' ' &&
-               *p_ != '\n')
-          ++p_;
-        if (p_ == start) return false;
-        value.assign(start, p_);
-      }
-      fields_[key] = {std::move(value), is_string};
-      skip_ws();
-      if (consume('}')) break;
-      if (!consume(',')) return false;
-      skip_ws();
-    }
-    skip_ws();
-    return *p_ == '\0';
-  }
-
-  bool get_str(const char* key, std::string& out) const {
-    auto it = fields_.find(key);
-    if (it == fields_.end() || !it->second.second) return false;
-    out = it->second.first;
-    return true;
-  }
-
-  bool get_u64(const char* key, std::uint64_t& out) const {
-    auto it = fields_.find(key);
-    if (it == fields_.end() || it->second.second) return false;
-    const std::string& t = it->second.first;
-    if (t.empty()) return false;
-    for (char c : t)
-      if (c < '0' || c > '9') return false;
-    errno = 0;
-    char* end = nullptr;
-    out = std::strtoull(t.c_str(), &end, 10);
-    return errno == 0 && end != nullptr && *end == '\0';
-  }
-
-  bool get_dbl(const char* key, double& out) const {
-    auto it = fields_.find(key);
-    if (it == fields_.end() || it->second.second) return false;
-    const std::string& t = it->second.first;
-    char* end = nullptr;
-    out = std::strtod(t.c_str(), &end);
-    return end != nullptr && end != t.c_str() && *end == '\0';
-  }
-
- private:
-  void skip_ws() {
-    while (*p_ == ' ' || *p_ == '\n' || *p_ == '\t' || *p_ == '\r') ++p_;
-  }
-  bool consume(char c) {
-    if (*p_ != c) return false;
-    ++p_;
-    return true;
-  }
-  bool parse_string(std::string& out) {
-    if (!consume('"')) return false;
-    out.clear();
-    while (*p_ != '\0' && *p_ != '"') {
-      if (*p_ == '\\') {
-        ++p_;
-        switch (*p_) {
-          case '"': out += '"'; break;
-          case '\\': out += '\\'; break;
-          case 'n': out += '\n'; break;
-          case 't': out += '\t'; break;
-          case 'r': out += '\r'; break;
-          case 'b': out += '\b'; break;
-          case 'f': out += '\f'; break;
-          case 'u': {
-            // json_escape only emits \u00xx for control bytes.
-            unsigned code = 0;
-            for (int i = 0; i < 4; ++i) {
-              ++p_;
-              const char c = *p_;
-              if (c >= '0' && c <= '9') code = code * 16 + (c - '0');
-              else if (c >= 'a' && c <= 'f') code = code * 16 + (c - 'a' + 10);
-              else if (c >= 'A' && c <= 'F') code = code * 16 + (c - 'A' + 10);
-              else return false;
-            }
-            out += static_cast<char>(code);
-            break;
-          }
-          default: return false;
-        }
-        ++p_;
-      } else {
-        out += *p_;
-        ++p_;
-      }
-    }
-    return consume('"');
-  }
-
-  const char* p_ = nullptr;
-  std::map<std::string, std::pair<std::string, bool>> fields_;
-};
+// Record payloads parse with the shared FlatParser (common/flat_json.hpp) —
+// the same grammar the daemon's request protocol reads, because both sides
+// only ever consume JSON this codebase wrote itself.
 
 bool read_cache_stats(const FlatParser& f, const char* prefix, CacheStats& s) {
   auto key = [&](const char* field) { return std::string(prefix) + field; };
@@ -531,20 +409,6 @@ bool parse_record(const std::string& text, ParsedRecord& out) {
   return true;
 }
 
-bool write_file_synced(const std::string& path, const std::string& bytes) {
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) return false;
-  const bool wrote =
-      std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size() &&
-      std::fflush(f) == 0;
-#if defined(_WIN32)
-  const bool synced = wrote;
-#else
-  const bool synced = wrote && ::fsync(::fileno(f)) == 0;
-#endif
-  return (std::fclose(f) == 0) && synced;
-}
-
 }  // namespace
 
 ResultStore::ResultStore(std::string dir) : dir_(std::move(dir)) {
@@ -611,26 +475,14 @@ void ResultStore::persist_record(std::uint64_t key,
   const std::string final_path =
       (fs::path(dir_) / ("r" + key_hex(key) + ".json")).string();
 
-  std::string tmp_path;
+  std::string tmp_token;
   {
+    // The counter keeps concurrent writers of the same key on distinct tmp
+    // names; the key suffix keeps the orphan diagnosable.
     std::lock_guard<std::mutex> lock(m_);
-    tmp_path = (fs::path(dir_) /
-                (".tmp-" + std::to_string(++tmp_counter_) + "-" +
-                 key_hex(key)))
-                   .string();
+    tmp_token = std::to_string(++tmp_counter_) + "-" + key_hex(key);
   }
-  if (!write_file_synced(tmp_path, record)) {
-    std::error_code ec;
-    fs::remove(tmp_path, ec);
-    throw std::runtime_error("result store: cannot write '" + tmp_path + "'");
-  }
-  std::error_code ec;
-  fs::rename(tmp_path, final_path, ec);
-  if (ec) {
-    fs::remove(tmp_path, ec);
-    throw std::runtime_error("result store: cannot publish '" + final_path +
-                             "'");
-  }
+  atomic_publish(final_path, record, tmp_token);
 }
 
 void ResultStore::store(std::uint64_t key, const SimResult& r) {

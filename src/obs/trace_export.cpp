@@ -244,6 +244,12 @@ void write_metrics_json(JsonWriter& w, const MetricRegistry& reg) {
   w.end_object();
 }
 
+std::string metrics_json_string(const MetricRegistry& reg) {
+  JsonWriter w;
+  write_metrics_json(w, reg);
+  return w.str();
+}
+
 void write_epoch_series_json(JsonWriter& w, const EpochSeries& series) {
   w.begin_object();
   w.key("total_epochs").value(series.total_pushed());

@@ -79,6 +79,11 @@ class TraceSink {
 /// object, e.g. for a --metrics-out file.
 void write_metrics_json(JsonWriter& w, const MetricRegistry& reg);
 
+/// write_metrics_json() into a fresh writer — the one-liner for callers
+/// that want the document bytes (simrun --metrics=FILE, the daemon's
+/// metrics.json snapshots).
+std::string metrics_json_string(const MetricRegistry& reg);
+
 /// Serializes the retained epoch window as a JSON array of sample objects
 /// (plus a truncation marker when the ring dropped early epochs).
 void write_epoch_series_json(JsonWriter& w, const EpochSeries& series);

@@ -1,0 +1,88 @@
+#pragma once
+/// \file protocol.hpp
+/// Wire format of the mobcached file-inbox protocol (docs/SERVICE.md).
+///
+/// A request file is JSONL: one flat JSON object per line, each describing
+/// one simulation or fleet request. Producers write the file elsewhere and
+/// atomically rename() it into `<dir>/inbox/` — exactly the publication
+/// idiom the result store uses — so the daemon never reads a half-written
+/// request. The response file (same name, under `<dir>/outbox/`) carries
+/// one line per result: ok lines embed the result-store record payload
+/// *verbatim* (result_to_record_json bytes), so a daemon response is
+/// byte-identical to what `mobcache_simrun --store-dir` persists for the
+/// same point; error lines carry the stable error taxonomy label
+/// (error_type_of) plus a one-line message.
+///
+/// Request fields (flat JSON, common/flat_json.hpp grammar):
+///   id            required, non-empty string — echoed on every response line
+///   kind          "sim" (default) | "fleet"
+///   apps          sim only, required: comma-separated app names
+///   scheme        scheme name | "all" (sim default "all", fleet "dpstt");
+///                 a named scheme runs {base, scheme} exactly like simrun
+///   records       sim trace length per app (default 1000000)
+///   seed          trace/population seed (default 1)
+///   deadline_ms   per-point wall-clock budget, 0 = none (default 0)
+///   sessions      fleet only: session count (default 1000)
+///   mean_accesses fleet only: population mean session length, 0 = the
+///                 PopulationModel default mix (default 0)
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/scheme.hpp"
+#include "exp/fleet.hpp"
+#include "workload/app_model.hpp"
+
+namespace mobcache {
+
+struct ServiceRequest {
+  enum class Kind : std::uint8_t { Sim, Fleet };
+
+  std::string id;
+  Kind kind = Kind::Sim;
+  std::vector<AppId> apps;           ///< sim suite (request order)
+  std::vector<SchemeKind> schemes;   ///< resolved sim selection
+  SchemeKind fleet_scheme = SchemeKind::DynamicStt;
+  std::uint64_t records = 1'000'000;
+  std::uint64_t seed = 1;
+  std::uint64_t deadline_ms = 0;
+  std::uint64_t sessions = 1'000;
+  std::uint64_t mean_accesses = 0;
+};
+
+/// One parsed request line. `request` is set iff the line was valid;
+/// otherwise `error` says why and `id` carries the request id when one was
+/// readable (so the error response can still be correlated).
+struct ParsedRequestLine {
+  std::optional<ServiceRequest> request;
+  std::string id;
+  std::string error;
+};
+
+ParsedRequestLine parse_request_line(const std::string& line);
+
+/// One sim result line: `{"id":...,"scheme":...,"workload":...,"result":P}`
+/// where P is the result-store record payload, embedded verbatim.
+std::string ok_response_line(const std::string& id, const std::string& scheme,
+                             const std::string& workload,
+                             const std::string& result_payload);
+
+/// One fleet summary line: session/record totals plus mean and p50/p95/p99
+/// of the per-session energy and CPI sketches.
+std::string fleet_response_line(const std::string& id, SchemeKind scheme,
+                                const FleetResult& fleet);
+
+/// One error line: `{"id":...,"error_type":...,"message":...}`. error_type
+/// is the stable taxonomy label (error_type_of / to_string(SimErrorKind)).
+std::string error_response_line(const std::string& id,
+                                const std::string& error_type,
+                                const std::string& message);
+
+/// Extracts the embedded record payload from an ok_response_line — the
+/// bytes a result-store record for the same point would carry. nullopt for
+/// error/fleet lines.
+std::optional<std::string> response_result_payload(const std::string& line);
+
+}  // namespace mobcache

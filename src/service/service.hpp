@@ -1,0 +1,102 @@
+#pragma once
+/// \file service.hpp
+/// mobcached: a long-running simulation service over the sweep pipeline.
+///
+/// The daemon watches `<dir>/inbox/` for JSONL request files (producers
+/// atomically rename() them in — see service/protocol.hpp), runs each
+/// request through the same ExperimentRunner / run_fleet machinery the CLI
+/// tools use, and publishes one response file per request file under
+/// `<dir>/outbox/` with the store's tmp + fsync + rename idiom. With a
+/// store directory configured, every (scheme × workload) cell memoizes
+/// through the shared ResultStore — repeat requests are warm hits, and the
+/// store interoperates byte-for-byte with `mobcache_simrun --store-dir`.
+///
+/// Supervision contract (docs/SERVICE.md):
+///  - Crash-safe ordering: the response file is published *before* the
+///    inbox file is consumed, so a crash between the two re-serves the
+///    request from warm store hits and re-publishes the identical bytes
+///    (rename over the previous response) — at-least-once processing with
+///    idempotent output, never a lost request.
+///  - SIGTERM/SIGINT drain: cancellation propagates out of the in-flight
+///    request (CancelledError → guarded_main → exit 75). Completed points
+///    are already persisted; the in-flight request file stays in the inbox,
+///    so a restarted daemon finishes it from warm hits.
+///  - Poison requests: a file containing malformed lines, a torn (not
+///    newline-terminated) file, or a request whose execution fails gets its
+///    error lines in the response and the request file moved to
+///    `<dir>/quarantine/` instead of deleted — inspectable, never re-run.
+///  - Liveness: `<dir>/metrics.json` is republished atomically every epoch
+///    with service.* counters plus the result_store.* / stream.* / fleet.*
+///    groups the CLI tools expose.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/cancel.hpp"
+#include "exp/result_store.hpp"
+#include "service/protocol.hpp"
+
+namespace mobcache {
+
+struct ServiceConfig {
+  std::string dir;        ///< service root: inbox/ outbox/ quarantine/ metrics.json
+  std::string store_dir;  ///< result-store directory ("" = memoization off)
+  unsigned jobs = 0;      ///< worker threads per request (0 = auto)
+  std::uint64_t poll_ms = 50;    ///< inbox poll interval when idle
+  std::uint64_t epoch_ms = 1000; ///< metrics.json republish cadence
+  bool once = false;             ///< drain the current inbox, then exit
+  std::uint64_t idle_exit_ms = 0;  ///< exit after this long idle (0 = never)
+  /// Cancellation token the daemon and its simulations poll; null = the
+  /// process-wide global_cancel_token() (the one SIGTERM flips).
+  const CancelToken* cancel = nullptr;
+};
+
+struct ServiceStats {
+  std::uint64_t files_served = 0;       ///< request files fully processed
+  std::uint64_t files_quarantined = 0;  ///< of those, moved to quarantine/
+  std::uint64_t requests_seen = 0;      ///< request lines parsed (ok + bad)
+  std::uint64_t requests_served = 0;    ///< requests answered with results
+  std::uint64_t requests_rejected = 0;  ///< parse or execution failures
+};
+
+class MobcacheDaemon {
+ public:
+  /// Creates inbox/outbox/quarantine under cfg.dir (sweeping `.tmp-*`
+  /// orphans from outbox) and opens the result store when configured.
+  /// Throws std::runtime_error when the directories cannot be created.
+  explicit MobcacheDaemon(ServiceConfig cfg);
+
+  /// Serves the inbox until once-mode drains it, the idle deadline passes,
+  /// or cancellation fires (CancelledError propagates — guarded_main maps
+  /// it to the resumable exit 75). Returns 0.
+  int run();
+
+  /// Processes every request file currently in the inbox (sorted by name);
+  /// returns the number handled. Exposed for tests and the bench driver.
+  std::size_t scan_once();
+
+  /// Republishes `<dir>/metrics.json` atomically.
+  void publish_metrics();
+
+  std::string inbox_dir() const;
+  std::string outbox_dir() const;
+  std::string quarantine_dir() const;
+  std::string metrics_path() const;
+
+  ServiceStats stats() const { return stats_; }
+  ResultStore* store() { return store_.get(); }
+
+ private:
+  void process_file(const std::string& path, const std::string& name);
+  std::string run_request(const ServiceRequest& rq);
+
+  ServiceConfig cfg_;
+  std::unique_ptr<ResultStore> store_;
+  const CancelToken* cancel_;
+  ServiceStats stats_;
+  std::uint64_t active_ = 0;  ///< requests currently executing (0 or 1)
+  std::uint64_t publish_counter_ = 0;
+};
+
+}  // namespace mobcache

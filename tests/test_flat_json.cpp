@@ -1,0 +1,63 @@
+#include "common/flat_json.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/json_writer.hpp"
+
+namespace mobcache {
+namespace {
+
+TEST(FlatParser, ParsesStringsAndNumbersWithTypeChecks) {
+  FlatParser f;
+  ASSERT_TRUE(f.parse(
+      R"({"name":"launcher","count":42,"cpi":1.25,"quoted":"7"})"));
+  std::string s;
+  std::uint64_t u = 0;
+  double d = 0.0;
+  EXPECT_TRUE(f.has("name"));
+  EXPECT_FALSE(f.has("missing"));
+  EXPECT_TRUE(f.get_str("name", s));
+  EXPECT_EQ(s, "launcher");
+  EXPECT_TRUE(f.get_u64("count", u));
+  EXPECT_EQ(u, 42u);
+  EXPECT_TRUE(f.get_dbl("cpi", d));
+  EXPECT_DOUBLE_EQ(d, 1.25);
+  // Type discipline: a quoted number is a string, a number is not a string.
+  EXPECT_FALSE(f.get_u64("quoted", u));
+  EXPECT_FALSE(f.get_str("count", s));
+  // A double field is not a u64.
+  EXPECT_FALSE(f.get_u64("cpi", u));
+}
+
+TEST(FlatParser, RoundTripsJsonEscapeOutput) {
+  const std::string raw = "tab\there \"quote\" back\\slash\nctrl\x01";
+  FlatParser f;
+  ASSERT_TRUE(f.parse("{\"v\":\"" + json_escape(raw) + "\"}"));
+  std::string s;
+  ASSERT_TRUE(f.get_str("v", s));
+  EXPECT_EQ(s, raw);
+}
+
+TEST(FlatParser, RejectsMalformedDocuments) {
+  FlatParser f;
+  EXPECT_FALSE(f.parse(""));
+  EXPECT_FALSE(f.parse("{"));
+  EXPECT_FALSE(f.parse("{\"a\":}"));
+  EXPECT_FALSE(f.parse("{\"a\":1,}"));
+  EXPECT_FALSE(f.parse("{\"a\":1} trailing"));
+  EXPECT_FALSE(f.parse("[1,2]"));
+  EXPECT_FALSE(f.parse("{\"a\":\"unterminated}"));
+  // One nesting level only: nested objects are outside the grammar.
+  EXPECT_FALSE(f.parse("{\"a\":{\"b\":1}}"));
+}
+
+TEST(FlatParser, ReparseClearsPreviousFields) {
+  FlatParser f;
+  ASSERT_TRUE(f.parse("{\"a\":1}"));
+  ASSERT_TRUE(f.parse("{\"b\":2}"));
+  EXPECT_FALSE(f.has("a"));
+  EXPECT_TRUE(f.has("b"));
+}
+
+}  // namespace
+}  // namespace mobcache

@@ -24,10 +24,11 @@ TEST(LifetimeRecorder, SplitsByModeAndComputesSpans) {
 
   EXPECT_EQ(rec.events(Mode::User), 1u);
   EXPECT_EQ(rec.events(Mode::Kernel), 1u);
-  // User: residency 900, liveness 800, dead 100.
-  EXPECT_EQ(rec.residency(Mode::User).quantile_upper_bound(1.0), 1023u);
-  EXPECT_EQ(rec.liveness(Mode::User).quantile_upper_bound(1.0), 1023u);
-  EXPECT_EQ(rec.dead_time(Mode::User).quantile_upper_bound(1.0), 127u);
+  // User: residency 900, liveness 800, dead 100 — q=1 bounds clamp to the
+  // exact maxima rather than the enclosing power-of-two bucket bounds.
+  EXPECT_EQ(rec.residency(Mode::User).quantile_upper_bound(1.0), 900u);
+  EXPECT_EQ(rec.liveness(Mode::User).quantile_upper_bound(1.0), 800u);
+  EXPECT_EQ(rec.dead_time(Mode::User).quantile_upper_bound(1.0), 100u);
   EXPECT_DOUBLE_EQ(rec.reuse(Mode::User).mean(), 5.0);
   EXPECT_DOUBLE_EQ(rec.reuse(Mode::Kernel).mean(), 2.0);
 }

@@ -154,8 +154,44 @@ TEST(Log2Histogram, QuantileUpperBound) {
   h.add(1000);
   // Median lands in the [2,4) bucket whose upper bound is 3.
   EXPECT_EQ(h.quantile_upper_bound(0.5), 3u);
-  // The extreme tail reaches the bucket containing 1000: [512,1024).
-  EXPECT_EQ(h.quantile_upper_bound(1.0), 1023u);
+  // The extreme tail reaches the bucket containing 1000 ([512,1024)) but the
+  // bound clamps to the largest sample actually recorded, not 1023.
+  EXPECT_EQ(h.quantile_upper_bound(1.0), 1000u);
+  EXPECT_EQ(h.max_value(), 1000u);
+}
+
+TEST(Log2Histogram, QuantileBoundariesClampToObservedSamples) {
+  // Single sample: every quantile names that sample, not a bucket sentinel.
+  Log2Histogram single;
+  single.add(1000);
+  EXPECT_EQ(single.quantile_upper_bound(0.0), 1000u);
+  EXPECT_EQ(single.quantile_upper_bound(0.5), 1000u);
+  EXPECT_EQ(single.quantile_upper_bound(1.0), 1000u);
+
+  // q=0 resolves to the first occupied bucket (clamped), never bucket 0's
+  // bound when bucket 0 is empty.
+  Log2Histogram h;
+  h.add(5);
+  h.add(1000);
+  EXPECT_EQ(h.quantile_upper_bound(0.0), 5u);
+  EXPECT_EQ(h.quantile_upper_bound(1.0), 1000u);
+}
+
+TEST(Log2Histogram, MergeCarriesMaxForQuantileClamp) {
+  Log2Histogram a, b;
+  for (int i = 0; i < 10; ++i) a.add(3);
+  b.add(700);
+  a.merge(b);
+  EXPECT_EQ(a.max_value(), 700u);
+  EXPECT_EQ(a.quantile_upper_bound(1.0), 700u);
+
+  // Merge direction must not matter, and merging an empty histogram must
+  // not disturb the tracked max.
+  Log2Histogram c, empty;
+  c.add(700);
+  for (int i = 0; i < 10; ++i) c.add(3);
+  c.merge(empty);
+  EXPECT_EQ(c.quantile_upper_bound(1.0), a.quantile_upper_bound(1.0));
 }
 
 TEST(Log2Histogram, EmptyQuantileIsZero) {
@@ -249,6 +285,26 @@ TEST(QuantileSketch, NonPositiveValuesLandInZeroBucket) {
   EXPECT_EQ(s.max(), 8.0);
   EXPECT_EQ(s.quantile(0.0), 0.0);
   EXPECT_EQ(s.quantile(1.0), 8.0);
+}
+
+TEST(QuantileSketch, BoundaryQuantilesAreExactMinMax) {
+  // Two samples one octave apart: midpoint interpolation inside the first
+  // sub-bucket would report q=0 above the smallest recorded sample.
+  QuantileSketch s;
+  s.add(4.0);
+  s.add(5.0);
+  EXPECT_EQ(s.quantile(0.0), 4.0);
+  EXPECT_EQ(s.quantile(1.0), 5.0);
+
+  // Merged shards: the boundaries stay the exact global extrema.
+  QuantileSketch a, b;
+  a.add(7.0);
+  a.add(9.0);
+  b.add(2.5);
+  b.add(1e6);
+  a.merge(b);
+  EXPECT_EQ(a.quantile(0.0), 2.5);
+  EXPECT_EQ(a.quantile(1.0), 1e6);
 }
 
 TEST(QuantileSketch, QuantilesWithinRelativeErrorBound) {

@@ -11,7 +11,9 @@
 ///                   [--way-disable-threshold=N] [--fault-sweep=R1,R2,...]
 ///                   [--jobs=N] [--store-dir=PATH] [--resume]
 ///                   [--keep-going] [--retry-failed] [--point-deadline-ms=N]
-/// Schemes: base shrunk sharedstt sp spmrstt dp dpstt all (default: all)
+/// Schemes: base shrunk sharedstt drowsy victim sp spmrstt dp dpstt all
+/// (default: all) — the shared parse_scheme_kind() vocabulary, so simrun
+/// and the mobcached request protocol accept exactly the same names.
 ///
 /// Parallelism (docs/PARALLELISM.md):
 ///   --jobs=N                   worker threads for --fault-sweep mode
@@ -115,17 +117,6 @@ using namespace mobcache;
 
 namespace {
 
-std::optional<SchemeKind> parse_scheme(const char* s) {
-  if (std::strcmp(s, "base") == 0) return SchemeKind::BaselineSram;
-  if (std::strcmp(s, "shrunk") == 0) return SchemeKind::ShrunkSram;
-  if (std::strcmp(s, "sharedstt") == 0) return SchemeKind::SharedStt;
-  if (std::strcmp(s, "sp") == 0) return SchemeKind::StaticPartSram;
-  if (std::strcmp(s, "spmrstt") == 0) return SchemeKind::StaticPartMrstt;
-  if (std::strcmp(s, "dp") == 0) return SchemeKind::DynamicSram;
-  if (std::strcmp(s, "dpstt") == 0) return SchemeKind::DynamicStt;
-  return std::nullopt;
-}
-
 Trace load_or_generate(const std::string& spec, std::uint64_t records,
                        std::uint64_t seed) {
   TraceReadResult r = read_trace_any_detailed(spec);
@@ -196,6 +187,21 @@ struct CliFlags {
   }
 };
 
+/// Value of an `--name=value` flag. An empty value is a hard usage error for
+/// every `=`-flag: `--metrics=` silently falling back to the stdout table
+/// (or `--trace-out=` writing nowhere) hides a truncated shell variable.
+/// `flag` includes the trailing '='; `what` names the expected value.
+std::string require_flag_value(const std::string& a, const char* flag,
+                               const char* what) {
+  std::string v = a.substr(std::strlen(flag));
+  if (v.empty()) {
+    std::fprintf(stderr, "%.*s needs %s\n",
+                 static_cast<int>(std::strlen(flag) - 1), flag, what);
+    std::exit(2);
+  }
+  return v;
+}
+
 /// Consumes --flags from (argc, argv); returns remaining positional args.
 std::vector<std::string> parse_flags(int argc, char** argv, CliFlags& f) {
   std::vector<std::string> positional;
@@ -206,7 +212,7 @@ std::vector<std::string> parse_flags(int argc, char** argv, CliFlags& f) {
       continue;
     }
     if (a.rfind("--trace-out=", 0) == 0) {
-      std::string spec = a.substr(std::strlen("--trace-out="));
+      std::string spec = require_flag_value(a, "--trace-out=", "a path");
       const std::size_t comma = spec.rfind(',');
       bool format_given = false;
       if (comma != std::string::npos) {
@@ -226,21 +232,22 @@ std::vector<std::string> parse_flags(int argc, char** argv, CliFlags& f) {
       f.want_metrics = true;
     } else if (a.rfind("--metrics=", 0) == 0) {
       f.want_metrics = true;
-      f.metrics_out = a.substr(std::strlen("--metrics="));
+      f.metrics_out = require_flag_value(a, "--metrics=", "a path");
     } else if (a.rfind("--sample=", 0) == 0) {
-      f.sample_interval =
-          std::strtoull(a.c_str() + std::strlen("--sample="), nullptr, 10);
+      f.sample_interval = std::strtoull(
+          require_flag_value(a, "--sample=", "an interval").c_str(), nullptr,
+          10);
     } else if (a == "--trace-evictions") {
       f.trace_evictions = true;
     } else if (a.rfind("--fault-rate=", 0) == 0) {
-      f.fault_rate =
-          std::strtod(a.c_str() + std::strlen("--fault-rate="), nullptr);
+      f.fault_rate = std::strtod(
+          require_flag_value(a, "--fault-rate=", "a rate").c_str(), nullptr);
       if (f.fault_rate < 0.0 || f.fault_rate > 1.0) {
         std::fprintf(stderr, "--fault-rate must be in [0, 1]\n");
         std::exit(2);
       }
     } else if (a.rfind("--ecc=", 0) == 0) {
-      const std::string kind = a.substr(std::strlen("--ecc="));
+      const std::string kind = require_flag_value(a, "--ecc=", "a kind");
       if (auto k = parse_ecc_kind(kind)) {
         f.ecc = *k;
       } else {
@@ -250,14 +257,16 @@ std::vector<std::string> parse_flags(int argc, char** argv, CliFlags& f) {
         std::exit(2);
       }
     } else if (a.rfind("--fault-seed=", 0) == 0) {
-      f.fault_seed =
-          std::strtoull(a.c_str() + std::strlen("--fault-seed="), nullptr, 10);
+      f.fault_seed = std::strtoull(
+          require_flag_value(a, "--fault-seed=", "a seed").c_str(), nullptr,
+          10);
     } else if (a.rfind("--way-disable-threshold=", 0) == 0) {
       f.way_disable_threshold = static_cast<std::uint32_t>(std::strtoul(
-          a.c_str() + std::strlen("--way-disable-threshold="), nullptr, 10));
+          require_flag_value(a, "--way-disable-threshold=", "a count").c_str(),
+          nullptr, 10));
     } else if (a.rfind("--fault-sweep=", 0) == 0) {
-      for (const std::string& r :
-           split_commas(a.substr(std::strlen("--fault-sweep=")))) {
+      for (const std::string& r : split_commas(
+               require_flag_value(a, "--fault-sweep=", "at least one rate"))) {
         f.sweep_rates.push_back(std::strtod(r.c_str(), nullptr));
       }
       if (f.sweep_rates.empty()) {
@@ -265,13 +274,10 @@ std::vector<std::string> parse_flags(int argc, char** argv, CliFlags& f) {
         std::exit(2);
       }
     } else if (a.rfind("--jobs=", 0) == 0) {
-      f.jobs = static_cast<unsigned>(
-          std::strtoul(a.c_str() + std::strlen("--jobs="), nullptr, 10));
+      f.jobs = static_cast<unsigned>(std::strtoul(
+          require_flag_value(a, "--jobs=", "a count").c_str(), nullptr, 10));
     } else if (a.rfind("--store-dir=", 0) == 0) {
-      if (a.size() == std::strlen("--store-dir=")) {
-        std::fprintf(stderr, "--store-dir needs a path\n");
-        std::exit(2);
-      }
+      require_flag_value(a, "--store-dir=", "a path");
       f.want_store = true;
     } else if (a == "--resume") {
       f.want_store = true;
@@ -281,7 +287,8 @@ std::vector<std::string> parse_flags(int argc, char** argv, CliFlags& f) {
       f.retry_failed = true;
     } else if (a.rfind("--point-deadline-ms=", 0) == 0) {
       f.point_deadline_ms = std::strtoull(
-          a.c_str() + std::strlen("--point-deadline-ms="), nullptr, 10);
+          require_flag_value(a, "--point-deadline-ms=", "a deadline").c_str(),
+          nullptr, 10);
     } else {
       std::fprintf(stderr, "unknown flag '%s'\n", a.c_str());
       std::exit(2);
@@ -396,7 +403,7 @@ static int tool_main(int argc, char** argv) {
   std::vector<SchemeKind> kinds;
   if (pos.size() <= 1 || pos[1] == "all") {
     kinds = headline_schemes();
-  } else if (auto k = parse_scheme(pos[1].c_str())) {
+  } else if (auto k = parse_scheme_kind(pos[1])) {
     kinds = {SchemeKind::BaselineSram};
     if (*k != SchemeKind::BaselineSram) kinds.push_back(*k);
   } else {
@@ -605,16 +612,15 @@ static int tool_main(int argc, char** argv) {
       std::printf("merged metrics (%zu runs)\n", sessions.size());
       print_metrics_table(merged);
     } else {
-      JsonWriter w;
-      write_metrics_json(w, merged);
+      const std::string doc = metrics_json_string(merged) + "\n";
       std::FILE* f = std::fopen(flags.metrics_out.c_str(), "w");
-      if (f == nullptr) {
+      if (f == nullptr || std::fwrite(doc.data(), 1, doc.size(), f) !=
+                              doc.size()) {
+        if (f != nullptr) std::fclose(f);
         std::fprintf(stderr, "cannot write metrics to '%s'\n",
                      flags.metrics_out.c_str());
         return 1;
       }
-      std::fputs(w.str().c_str(), f);
-      std::fputc('\n', f);
       std::fclose(f);
       std::printf("wrote metrics JSON to %s\n", flags.metrics_out.c_str());
     }
